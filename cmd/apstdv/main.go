@@ -1,0 +1,143 @@
+// Command apstdv is the APST-DV client console: it submits divisible
+// load applications to a running apstdvd daemon and inspects them.
+//
+//	apstdv -daemon 127.0.0.1:4321 algorithms
+//	apstdv -daemon 127.0.0.1:4321 submit -spec app.xml [-algorithm rumr]
+//	apstdv -daemon 127.0.0.1:4321 status -job 1
+//	apstdv -daemon 127.0.0.1:4321 report -job 1 [-csv trace.csv]
+//	apstdv -daemon 127.0.0.1:4321 run -spec app.xml   # submit + wait + report
+//	apstdv -daemon 127.0.0.1:4321 jobs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"apstdv/internal/client"
+	"apstdv/internal/daemon"
+)
+
+func main() {
+	daemonAddr := flag.String("daemon", "127.0.0.1:4321", "daemon address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+
+	c, err := client.Dial(*daemonAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	specPath := sub.String("spec", "", "task specification XML file")
+	algorithm := sub.String("algorithm", "", "override the spec's algorithm")
+	jobID := sub.Int("job", 0, "job ID")
+	csvPath := sub.String("csv", "", "write the execution trace CSV here")
+	gantt := sub.Bool("gantt", false, "print the per-worker execution timeline")
+	unitCost := sub.Float64("unitcost", 0, "sim mode: seconds of compute per load unit")
+	bytesPerUnit := sub.Float64("bytesperunit", 0, "sim mode: input bytes per load unit")
+	gamma := sub.Float64("gamma", 0, "sim mode: per-unit compute uncertainty γ")
+	wait := sub.Duration("wait", 10*time.Minute, "run: maximum time to wait for completion")
+	if err := sub.Parse(flag.Args()[1:]); err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "algorithms":
+		names, err := c.Algorithms()
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "submit", "run":
+		if *specPath == "" {
+			fatal(fmt.Errorf("%s needs -spec", cmd))
+		}
+		xmlBytes, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		var simApp *daemon.SimApp
+		if *unitCost > 0 || *bytesPerUnit > 0 || *gamma > 0 {
+			simApp = &daemon.SimApp{UnitCost: *unitCost, BytesPerUnit: *bytesPerUnit, Gamma: *gamma}
+		}
+		reply, err := c.Submit(string(xmlBytes), *algorithm, simApp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("job %d submitted (algorithm %s, load %.0f units)\n", reply.JobID, reply.Algorithm, reply.TotalLoad)
+		if cmd == "run" {
+			job, err := c.WaitDone(reply.JobID, *wait, 100*time.Millisecond)
+			if err != nil {
+				fatal(err)
+			}
+			printJob(job)
+			if job.State == daemon.JobDone {
+				showReport(c, job.ID, *csvPath, *gantt)
+			}
+		}
+	case "status":
+		job, err := c.Status(*jobID)
+		if err != nil {
+			fatal(err)
+		}
+		printJob(job)
+	case "report":
+		showReport(c, *jobID, *csvPath, *gantt)
+	case "jobs":
+		jobs, err := c.Jobs()
+		if err != nil {
+			fatal(err)
+		}
+		for _, j := range jobs {
+			printJob(j)
+		}
+	default:
+		usage()
+	}
+}
+
+func printJob(j daemon.Job) {
+	switch j.State {
+	case daemon.JobDone:
+		fmt.Printf("job %d [%s] %s: makespan %.1fs, %d chunks\n", j.ID, j.Algorithm, j.State, j.Makespan, j.Chunks)
+	case daemon.JobFailed:
+		fmt.Printf("job %d [%s] %s: %s\n", j.ID, j.Algorithm, j.State, j.Err)
+	default:
+		fmt.Printf("job %d [%s] %s (submitted %s ago)\n", j.ID, j.Algorithm, j.State, time.Since(j.Submitted).Round(time.Millisecond))
+	}
+}
+
+func showReport(c *client.Client, jobID int, csvPath string, gantt bool) {
+	rep, err := c.Report(jobID)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.Summary)
+	if gantt {
+		fmt.Print(rep.Gantt)
+	}
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(rep.CSV), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", csvPath)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: apstdv [-daemon addr] <algorithms|submit|run|status|report|jobs> [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "apstdv: %v\n", err)
+	os.Exit(1)
+}

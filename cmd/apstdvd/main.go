@@ -1,0 +1,95 @@
+// Command apstdvd is the APST-DV daemon: it owns the platform, accepts
+// divisible load application submissions from the apstdv console, runs
+// them under a DLS algorithm, and serves execution reports.
+//
+//	# simulate the paper's mixed grid
+//	apstdvd -listen :4321 -mode sim -platform mixed:8,8
+//
+//	# simulate a platform described in XML
+//	apstdvd -listen :4321 -mode sim -resources resources.xml
+//
+//	# drive real local RPC workers
+//	apstdvd -listen :4321 -mode live -workers 4 -workperunit 2000000
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strings"
+
+	"apstdv/internal/daemon"
+	"apstdv/internal/live"
+	"apstdv/internal/model"
+	"apstdv/internal/spec"
+	"apstdv/internal/workload"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:4321", "address to serve the client RPC interface on")
+		mode        = flag.String("mode", "sim", "execution mode: sim or live")
+		platform    = flag.String("platform", "das2:16", "built-in platform for sim mode: das2:N, meteor:N, mixed:N,M, grail")
+		resources   = flag.String("resources", "", "XML resource description (overrides -platform)")
+		seed        = flag.Uint64("seed", 1, "sim-mode base seed")
+		specDir     = flag.String("specdir", ".", "directory for resolving files referenced by task specs")
+		workers     = flag.Int("workers", 2, "live mode: number of local RPC workers to start")
+		workPerUnit = flag.Int("workperunit", 1_000_000, "live mode: compute iterations per load unit")
+		workerAddrs = flag.String("workeraddrs", "", "live mode: comma-separated external worker addresses (overrides -workers)")
+	)
+	flag.Parse()
+
+	cfg := daemon.Config{Seed: *seed, SpecDir: *specDir}
+	switch *mode {
+	case "sim":
+		cfg.Mode = daemon.ModeSim
+		p, err := resolvePlatform(*resources, *platform)
+		if err != nil {
+			log.Fatalf("apstdvd: %v", err)
+		}
+		cfg.Platform = p
+	case "live":
+		cfg.Mode = daemon.ModeLive
+		if *workerAddrs != "" {
+			for _, addr := range strings.Split(*workerAddrs, ",") {
+				cfg.LiveWorkers = append(cfg.LiveWorkers, live.WorkerConn{Addr: strings.TrimSpace(addr)})
+			}
+			break
+		}
+		for i := 0; i < *workers; i++ {
+			svc := live.NewWorkerService(*workPerUnit, 1)
+			addr, _, err := live.Serve(svc)
+			if err != nil {
+				log.Fatalf("apstdvd: starting worker %d: %v", i, err)
+			}
+			cfg.LiveWorkers = append(cfg.LiveWorkers, live.WorkerConn{Addr: addr})
+			log.Printf("apstdvd: worker %d at %s", i, addr)
+		}
+	default:
+		log.Fatalf("apstdvd: unknown mode %q", *mode)
+	}
+
+	d, err := daemon.New(cfg)
+	if err != nil {
+		log.Fatalf("apstdvd: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("apstdvd: %v", err)
+	}
+	log.Printf("apstdvd: %s mode, serving on %s", *mode, ln.Addr())
+	if err := d.Serve(ln); err != nil {
+		log.Fatalf("apstdvd: %v", err)
+	}
+}
+
+func resolvePlatform(resourcesPath, builtin string) (*model.Platform, error) {
+	if resourcesPath != "" {
+		res, err := spec.ParseResourcesFile(resourcesPath)
+		if err != nil {
+			return nil, err
+		}
+		return res.Platform(strings.TrimSuffix(resourcesPath, ".xml"))
+	}
+	return workload.ParsePlatform(builtin)
+}

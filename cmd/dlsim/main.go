@@ -1,0 +1,124 @@
+// Command dlsim runs one divisible load scheduling scenario on the
+// simulated grid and prints the resulting schedule metrics:
+//
+//	dlsim -platform das2:16 -algorithm umr -gamma 0.1 -runs 10
+//	dlsim -platform mixed:8,8 -algorithm all
+//	dlsim -platform grail -algorithm rumr -r 13.5 -csv trace.csv
+//
+// Platforms: das2:N, meteor:N, mixed:N,M, grail. Algorithms: any name
+// accepted by the scheduler registry, or "all" for the paper's set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/grid"
+	"apstdv/internal/model"
+	"apstdv/internal/stats"
+	"apstdv/internal/workload"
+)
+
+func main() {
+	var (
+		platformFlag = flag.String("platform", "das2:16", "platform: das2:N, meteor:N, mixed:N,M, grail")
+		algFlag      = flag.String("algorithm", "all", "DLS algorithm, or 'all' for the paper's set")
+		gamma        = flag.Float64("gamma", 0, "application uncertainty γ (0.1 = 10%)")
+		ratio        = flag.Float64("r", 0, "override the communication/computation ratio (0 = workload default)")
+		runs         = flag.Int("runs", 10, "repetitions to average")
+		seed         = flag.Uint64("seed", 1, "base seed")
+		probeLoad    = flag.Float64("probe", 200, "probe chunk size in load units")
+		csvPath      = flag.String("csv", "", "write the last run's trace as CSV to this file")
+		gantt        = flag.Bool("gantt", false, "print a per-worker timeline for each algorithm's last run")
+	)
+	flag.Parse()
+
+	platform, err := workload.ParsePlatform(*platformFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var app *model.Application
+	if *platformFlag == "grail" {
+		app = workload.CaseStudy()
+		app.Gamma = *gamma
+		if *gamma == 0 {
+			app.Gamma = 0.10
+		}
+	} else {
+		app = workload.Synthetic(*gamma)
+	}
+	if *ratio > 0 {
+		app = workload.SyntheticWithRatio(*ratio, *gamma, platform.Workers[0].Bandwidth)
+	}
+
+	var algs []dls.Algorithm
+	if *algFlag == "all" {
+		algs = dls.PaperSet()
+	} else {
+		a, err := dls.New(*algFlag)
+		if err != nil {
+			fatal(err)
+		}
+		algs = []dls.Algorithm{a}
+	}
+
+	fmt.Printf("platform %s (%d workers), app %s, r=%.1f, %d runs\n\n",
+		platform.Name, len(platform.Workers), app.Name, model.PlatformRatio(app, platform), *runs)
+	fmt.Printf("%-12s %12s %10s %8s %8s\n", "algorithm", "makespan", "±95%ci", "chunks", "overlap")
+
+	for ai := range algs {
+		var spans []float64
+		var chunks int
+		var overlap float64
+		for run := 0; run < *runs; run++ {
+			alg := freshAlgorithm(*algFlag, ai)
+			backend, err := grid.New(platform, app, grid.Config{Seed: *seed + uint64(run)*7919})
+			if err != nil {
+				fatal(err)
+			}
+			tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: *probeLoad})
+			if err != nil {
+				fatal(err)
+			}
+			rep := tr.BuildReport(len(platform.Workers))
+			spans = append(spans, rep.Makespan)
+			chunks = rep.Chunks
+			overlap = rep.Overlap
+			if *gantt && run == *runs-1 {
+				fmt.Printf("\n%s timeline:\n", algs[ai].Name())
+				if err := tr.Gantt(os.Stdout, len(platform.Workers), 100); err != nil {
+					fatal(err)
+				}
+			}
+			if *csvPath != "" && run == *runs-1 && ai == len(algs)-1 {
+				f, err := os.Create(*csvPath)
+				if err != nil {
+					fatal(err)
+				}
+				if err := tr.WriteCSV(f); err != nil {
+					fatal(err)
+				}
+				f.Close()
+			}
+		}
+		s := stats.Summarize(spans)
+		fmt.Printf("%-12s %11.0fs %9.0fs %8d %7.0f%%\n", algs[ai].Name(), s.Mean, s.CI95(), chunks, 100*overlap)
+	}
+}
+
+// freshAlgorithm returns a new instance for run isolation.
+func freshAlgorithm(flagValue string, idx int) dls.Algorithm {
+	if flagValue == "all" {
+		return dls.PaperSet()[idx]
+	}
+	a, _ := dls.New(flagValue)
+	return a
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dlsim: %v\n", err)
+	os.Exit(1)
+}

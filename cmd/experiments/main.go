@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated testbed:
+//
+//	experiments -run all
+//	experiments -run table1
+//	experiments -run fig2 -runs 20
+//	experiments -run casestudy
+//	experiments -run discussion
+//
+// Output is one text table per experiment, in the layout of the paper's
+// figures, with the paper's reported relationships noted alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"apstdv/internal/experiment"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended")
+		runs   = flag.Int("runs", 10, "repetitions per (algorithm, γ) cell (paper: 10)")
+		seed   = flag.Uint64("seed", 0, "base seed override (0 = experiment default)")
+		csvDir = flag.String("csvdir", "", "also write per-experiment plot data CSVs into this directory")
+		bars   = flag.Bool("bars", false, "also render each figure as bar charts (like the paper's figures)")
+	)
+	flag.Parse()
+
+	want := strings.ToLower(*run)
+	ran := false
+	var figResults []*experiment.Result
+
+	if want == "all" || want == "table1" {
+		fmt.Println(experiment.Table1().Render())
+		ran = true
+	}
+
+	for _, spec := range experiment.All() {
+		if want != "all" && want != spec.ID && !(want == "discussion" && strings.HasPrefix(spec.ID, "fig")) {
+			continue
+		}
+		spec.Runs = *runs
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		res, err := spec.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table())
+		if *bars {
+			fmt.Println(res.Bars(50))
+		}
+		if *csvDir != "" {
+			path := *csvDir + "/" + spec.ID + ".csv"
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := res.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("(plot data written to %s)\n\n", path)
+		}
+		if strings.HasPrefix(spec.ID, "fig") {
+			figResults = append(figResults, res)
+		}
+		ran = true
+	}
+
+	if (want == "all" || want == "discussion") && len(figResults) == 3 {
+		d := experiment.Discussion(figResults)
+		fmt.Println("§4.3 discussion averages across Figures 2-4 (slowdown vs best algorithm):")
+		fmt.Printf("  SIMPLE-1: %+.1f%%   (paper: ~28%%)\n", d.AvgSimple1Pct)
+		fmt.Printf("  SIMPLE-5: %+.1f%%   (paper: ~18%%)\n", d.AvgSimple5Pct)
+		fmt.Printf("  UMR under uncertainty: %+.1f%%   (paper: ~17%%)\n", d.AvgUMRPct)
+		fmt.Println()
+		ran = true
+	}
+
+	if want == "extended" {
+		spec := experiment.Extended()
+		spec.Runs = *runs
+		res, err := spec.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table())
+		ran = true
+	}
+
+	if want == "all" || want == "sweep" {
+		rs := experiment.DefaultRobustnessSweep()
+		rs.Runs = *runs
+		cells, err := rs.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiment.RenderSweep(cells))
+		ran = true
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep)\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,88 @@
+// Command probegen generates synthetic input and probe files for the
+// file-based load division methods — the artifacts a user would point a
+// task specification's input, indexfile and probe attributes at:
+//
+//	probegen -kind bytes   -size 240000000 -out bigfile
+//	probegen -kind records -records 100000 -minlen 200 -maxlen 2000 -sep $'\n' -out records.txt
+//	probegen -kind indexed -records 50000 -minlen 500 -maxlen 5000 -out data.bin   # + data.bin.idx
+//	probegen -kind frames  -frames 1830 -framebytes 114208 -out input.avi
+//
+// Probe files are just smaller instances: rerun with ~1% of the size and
+// point the spec's probe attribute at the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apstdv/internal/workload"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "bytes", "file kind: bytes, records, indexed, frames")
+		out        = flag.String("out", "", "output path (indexed also writes <out>.idx)")
+		size       = flag.Int64("size", 1<<20, "bytes kind: file size")
+		records    = flag.Int("records", 1000, "records/indexed kinds: record count")
+		minLen     = flag.Int("minlen", 100, "records/indexed kinds: minimum record length")
+		maxLen     = flag.Int("maxlen", 1000, "records/indexed kinds: maximum record length")
+		sep        = flag.String("sep", "\n", "records kind: separator (single character)")
+		frames     = flag.Int("frames", 1830, "frames kind: frame count")
+		frameBytes = flag.Int("framebytes", 114208, "frames kind: bytes per frame")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	switch *kind {
+	case "bytes":
+		if err := workload.GenerateBytes(f, *size, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d bytes\n", *out, *size)
+	case "records":
+		if len(*sep) != 1 {
+			fatal(fmt.Errorf("-sep must be a single character"))
+		}
+		total, err := workload.GenerateRecords(f, *records, *minLen, *maxLen, (*sep)[0], *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d records, %d bytes\n", *out, *records, total)
+	case "indexed":
+		cuts, total, err := workload.GenerateIndexed(f, *records, *minLen, *maxLen, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		idx, err := os.Create(*out + ".idx")
+		if err != nil {
+			fatal(err)
+		}
+		defer idx.Close()
+		if err := workload.WriteIndexFile(idx, cuts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d records, %d bytes; index in %s.idx\n", *out, *records, total, *out)
+	case "frames":
+		total, err := workload.GenerateFrameContainer(f, *frames, *frameBytes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d frames, %d bytes\n", *out, *frames, total)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "probegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module apstdv
+
+go 1.22

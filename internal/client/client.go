@@ -1,0 +1,85 @@
+// Package client is the library behind the APST-DV console (cmd/apstdv):
+// a thin, typed wrapper around the daemon's net/rpc interface.
+package client
+
+import (
+	"fmt"
+	"net/rpc"
+	"time"
+
+	"apstdv/internal/daemon"
+)
+
+// Client talks to one daemon.
+type Client struct {
+	rc *rpc.Client
+}
+
+// Dial connects to a daemon at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	rc, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{rc: rc}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rc.Close() }
+
+// Submit sends a task specification; algorithm (optional) overrides the
+// spec's algorithm attribute; simApp supplies sim-mode ground truth.
+func (c *Client) Submit(taskXML, algorithm string, simApp *daemon.SimApp) (daemon.SubmitReply, error) {
+	var reply daemon.SubmitReply
+	err := c.rc.Call("APSTDV.Submit", daemon.SubmitArgs{
+		TaskXML: taskXML, Algorithm: algorithm, SimApp: simApp,
+	}, &reply)
+	return reply, err
+}
+
+// Status fetches a job's state.
+func (c *Client) Status(jobID int) (daemon.Job, error) {
+	var reply daemon.StatusReply
+	err := c.rc.Call("APSTDV.Status", daemon.StatusArgs{JobID: jobID}, &reply)
+	return reply.Job, err
+}
+
+// Report fetches a finished job's execution report.
+func (c *Client) Report(jobID int) (daemon.ReportReply, error) {
+	var reply daemon.ReportReply
+	err := c.rc.Call("APSTDV.Report", daemon.ReportArgs{JobID: jobID}, &reply)
+	return reply, err
+}
+
+// Algorithms lists the scheduler names the daemon accepts.
+func (c *Client) Algorithms() ([]string, error) {
+	var reply daemon.AlgorithmsReply
+	err := c.rc.Call("APSTDV.Algorithms", daemon.AlgorithmsArgs{}, &reply)
+	return reply.Names, err
+}
+
+// Jobs lists all jobs.
+func (c *Client) Jobs() ([]daemon.Job, error) {
+	var reply daemon.ListJobsReply
+	err := c.rc.Call("APSTDV.ListJobs", daemon.ListJobsArgs{}, &reply)
+	return reply.Jobs, err
+}
+
+// WaitDone polls until the job leaves the running state or the timeout
+// elapses.
+func (c *Client) WaitDone(jobID int, timeout, poll time.Duration) (daemon.Job, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		job, err := c.Status(jobID)
+		if err != nil {
+			return job, err
+		}
+		if job.State != daemon.JobRunning {
+			return job, nil
+		}
+		if time.Now().After(deadline) {
+			return job, fmt.Errorf("client: job %d still running after %v", jobID, timeout)
+		}
+		time.Sleep(poll)
+	}
+}

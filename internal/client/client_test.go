@@ -1,0 +1,98 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"apstdv/internal/daemon"
+	"apstdv/internal/workload"
+)
+
+const taskXML = `<task executable="app" input="big">
+ <divisibility input="big" method="callback" load="200" callback="cb" algorithm="simple-1"/>
+</task>`
+
+func startDaemon(t *testing.T) *Client {
+	t.Helper()
+	d, err := daemon.New(daemon.Config{
+		Mode:     daemon.ModeSim,
+		Platform: workload.Meteor(2),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go d.Serve(ln)
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to a closed port succeeded")
+	}
+}
+
+func TestSubmitStatusReportFlow(t *testing.T) {
+	c := startDaemon(t)
+	reply, err := c.Submit(taskXML, "", &daemon.SimApp{UnitCost: 0.05, BytesPerUnit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.WaitDone(reply.JobID, 5*time.Second, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != daemon.JobDone {
+		t.Fatalf("job %s: %s", job.State, job.Err)
+	}
+	rep, err := c.Report(reply.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary == "" || rep.CSV == "" || rep.Gantt == "" {
+		t.Error("report incomplete")
+	}
+	jobs, err := c.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != reply.JobID {
+		t.Errorf("jobs list: %v", jobs)
+	}
+	names, err := c.Algorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 5 {
+		t.Errorf("algorithm list too short: %v", names)
+	}
+}
+
+func TestWaitDoneTimeout(t *testing.T) {
+	c := startDaemon(t)
+	// Job 999 does not exist: WaitDone must surface the RPC error.
+	if _, err := c.WaitDone(999, 100*time.Millisecond, 10*time.Millisecond); err == nil {
+		t.Error("WaitDone on unknown job succeeded")
+	}
+}
+
+func TestStatusErrorPropagates(t *testing.T) {
+	c := startDaemon(t)
+	if _, err := c.Status(42); err == nil {
+		t.Error("status of unknown job succeeded")
+	}
+	if _, err := c.Report(42); err == nil {
+		t.Error("report of unknown job succeeded")
+	}
+}

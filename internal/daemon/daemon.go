@@ -1,0 +1,371 @@
+// Package daemon implements the APST-DV daemon (§3.1): a long-running
+// service that accepts divisible load application submissions (the XML
+// task specification), deploys them on its configured platform with the
+// requested DLS algorithm, and reports progress and execution reports to
+// clients. Clients talk to the daemon over net/rpc — the console in
+// cmd/apstdv is one such client.
+//
+// The daemon runs in one of two modes:
+//
+//   - live: chunks move to real RPC workers and burn real CPU
+//     (package live);
+//   - sim: the platform is simulated (package grid) — the mode used to
+//     dry-run a deployment or reproduce the paper's experiments.
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+
+	"apstdv/internal/divide"
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/grid"
+	"apstdv/internal/live"
+	"apstdv/internal/model"
+	"apstdv/internal/spec"
+	"apstdv/internal/trace"
+	"apstdv/internal/units"
+)
+
+// Mode selects the execution backend.
+type Mode string
+
+// Daemon execution modes.
+const (
+	ModeSim  Mode = "sim"
+	ModeLive Mode = "live"
+)
+
+// Config configures a daemon.
+type Config struct {
+	Mode Mode
+	// Platform describes the resources (required for sim mode; in live
+	// mode it documents the workers for reports and sizing).
+	Platform *model.Platform
+	// Seed drives sim-mode stochastic processes.
+	Seed uint64
+	// SpecDir resolves relative file names in task specifications.
+	SpecDir string
+	// Live-mode worker pool.
+	LiveWorkers []live.WorkerConn
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job tracks one submitted application.
+type Job struct {
+	ID        int
+	Algorithm string
+	State     JobState
+	Submitted time.Time
+	Finished  time.Time
+	Makespan  float64
+	Chunks    int
+	Err       string
+
+	tr *trace.Trace
+}
+
+// Daemon is the RPC service state.
+type Daemon struct {
+	cfg Config
+
+	mu     sync.Mutex
+	jobs   map[int]*Job
+	nextID int
+	wg     sync.WaitGroup
+}
+
+// New validates the configuration and returns a daemon.
+func New(cfg Config) (*Daemon, error) {
+	switch cfg.Mode {
+	case ModeSim:
+		if cfg.Platform == nil {
+			return nil, fmt.Errorf("daemon: sim mode needs a platform")
+		}
+		if err := cfg.Platform.Validate(); err != nil {
+			return nil, err
+		}
+	case ModeLive:
+		if len(cfg.LiveWorkers) == 0 {
+			return nil, fmt.Errorf("daemon: live mode needs workers")
+		}
+	default:
+		return nil, fmt.Errorf("daemon: unknown mode %q", cfg.Mode)
+	}
+	return &Daemon{cfg: cfg, jobs: make(map[int]*Job)}, nil
+}
+
+// SubmitArgs is the Submit RPC request.
+type SubmitArgs struct {
+	// TaskXML is the application specification (Figures 1/6 schema).
+	TaskXML string
+	// Algorithm overrides the spec's algorithm attribute when non-empty.
+	Algorithm string
+	// SimApp supplies the application's true cost model for sim mode
+	// (what reality supplies in live mode). Ignored in live mode.
+	SimApp *SimApp
+}
+
+// SimApp carries the simulated application's ground truth.
+type SimApp struct {
+	UnitCost     float64
+	BytesPerUnit float64
+	Gamma        float64
+}
+
+// SubmitReply returns the job handle.
+type SubmitReply struct {
+	JobID     int
+	Algorithm string
+	TotalLoad float64
+}
+
+// Submit parses, validates and launches a job. It returns as soon as the
+// job is running; poll Status for completion.
+func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
+	task, err := spec.Parse(strings.NewReader(args.TaskXML))
+	if err != nil {
+		return err
+	}
+	algName := task.Divisibility.Algorithm
+	if args.Algorithm != "" {
+		algName = args.Algorithm
+	}
+	if algName == "" {
+		algName = "fixed-rumr" // the paper's recommendation to users (§4.3)
+	}
+	alg, err := dls.New(algName)
+	if err != nil {
+		return err
+	}
+	divider, err := task.BuildDivider(d.cfg.SpecDir)
+	if err != nil {
+		// Specs that reference files the daemon cannot see still run in
+		// sim mode with the callback method's declared load.
+		if task.Divisibility.Load > 0 {
+			divider, err = divide.NewWorkUnits(int(task.Divisibility.Load))
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	app, err := d.buildApp(task, divider, args.SimApp)
+	if err != nil {
+		return err
+	}
+
+	d.mu.Lock()
+	d.nextID++
+	job := &Job{ID: d.nextID, Algorithm: algName, State: JobRunning, Submitted: time.Now()}
+	d.jobs[job.ID] = job
+	d.mu.Unlock()
+
+	probeLoad := task.Divisibility.ProbeLoad
+
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		tr, err := d.execute(alg, app, divider, probeLoad)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		job.Finished = time.Now()
+		if err != nil {
+			job.State = JobFailed
+			job.Err = err.Error()
+			return
+		}
+		job.State = JobDone
+		job.tr = tr
+		job.Makespan = tr.Makespan()
+		job.Chunks = tr.Len()
+	}()
+
+	reply.JobID = job.ID
+	reply.Algorithm = algName
+	reply.TotalLoad = divider.TotalLoad()
+	return nil
+}
+
+// buildApp derives the engine's application model from the spec.
+func (d *Daemon) buildApp(task *spec.Task, divider divide.Divider, sim *SimApp) (*model.Application, error) {
+	app := &model.Application{
+		Name:         task.Executable,
+		TotalLoad:    units.Load(divider.TotalLoad()),
+		BytesPerUnit: 1,
+		UnitCost:     1,
+		MinChunk:     0,
+	}
+	if task.Divisibility.Method == spec.MethodCallback {
+		app.MinChunk = 1 // whole work units
+	} else if task.Divisibility.StepSize > 0 {
+		app.MinChunk = units.Load(task.Divisibility.StepSize)
+	}
+	if sim != nil {
+		if sim.UnitCost > 0 {
+			app.UnitCost = units.Seconds(sim.UnitCost)
+		}
+		if sim.BytesPerUnit > 0 {
+			app.BytesPerUnit = units.Bytes(sim.BytesPerUnit)
+		}
+		app.Gamma = sim.Gamma
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// execute runs the job on the configured backend.
+func (d *Daemon) execute(alg dls.Algorithm, app *model.Application, divider divide.Divider, probeLoad float64) (*trace.Trace, error) {
+	ecfg := engine.Config{Divider: divider, ProbeLoad: probeLoad}
+	switch d.cfg.Mode {
+	case ModeSim:
+		backend, err := grid.New(d.cfg.Platform, app, grid.Config{Seed: d.cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return engine.Run(backend, alg, app, d.cfg.Platform, ecfg)
+	case ModeLive:
+		backend, err := live.Dial(d.cfg.LiveWorkers)
+		if err != nil {
+			return nil, err
+		}
+		defer backend.Stop()
+		return engine.Run(backend, alg, app, d.cfg.Platform, ecfg)
+	}
+	return nil, fmt.Errorf("daemon: unknown mode %q", d.cfg.Mode)
+}
+
+// StatusArgs selects a job.
+type StatusArgs struct{ JobID int }
+
+// StatusReply reports a job's state.
+type StatusReply struct {
+	Job Job
+}
+
+// Status implements the status RPC.
+func (d *Daemon) Status(args StatusArgs, reply *StatusReply) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	job, ok := d.jobs[args.JobID]
+	if !ok {
+		return fmt.Errorf("daemon: no job %d", args.JobID)
+	}
+	reply.Job = *job
+	reply.Job.tr = nil
+	return nil
+}
+
+// ReportArgs selects a job.
+type ReportArgs struct{ JobID int }
+
+// ReportReply carries the execution report.
+type ReportReply struct {
+	Summary string
+	CSV     string
+	// Gantt is the per-worker timeline ("the detailed execution report
+	// generated by APST-DV" the paper's authors used to diagnose RUMR).
+	Gantt string
+}
+
+// Report implements the report RPC: the per-chunk execution record the
+// paper's authors used to diagnose RUMR ("after looking into the
+// detailed execution report generated by APST-DV").
+func (d *Daemon) Report(args ReportArgs, reply *ReportReply) error {
+	d.mu.Lock()
+	job, ok := d.jobs[args.JobID]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("daemon: no job %d", args.JobID)
+	}
+	if job.State != JobDone || job.tr == nil {
+		return fmt.Errorf("daemon: job %d is %s; no report", args.JobID, job.State)
+	}
+	workers := 0
+	if d.cfg.Platform != nil {
+		workers = len(d.cfg.Platform.Workers)
+	} else {
+		workers = len(d.cfg.LiveWorkers)
+	}
+	rep := job.tr.BuildReport(workers)
+	reply.Summary = rep.String()
+	var b strings.Builder
+	if err := job.tr.WriteCSV(&b); err != nil {
+		return err
+	}
+	reply.CSV = b.String()
+	var g strings.Builder
+	if err := job.tr.Gantt(&g, workers, 100); err != nil {
+		return err
+	}
+	reply.Gantt = g.String()
+	return nil
+}
+
+// AlgorithmsArgs is empty.
+type AlgorithmsArgs struct{}
+
+// AlgorithmsReply lists the scheduler names the daemon accepts.
+type AlgorithmsReply struct{ Names []string }
+
+// Algorithms implements the discovery RPC.
+func (d *Daemon) Algorithms(args AlgorithmsArgs, reply *AlgorithmsReply) error {
+	reply.Names = dls.Names()
+	return nil
+}
+
+// ListJobsArgs is empty.
+type ListJobsArgs struct{}
+
+// ListJobsReply carries all job summaries.
+type ListJobsReply struct{ Jobs []Job }
+
+// ListJobs returns all job summaries in ascending ID order.
+func (d *Daemon) ListJobs(args ListJobsArgs, reply *ListJobsReply) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id := 1; id <= d.nextID; id++ {
+		if j, ok := d.jobs[id]; ok {
+			cp := *j
+			cp.tr = nil
+			reply.Jobs = append(reply.Jobs, cp)
+		}
+	}
+	return nil
+}
+
+// Wait blocks until all running jobs finish (used by tests and clean
+// shutdown).
+func (d *Daemon) Wait() { d.wg.Wait() }
+
+// Serve registers the daemon under the "APSTDV" RPC name and serves on
+// the listener until it is closed.
+func (d *Daemon) Serve(ln net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("APSTDV", d); err != nil {
+		return err
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}

@@ -1,0 +1,219 @@
+package daemon_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"apstdv/internal/client"
+	"apstdv/internal/daemon"
+	"apstdv/internal/live"
+	"apstdv/internal/workload"
+)
+
+const taskXML = `<task executable="app" input="big">
+ <divisibility input="big" method="callback" load="500" callback="cb" algorithm="umr" probe_load="5"/>
+</task>`
+
+func startSimDaemon(t *testing.T) (*client.Client, *daemon.Daemon) {
+	t.Helper()
+	d, err := daemon.New(daemon.Config{
+		Mode:     daemon.ModeSim,
+		Platform: workload.Meteor(4),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go d.Serve(ln)
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, d
+}
+
+func TestDaemonConfigValidation(t *testing.T) {
+	if _, err := daemon.New(daemon.Config{Mode: daemon.ModeSim}); err == nil {
+		t.Error("sim mode without platform accepted")
+	}
+	if _, err := daemon.New(daemon.Config{Mode: daemon.ModeLive}); err == nil {
+		t.Error("live mode without workers accepted")
+	}
+	if _, err := daemon.New(daemon.Config{Mode: "weird"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestSubmitRunReport(t *testing.T) {
+	c, _ := startSimDaemon(t)
+	reply, err := c.Submit(taskXML, "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Algorithm != "umr" {
+		t.Errorf("algorithm %q taken from spec, want umr", reply.Algorithm)
+	}
+	if reply.TotalLoad != 500 {
+		t.Errorf("load %g, want 500", reply.TotalLoad)
+	}
+	job, err := c.WaitDone(reply.JobID, 10*time.Second, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != daemon.JobDone {
+		t.Fatalf("job state %s: %s", job.State, job.Err)
+	}
+	if job.Makespan <= 0 || job.Chunks == 0 {
+		t.Errorf("job results: %+v", job)
+	}
+	rep, err := c.Report(reply.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Summary, "umr") {
+		t.Errorf("summary %q", rep.Summary)
+	}
+	if !strings.HasPrefix(rep.CSV, "chunk,worker") {
+		t.Errorf("CSV header missing: %q", rep.CSV[:40])
+	}
+}
+
+func TestSubmitAlgorithmOverride(t *testing.T) {
+	c, _ := startSimDaemon(t)
+	reply, err := c.Submit(taskXML, "wf", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Algorithm != "wf" {
+		t.Errorf("override ignored: %q", reply.Algorithm)
+	}
+}
+
+func TestSubmitRejectsBadXML(t *testing.T) {
+	c, _ := startSimDaemon(t)
+	if _, err := c.Submit("<task>", "", nil); err == nil {
+		t.Error("bad XML accepted")
+	}
+	if _, err := c.Submit(taskXML, "quantum-annealer", nil); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestStatusUnknownJob(t *testing.T) {
+	c, _ := startSimDaemon(t)
+	if _, err := c.Status(999); err == nil {
+		t.Error("unknown job accepted")
+	}
+}
+
+func TestReportBeforeDone(t *testing.T) {
+	c, _ := startSimDaemon(t)
+	// Unknown job: no report.
+	if _, err := c.Report(12345); err == nil {
+		t.Error("report for unknown job accepted")
+	}
+}
+
+func TestAlgorithmsRPC(t *testing.T) {
+	c, _ := startSimDaemon(t)
+	names, err := c.Algorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"umr", "wf", "rumr", "fixed-rumr", "simple-1"} {
+		if !found[want] {
+			t.Errorf("algorithm list missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestListJobs(t *testing.T) {
+	c, _ := startSimDaemon(t)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit(taskXML, "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, err := c.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("%d jobs listed", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.ID != i+1 {
+			t.Errorf("job order: %v", jobs)
+		}
+	}
+}
+
+func TestDefaultAlgorithmIsFixedRUMR(t *testing.T) {
+	// The paper's §4.3 recommendation to APST-DV users.
+	c, _ := startSimDaemon(t)
+	noAlg := strings.Replace(taskXML, ` algorithm="umr"`, "", 1)
+	reply, err := c.Submit(noAlg, "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Algorithm != "fixed-rumr" {
+		t.Errorf("default algorithm %q, want fixed-rumr", reply.Algorithm)
+	}
+}
+
+func TestLiveModeDaemon(t *testing.T) {
+	svc := live.NewWorkerService(10000, 1)
+	addr, stop, err := live.Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	d, err := daemon.New(daemon.Config{
+		Mode:        daemon.ModeLive,
+		LiveWorkers: []live.WorkerConn{{Addr: addr}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go d.Serve(ln)
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	small := `<task executable="app" input="big">
+ <divisibility input="big" method="callback" load="40" callback="cb" algorithm="simple-1" probe_load="2"/>
+</task>`
+	reply, err := c.Submit(small, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.WaitDone(reply.JobID, 15*time.Second, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != daemon.JobDone {
+		t.Fatalf("live job %s: %s", job.State, job.Err)
+	}
+	if svc.Computed() == 0 {
+		t.Error("live worker did no work")
+	}
+}

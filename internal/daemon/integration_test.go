@@ -1,0 +1,179 @@
+package daemon_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"apstdv/internal/client"
+	"apstdv/internal/daemon"
+	"apstdv/internal/workload"
+)
+
+// TestFileBasedWorkflowEndToEnd exercises the full user workflow of §3:
+// generate a real input file and a probe file, write the XML task
+// specification to disk, start a daemon pointed at that directory, and
+// run the job — the divider must come from the real file's size and
+// separator structure.
+func TestFileBasedWorkflowEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	// The user's input: 400 records with newline separators.
+	inputPath := filepath.Join(dir, "records.txt")
+	f, err := os.Create(inputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := workload.GenerateRecords(f, 400, 50, 200, '\n', 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The user's spec, referencing the file by relative name.
+	specXML := `<task executable="process_records" input="records.txt">
+ <divisibility input="records.txt" method="uniform" steptype="separator"
+   separator="&#10;" algorithm="wf" probe_load="500"/>
+</task>`
+	specPath := filepath.Join(dir, "job.xml")
+	if err := os.WriteFile(specPath, []byte(specXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := daemon.New(daemon.Config{
+		Mode:     daemon.ModeSim,
+		Platform: workload.Meteor(3),
+		Seed:     7,
+		SpecDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go d.Serve(ln)
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	xmlBytes, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Submit(string(xmlBytes), "", &daemon.SimApp{UnitCost: 0.01, BytesPerUnit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.TotalLoad != float64(total) {
+		t.Errorf("job load %g, want the real file size %d", reply.TotalLoad, total)
+	}
+	job, err := c.WaitDone(reply.JobID, 10*time.Second, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != daemon.JobDone {
+		t.Fatalf("job %s: %s", job.State, job.Err)
+	}
+	rep, err := c.Report(reply.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every chunk boundary in the trace must be a record boundary: the
+	// CSV offsets+sizes must land on separator positions.
+	if !strings.Contains(rep.Gantt, "█") {
+		t.Error("gantt shows no computation")
+	}
+	lines := strings.Split(strings.TrimSpace(rep.CSV), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CSV too short: %d lines", len(lines))
+	}
+	content, err := os.ReadFile(inputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if cols[4] == "true" { // probe
+			continue
+		}
+		var offset, size float64
+		fmt.Sscanf(cols[2], "%g", &offset)
+		fmt.Sscanf(cols[3], "%g", &size)
+		end := int(offset + size)
+		if end < len(content) && content[end-1] != '\n' {
+			t.Fatalf("chunk ending at byte %d does not end at a record separator", end)
+		}
+	}
+}
+
+// TestIndexFileWorkflow runs the index division method end-to-end from
+// files on disk.
+func TestIndexFileWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.bin")
+	f, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, total, err := workload.GenerateIndexed(f, 100, 100, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	idx, err := os.Create(filepath.Join(dir, "data.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteIndexFile(idx, cuts); err != nil {
+		t.Fatal(err)
+	}
+	idx.Close()
+
+	specXML := `<task executable="proc" input="data.bin">
+ <divisibility input="data.bin" method="index" indexfile="data.idx" algorithm="fixed-rumr"/>
+</task>`
+	d, err := daemon.New(daemon.Config{
+		Mode:     daemon.ModeSim,
+		Platform: workload.Meteor(2),
+		Seed:     3,
+		SpecDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go d.Serve(ln)
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	reply, err := c.Submit(specXML, "", &daemon.SimApp{UnitCost: 0.005, BytesPerUnit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.TotalLoad != float64(total) {
+		t.Errorf("load %g, want %d", reply.TotalLoad, total)
+	}
+	job, err := c.WaitDone(reply.JobID, 10*time.Second, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != daemon.JobDone {
+		t.Fatalf("job %s: %s", job.State, job.Err)
+	}
+}

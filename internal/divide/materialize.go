@@ -1,0 +1,191 @@
+package divide
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+)
+
+// Materializer produces the actual data of a chunk for transfer to a
+// worker. Offsets and sizes are in load units; the materializer knows how
+// load units map to bytes of the input.
+type Materializer interface {
+	// Materialize returns a reader over the chunk [offset, offset+size)
+	// and the chunk's size in bytes. The caller closes the reader.
+	Materialize(offset, size float64) (io.ReadCloser, int64, error)
+}
+
+// FileRange materializes chunks as byte ranges of an input file — the
+// on-the-fly division APST-DV uses for the uniform and index methods
+// ("avoiding creating a prohibitive number of files"). BytesPerUnit
+// converts load units to bytes (1 for steptype="bytes").
+type FileRange struct {
+	Path         string
+	BytesPerUnit float64
+}
+
+// Materialize implements Materializer via an io.SectionReader; no chunk
+// file is ever created.
+func (f FileRange) Materialize(offset, size float64) (io.ReadCloser, int64, error) {
+	if offset < 0 || size <= 0 {
+		return nil, 0, fmt.Errorf("divide: invalid chunk [%g, %g+%g)", offset, offset, size)
+	}
+	file, err := os.Open(f.Path)
+	if err != nil {
+		return nil, 0, err
+	}
+	info, err := file.Stat()
+	if err != nil {
+		file.Close()
+		return nil, 0, err
+	}
+	bpu := f.BytesPerUnit
+	if bpu <= 0 {
+		bpu = 1
+	}
+	start := int64(offset * bpu)
+	length := int64(size * bpu)
+	if start >= info.Size() {
+		file.Close()
+		return nil, 0, fmt.Errorf("divide: chunk offset %d beyond file size %d", start, info.Size())
+	}
+	if start+length > info.Size() {
+		length = info.Size() - start
+	}
+	return &sectionCloser{io.NewSectionReader(file, start, length), file}, length, nil
+}
+
+type sectionCloser struct {
+	*io.SectionReader
+	f *os.File
+}
+
+func (s *sectionCloser) Close() error { return s.f.Close() }
+
+// CallbackFunc materializes chunks through a Go function — the in-process
+// form of the callback method, used when the splitting logic is linked
+// into the program rather than shipped as a script.
+type CallbackFunc func(offset, size float64) (io.ReadCloser, int64, error)
+
+// Materialize implements Materializer.
+func (c CallbackFunc) Materialize(offset, size float64) (io.ReadCloser, int64, error) {
+	return c(offset, size)
+}
+
+// CallbackProgram materializes chunks by invoking an external program,
+// exactly like the case study's callback_avisplit.pl wrapper around
+// avisplit: the program is called with the user's arguments followed by
+// the chunk offset and size (in work units) and the path of a temporary
+// file it must fill with the chunk data.
+type CallbackProgram struct {
+	// Program is the executable to run.
+	Program string
+	// Args are the user-specified arguments (the XML arguments
+	// attribute), e.g. the input file name.
+	Args []string
+	// TempDir receives the chunk files; defaults to os.TempDir().
+	TempDir string
+}
+
+// Materialize implements Materializer: run the program, then stream the
+// produced temp file, deleting it on Close.
+func (c CallbackProgram) Materialize(offset, size float64) (io.ReadCloser, int64, error) {
+	dir := c.TempDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	tmp, err := os.CreateTemp(dir, "apstdv-chunk-*")
+	if err != nil {
+		return nil, 0, err
+	}
+	tmpPath := tmp.Name()
+	tmp.Close()
+	args := append(append([]string(nil), c.Args...),
+		strconv.FormatFloat(offset, 'f', -1, 64),
+		strconv.FormatFloat(size, 'f', -1, 64),
+		tmpPath,
+	)
+	cmd := exec.Command(c.Program, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		os.Remove(tmpPath)
+		return nil, 0, fmt.Errorf("divide: callback %s failed: %w (output: %s)", c.Program, err, out)
+	}
+	f, err := os.Open(tmpPath)
+	if err != nil {
+		os.Remove(tmpPath)
+		return nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return nil, 0, err
+	}
+	return &tempFileCloser{f, tmpPath}, info.Size(), nil
+}
+
+type tempFileCloser struct {
+	*os.File
+	path string
+}
+
+func (t *tempFileCloser) Close() error {
+	err := t.File.Close()
+	os.Remove(t.path)
+	return err
+}
+
+// ScanSeparators reads r and returns the positions (bytes from the
+// start, pointing just past each separator) where the load may be cut —
+// the uniform method with steptype="separator". The final byte count is
+// returned as the total.
+func ScanSeparators(r io.Reader, sep byte) (cuts []float64, total float64, err error) {
+	br := bufio.NewReader(r)
+	pos := int64(0)
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		pos++
+		if b == sep {
+			cuts = append(cuts, float64(pos))
+		}
+	}
+	return cuts, float64(pos), nil
+}
+
+// LoadIndexFile parses an index file: one decimal cut position per line
+// (bytes from the beginning of the load, as §3.4 specifies). Blank lines
+// are ignored.
+func LoadIndexFile(r io.Reader) ([]float64, error) {
+	var cuts []float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if len(txt) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(txt, 64)
+		if err != nil {
+			return nil, fmt.Errorf("divide: index file line %d: %w", line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("divide: index file line %d: negative cut %g", line, v)
+		}
+		cuts = append(cuts, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cuts, nil
+}

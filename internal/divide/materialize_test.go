@@ -1,0 +1,205 @@
+package divide
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "input.dat")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileRangeMaterialize(t *testing.T) {
+	data := []byte("0123456789abcdefghij")
+	path := writeTemp(t, data)
+	fr := FileRange{Path: path, BytesPerUnit: 2} // 1 unit = 2 bytes
+	rc, n, err := fr.Materialize(2, 3)           // bytes [4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if n != 6 {
+		t.Errorf("size = %d, want 6", n)
+	}
+	got, _ := io.ReadAll(rc)
+	if string(got) != "456789" {
+		t.Errorf("chunk = %q, want 456789", got)
+	}
+}
+
+func TestFileRangeClampsAtEOF(t *testing.T) {
+	path := writeTemp(t, []byte("0123456789"))
+	fr := FileRange{Path: path, BytesPerUnit: 1}
+	rc, n, err := fr.Materialize(8, 5) // wants [8,13) of a 10-byte file
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if n != 2 {
+		t.Errorf("clamped size = %d, want 2", n)
+	}
+	got, _ := io.ReadAll(rc)
+	if string(got) != "89" {
+		t.Errorf("chunk = %q", got)
+	}
+}
+
+func TestFileRangeErrors(t *testing.T) {
+	path := writeTemp(t, []byte("0123"))
+	fr := FileRange{Path: path, BytesPerUnit: 1}
+	if _, _, err := fr.Materialize(-1, 2); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, _, err := fr.Materialize(0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, _, err := fr.Materialize(10, 1); err == nil {
+		t.Error("offset beyond EOF accepted")
+	}
+	missing := FileRange{Path: filepath.Join(t.TempDir(), "nope"), BytesPerUnit: 1}
+	if _, _, err := missing.Materialize(0, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCallbackFunc(t *testing.T) {
+	cb := CallbackFunc(func(offset, size float64) (io.ReadCloser, int64, error) {
+		data := bytes.Repeat([]byte{byte(offset)}, int(size))
+		return io.NopCloser(bytes.NewReader(data)), int64(size), nil
+	})
+	rc, n, err := cb.Materialize(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, _ := io.ReadAll(rc)
+	if n != 3 || !bytes.Equal(got, []byte{7, 7, 7}) {
+		t.Errorf("callback chunk = %v (n=%d)", got, n)
+	}
+}
+
+func TestCallbackProgram(t *testing.T) {
+	dir := t.TempDir()
+	// A shell script mimicking callback_avisplit.pl: args are
+	// (userArg, offset, size, outPath); it writes "userArg:offset+size".
+	script := filepath.Join(dir, "split.sh")
+	body := "#!/bin/sh\nprintf '%s:%s+%s' \"$1\" \"$2\" \"$3\" > \"$4\"\n"
+	if err := os.WriteFile(script, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cp := CallbackProgram{Program: script, Args: []string{"input.avi"}, TempDir: dir}
+	rc, n, err := cp.Materialize(20, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(rc)
+	rc.Close()
+	want := "input.avi:20+22"
+	if string(got) != want || n != int64(len(want)) {
+		t.Errorf("callback output = %q (n=%d), want %q", got, n, want)
+	}
+	// The temp chunk file must be deleted on Close.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "apstdv-chunk-") {
+			t.Errorf("chunk temp file %s not cleaned up", e.Name())
+		}
+	}
+}
+
+func TestCallbackProgramFailure(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "fail.sh")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\necho boom >&2\nexit 3\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cp := CallbackProgram{Program: script, TempDir: dir}
+	if _, _, err := cp.Materialize(0, 1); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("failing callback returned %v", err)
+	}
+}
+
+func TestScanSeparators(t *testing.T) {
+	cuts, total, err := ScanSeparators(strings.NewReader("ab\ncde\nf\n"), '\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 {
+		t.Errorf("total = %g, want 9", total)
+	}
+	want := []float64{3, 7, 9}
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+	for i := range cuts {
+		if cuts[i] != want[i] {
+			t.Errorf("cuts[%d] = %g, want %g", i, cuts[i], want[i])
+		}
+	}
+}
+
+func TestScanSeparatorsNone(t *testing.T) {
+	cuts, total, err := ScanSeparators(strings.NewReader("abcdef"), '\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 0 || total != 6 {
+		t.Errorf("cuts=%v total=%g", cuts, total)
+	}
+}
+
+func TestSeparatorDividerEndToEnd(t *testing.T) {
+	// The separator method builds an Index over the scanned positions:
+	// the engine can then only cut at record boundaries.
+	input := "rec1|record2|r3|"
+	cuts, total, err := ScanSeparators(strings.NewReader(input), '|')
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(total, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.CutAfter(0, 6); got != 5 {
+		t.Errorf("cut near 6 = %g, want 5 (after rec1|)", got)
+	}
+	if got := ix.CutAfter(5, 6); got != 13 {
+		t.Errorf("cut after 5 near 6 = %g, want 13", got)
+	}
+}
+
+func TestLoadIndexFile(t *testing.T) {
+	in := "100\n250\n\n400\n"
+	cuts, err := LoadIndexFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 250, 400}
+	if len(cuts) != 3 {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	for i := range cuts {
+		if cuts[i] != want[i] {
+			t.Errorf("cuts[%d] = %g", i, cuts[i])
+		}
+	}
+}
+
+func TestLoadIndexFileErrors(t *testing.T) {
+	if _, err := LoadIndexFile(strings.NewReader("12\nx\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := LoadIndexFile(strings.NewReader("-5\n")); err == nil {
+		t.Error("negative cut accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package divide
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// MultiFile treats several files as one logical load, concatenated in
+// order — §3.3's input attribute "specifies the file(s) that contain the
+// load's input data". File boundaries are always valid cut points (a
+// chunk never straddles files unless an inner divider allows it); an
+// optional inner divider refines cuts within each file.
+type MultiFile struct {
+	sizes  []float64 // per-file sizes in load units
+	starts []float64 // logical start offset of each file
+	total  float64
+	inner  Divider // optional, in file-local coordinates; nil = continuous
+	paths  []string
+	bpu    float64
+}
+
+// NewMultiFile builds the divider from per-file load sizes. The inner
+// divider, when non-nil, must cover the LARGEST file; cuts are queried
+// in file-local coordinates.
+func NewMultiFile(sizes []float64, inner Divider) (*MultiFile, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("divide: multi-file with no files")
+	}
+	m := &MultiFile{inner: inner}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("divide: file %d has non-positive size %g", i, s)
+		}
+		m.starts = append(m.starts, m.total)
+		m.sizes = append(m.sizes, s)
+		m.total += s
+	}
+	return m, nil
+}
+
+// NewMultiFileFromPaths stats the files and treats bytesPerUnit bytes as
+// one load unit, also preparing on-the-fly materialization.
+func NewMultiFileFromPaths(paths []string, bytesPerUnit float64) (*MultiFile, error) {
+	if bytesPerUnit <= 0 {
+		bytesPerUnit = 1
+	}
+	var sizes []float64
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("divide: %w", err)
+		}
+		sizes = append(sizes, float64(info.Size())/bytesPerUnit)
+	}
+	m, err := NewMultiFile(sizes, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.paths = append([]string(nil), paths...)
+	m.bpu = bytesPerUnit
+	return m, nil
+}
+
+// TotalLoad implements Divider.
+func (m *MultiFile) TotalLoad() float64 { return m.total }
+
+// fileAt returns the index of the file containing logical offset x
+// (clamped to the last file).
+func (m *MultiFile) fileAt(x float64) int {
+	i := sort.SearchFloat64s(m.starts, x)
+	// SearchFloat64s returns the first start ≥ x; the containing file is
+	// the one before, unless x is exactly a start.
+	if i < len(m.starts) && m.starts[i] == x {
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// CutAfter implements Divider: file boundaries are always valid; within
+// a file the inner divider (file-local coordinates) decides.
+func (m *MultiFile) CutAfter(from, want float64) float64 {
+	if want > m.total {
+		want = m.total
+	}
+	if want < from {
+		want = from
+	}
+	fi := m.fileAt(from)
+	fileStart := m.starts[fi]
+	fileEnd := fileStart + m.sizes[fi]
+	// The candidate cut may not leave the file containing `from`: a
+	// chunk never straddles a boundary.
+	target := want
+	if target > fileEnd {
+		target = fileEnd
+	}
+	if m.inner == nil {
+		if target <= from {
+			target = fileEnd
+		}
+		return target
+	}
+	// Inner divider works in file-local coordinates over this file.
+	localFrom := from - fileStart
+	localWant := target - fileStart
+	if localWant > m.sizes[fi] {
+		localWant = m.sizes[fi]
+	}
+	cut := m.inner.CutAfter(localFrom, localWant)
+	if cut > m.sizes[fi] {
+		cut = m.sizes[fi]
+	}
+	if cut <= localFrom {
+		return fileEnd
+	}
+	return fileStart + cut
+}
+
+// Materialize implements Materializer when the divider was built from
+// paths: the chunk is a byte range that, by construction, lies within
+// one file.
+func (m *MultiFile) Materialize(offset, size float64) (io.ReadCloser, int64, error) {
+	if m.paths == nil {
+		return nil, 0, fmt.Errorf("divide: multi-file divider built without paths")
+	}
+	fi := m.fileAt(offset)
+	local := offset - m.starts[fi]
+	if local+size > m.sizes[fi]+1e-9 {
+		return nil, 0, fmt.Errorf("divide: chunk [%g, %g) straddles file %d boundary", offset, offset+size, fi)
+	}
+	fr := FileRange{Path: m.paths[fi], BytesPerUnit: m.bpu}
+	return fr.Materialize(local, size)
+}

@@ -1,0 +1,127 @@
+package divide
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMultiFileBoundariesAreCuts(t *testing.T) {
+	m, err := NewMultiFile([]float64{100, 50, 200}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalLoad() != 350 {
+		t.Errorf("total = %g", m.TotalLoad())
+	}
+	// A request crossing the first boundary clamps to it.
+	if got := m.CutAfter(80, 120); got != 100 {
+		t.Errorf("CutAfter(80, 120) = %g, want boundary 100", got)
+	}
+	// Within one file and continuous inner: exact.
+	if got := m.CutAfter(100, 120); got != 120 {
+		t.Errorf("CutAfter(100, 120) = %g, want 120", got)
+	}
+	// Wants beyond the total clamp.
+	if got := m.CutAfter(300, 999); got != 350 {
+		t.Errorf("CutAfter(300, 999) = %g, want 350", got)
+	}
+}
+
+func TestMultiFileNeverStraddles(t *testing.T) {
+	m, err := NewMultiFile([]float64{100, 50, 200}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the whole load with greedy 37-unit requests; every chunk must
+	// stay within one file.
+	offset := 0.0
+	for offset < m.TotalLoad()-1e-9 {
+		cut := m.CutAfter(offset, offset+37)
+		if cut <= offset {
+			t.Fatalf("no progress at %g", offset)
+		}
+		fi, fj := m.fileAt(offset), m.fileAt(cut-1e-9)
+		if fi != fj {
+			t.Fatalf("chunk [%g, %g) straddles files %d and %d", offset, cut, fi, fj)
+		}
+		offset = cut
+	}
+}
+
+func TestMultiFileWithInnerDivider(t *testing.T) {
+	inner, err := NewUniform(200, 0, 10) // covers the largest file
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiFile([]float64{100, 200}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside file 1 (logical [100, 300)), cuts fall on 10-unit local
+	// boundaries: logical 100+k·10.
+	if got := m.CutAfter(100, 123); got != 120 {
+		t.Errorf("CutAfter(100,123) = %g, want 120", got)
+	}
+	if got := m.CutAfter(120, 126); got != 130 {
+		t.Errorf("CutAfter(120,126) = %g, want 130 (progress past 120)", got)
+	}
+}
+
+func TestMultiFileValidation(t *testing.T) {
+	if _, err := NewMultiFile(nil, nil); err == nil {
+		t.Error("no files accepted")
+	}
+	if _, err := NewMultiFile([]float64{10, 0}, nil); err == nil {
+		t.Error("zero-size file accepted")
+	}
+}
+
+func TestMultiFileFromPathsMaterialize(t *testing.T) {
+	dir := t.TempDir()
+	pa := filepath.Join(dir, "a")
+	pb := filepath.Join(dir, "b")
+	if err := os.WriteFile(pa, []byte("AAAAAAAAAA"), 0o644); err != nil { // 10 bytes
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pb, []byte("BBBBB"), 0o644); err != nil { // 5 bytes
+		t.Fatal(err)
+	}
+	m, err := NewMultiFileFromPaths([]string{pa, pb}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalLoad() != 15 {
+		t.Fatalf("total = %g", m.TotalLoad())
+	}
+	// Chunk [8, 10) lives in file a; [10, 13) in file b.
+	rc, n, err := m.Materialize(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(rc)
+	rc.Close()
+	if n != 2 || string(got) != "AA" {
+		t.Errorf("chunk [8,10) = %q (n=%d)", got, n)
+	}
+	rc, n, err = m.Materialize(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(rc)
+	rc.Close()
+	if n != 3 || string(got) != "BBB" {
+		t.Errorf("chunk [10,13) = %q (n=%d)", got, n)
+	}
+	// Straddling chunks are rejected.
+	if _, _, err := m.Materialize(8, 5); err == nil {
+		t.Error("straddling materialization accepted")
+	}
+}
+
+func TestMultiFileFromPathsMissing(t *testing.T) {
+	if _, err := NewMultiFileFromPaths([]string{"/does/not/exist"}, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,218 @@
+package dls
+
+import (
+	"fmt"
+
+	"apstdv/internal/model"
+	"apstdv/internal/stats"
+)
+
+// modelEstimate shortens the copy in currentEstimates.
+type modelEstimate = model.Estimate
+
+// AdaptiveRUMR implements the paper's §6 future-work proposal: "an
+// adaptive version of RUMR that updates its view of the platform after
+// each sub-task completes". At every UMR round boundary it
+//
+//  1. refreshes each worker's per-unit compute estimate from the chunks
+//     observed so far (blended with the probe estimate, like Weighted
+//     Factoring's adaptation),
+//  2. re-plans the remaining load's UMR rounds against the refreshed
+//     estimates, and
+//  3. evaluates RUMR's switch condition with the online γ estimate —
+//     but, because each re-plan covers only the *remaining* load, the
+//     geometric tail shrinks as execution progresses and the switch
+//     condition becomes satisfiable far earlier than in plain RUMR,
+//     repairing the late-switch pathology §4.2 uncovered.
+type AdaptiveRUMR struct {
+	// MinObservations gates the online γ estimate (as in RUMR).
+	MinObservations int
+
+	plan      Plan
+	player    sequencePlayer
+	boundary  map[int]int
+	switched  bool
+	factoring *WeightedFactoring
+
+	perWorker []stats.RunningStats
+	ratios    stats.RunningStats
+	// dirty marks that new observations arrived since the last re-plan.
+	dirty bool
+}
+
+// NewAdaptiveRUMR returns the adaptive RUMR extension.
+func NewAdaptiveRUMR() *AdaptiveRUMR {
+	return &AdaptiveRUMR{MinObservations: 5}
+}
+
+// Name implements Algorithm.
+func (a *AdaptiveRUMR) Name() string { return "adaptive-rumr" }
+
+// UsesProbing implements Algorithm.
+func (a *AdaptiveRUMR) UsesProbing() bool { return true }
+
+// Plan implements Algorithm.
+func (a *AdaptiveRUMR) Plan(p Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	a.plan = p
+	a.switched = false
+	a.factoring = nil
+	a.perWorker = make([]stats.RunningStats, len(p.Workers))
+	a.ratios = stats.RunningStats{}
+	a.dirty = false
+	return a.replan(p.TotalLoad)
+}
+
+// currentEstimates blends the probe estimates with the observed per-unit
+// compute times.
+func (a *AdaptiveRUMR) currentEstimates() Plan {
+	p := a.plan
+	ests := append([]modelEstimate(nil), p.Workers...)
+	for w := range ests {
+		obs := &a.perWorker[w]
+		if obs.N() > 0 {
+			n := float64(obs.N())
+			ests[w].UnitComp = (p.Workers[w].UnitComp + n*obs.Mean()) / (1 + n)
+		}
+	}
+	p.Workers = ests
+	return p
+}
+
+// replan rebuilds the UMR schedule for the remaining load.
+func (a *AdaptiveRUMR) replan(load float64) error {
+	p := a.currentEstimates()
+	rounds, _, err := PlanUMRRounds(p, minf(load, p.TotalLoad))
+	if err != nil {
+		return fmt.Errorf("adaptive-rumr: %w", err)
+	}
+	var seq []Decision
+	a.boundary = make(map[int]int)
+	idx := 0
+	for k, round := range rounds {
+		a.boundary[idx] = k
+		seq = append(seq, round...)
+		idx += len(round)
+	}
+	a.player = sequencePlayer{}
+	a.player.reset(seq)
+	a.dirty = false
+	return nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// estimatedGamma returns the online γ estimate, or -1.
+func (a *AdaptiveRUMR) estimatedGamma() float64 {
+	if a.ratios.N() < a.MinObservations {
+		return -1
+	}
+	return a.ratios.CV()
+}
+
+// Switched reports whether the factoring phase has started.
+func (a *AdaptiveRUMR) Switched() bool { return a.switched }
+
+// Next implements Algorithm.
+func (a *AdaptiveRUMR) Next(st State) (Decision, bool) {
+	if a.switched {
+		return a.factoring.Next(st)
+	}
+	if _, atBoundary := a.boundary[a.player.pos]; atBoundary && a.player.pos > 0 {
+		// Switch check first, with the same condition as plain RUMR
+		// (switch once the undispatched load fits the desired factoring
+		// share of the total). The repair is not the condition but its
+		// reachability: every re-plan covers only the remaining load, so
+		// the boundaries recur at geometrically shrinking remainders —
+		// 57%, 32%, 19%, ... of the total instead of stopping at the
+		// first plan's last round — and the condition is eventually met.
+		if g := a.estimatedGamma(); g >= 0 {
+			want := Phase2Fraction(g) * a.plan.TotalLoad
+			if want > 0 && st.Remaining <= want && st.Remaining > 0 {
+				if err := a.switchToFactoring(st.Remaining); err == nil {
+					return a.factoring.Next(st)
+				}
+			}
+		}
+		// Otherwise, fold fresh observations into a re-plan of the
+		// remaining rounds.
+		if a.dirty && st.Remaining > 0 {
+			if err := a.replan(st.Remaining); err != nil {
+				// Keep the existing plan on re-plan failure.
+				a.dirty = false
+			}
+		}
+	}
+	d, ok := a.player.next(st)
+	if !ok && st.Remaining > 0 {
+		if err := a.switchToFactoring(st.Remaining); err == nil {
+			return a.factoring.Next(st)
+		}
+	}
+	return d, ok
+}
+
+func (a *AdaptiveRUMR) switchToFactoring(load float64) error {
+	wf := NewWeightedFactoring()
+	p := a.currentEstimates()
+	p.TotalLoad = load
+	if err := wf.Plan(p); err != nil {
+		return err
+	}
+	a.factoring = wf
+	a.switched = true
+	return nil
+}
+
+// Dispatched implements Algorithm.
+func (a *AdaptiveRUMR) Dispatched(worker int, requested, actual float64) {
+	if a.switched {
+		a.factoring.Dispatched(worker, requested, actual)
+		return
+	}
+	a.player.advance(actual)
+}
+
+// Recalibrate implements Recalibrator: fold refreshed start-up cost
+// measurements into the platform view the next re-plan uses.
+func (a *AdaptiveRUMR) Recalibrate(worker int, commLatency, compLatency float64) {
+	if worker < 0 || worker >= len(a.plan.Workers) {
+		return
+	}
+	// Blend 50/50 with the current view: single no-op samples are noisy.
+	w := &a.plan.Workers[worker]
+	if commLatency >= 0 {
+		w.CommLatency = (w.CommLatency + commLatency) / 2
+	}
+	if compLatency >= 0 {
+		w.CompLatency = (w.CompLatency + compLatency) / 2
+	}
+	a.dirty = true
+}
+
+// Observe implements Algorithm.
+func (a *AdaptiveRUMR) Observe(o Observation) {
+	if a.switched {
+		a.factoring.Observe(o)
+	}
+	if o.Probe || o.Size <= 0 || o.Worker >= len(a.perWorker) {
+		return
+	}
+	perUnit := (o.ComputeTime() - a.plan.Workers[o.Worker].CompLatency) / o.Size
+	if perUnit <= 0 {
+		return
+	}
+	pw := &a.perWorker[o.Worker]
+	if pw.N() > 0 {
+		a.ratios.Add(perUnit / pw.Mean())
+	}
+	pw.Add(perUnit)
+	a.dirty = true
+}

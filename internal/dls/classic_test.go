@@ -1,0 +1,234 @@
+package dls
+
+import (
+	"testing"
+)
+
+func TestGSSChunksDecreaseGeometrically(t *testing.T) {
+	ests := homogeneousEstimates(4, 0.0001, 0.001, 0.4, 0.001)
+	f := newFakeEngine(ests, 40000, 1)
+	if err := f.run(NewGSS()); err != nil {
+		t.Fatal(err)
+	}
+	// First chunk = W/N = 10000; each later request sees a smaller
+	// remainder, so sizes are non-increasing until the floor.
+	if !nearly(f.dispatches[0].Size, 10000, 1e-9) {
+		t.Errorf("first GSS chunk %.0f, want W/N = 10000", f.dispatches[0].Size)
+	}
+	for i := 1; i < len(f.dispatches); i++ {
+		if f.dispatches[i].Size > f.dispatches[i-1].Size+1e-9 {
+			t.Fatalf("chunk %d grew: %.1f after %.1f", i, f.dispatches[i].Size, f.dispatches[i-1].Size)
+		}
+	}
+}
+
+func TestGSSCoversLoad(t *testing.T) {
+	f := newFakeEngine(das2Estimates(8), 24000, 10)
+	if err := f.run(NewGSS()); err != nil {
+		t.Fatal(err)
+	}
+	if !nearly(f.totalDispatched(), 24000, 1e-6) {
+		t.Errorf("dispatched %.1f of 24000", f.totalDispatched())
+	}
+}
+
+func TestGSSFirstChunkHurtsWithSlowWorker(t *testing.T) {
+	// The classic GSS weakness: the first W/N chunk pinned on a slow
+	// worker dominates the makespan. Weighted factoring must beat it on
+	// a platform with one 2.5x-slower worker.
+	ests := homogeneousEstimates(4, 0.0001, 0.001, 0.4, 0.001)
+	ests[0].UnitComp = 1.0
+	gss := newFakeEngine(ests, 40000, 1)
+	if err := gss.run(NewGSS()); err != nil {
+		t.Fatal(err)
+	}
+	wf := newFakeEngine(ests, 40000, 1)
+	if err := wf.run(NewWeightedFactoring()); err != nil {
+		t.Fatal(err)
+	}
+	if gss.makespan <= wf.makespan {
+		t.Errorf("GSS (%.0f) beat weighted factoring (%.0f) on a skewed platform", gss.makespan, wf.makespan)
+	}
+}
+
+func TestPlainFactoringEqualChunksPerRound(t *testing.T) {
+	ests := homogeneousEstimates(4, 0.0001, 0.001, 0.4, 0.001)
+	ests[1].UnitComp = 0.2 // plain factoring must IGNORE this
+	f := newFakeEngine(ests, 16000, 1)
+	if err := f.run(NewPlainFactoring()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !nearly(f.dispatches[i].Size, 2000, 1e-9) {
+			t.Errorf("round-0 chunk %d = %.0f, want equal 2000", i, f.dispatches[i].Size)
+		}
+	}
+}
+
+func TestPlainFactoringSkipsProbing(t *testing.T) {
+	if NewPlainFactoring().UsesProbing() {
+		t.Error("plain factoring is speed-oblivious; it must not probe")
+	}
+}
+
+func TestWeightedBeatsPlainOnHeterogeneous(t *testing.T) {
+	// [23]'s reason to exist: weights load-balance heterogeneous workers
+	// better than equal chunks.
+	ests := homogeneousEstimates(4, 0.0001, 0.001, 0.4, 0.001)
+	ests[0].UnitComp = 1.2
+	plain := newFakeEngine(ests, 40000, 1)
+	if err := plain.run(NewPlainFactoring()); err != nil {
+		t.Fatal(err)
+	}
+	weighted := newFakeEngine(ests, 40000, 1)
+	if err := weighted.run(NewWeightedFactoring()); err != nil {
+		t.Fatal(err)
+	}
+	if weighted.makespan >= plain.makespan {
+		t.Errorf("weighted factoring (%.0f) did not beat plain (%.0f) on heterogeneous workers",
+			weighted.makespan, plain.makespan)
+	}
+}
+
+func TestMultiInstallmentFixedRounds(t *testing.T) {
+	mi := NewMultiInstallment(3)
+	if err := mi.Plan(Plan{TotalLoad: 30000, MinChunk: 1, Workers: das2Estimates(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(mi.seq) != 12 { // 3 installments × 4 workers
+		t.Fatalf("%d decisions, want 12", len(mi.seq))
+	}
+	if !nearly(sumSizes(mi.seq), 30000, 1e-9) {
+		t.Errorf("plan covers %.1f", sumSizes(mi.seq))
+	}
+	// Installment sizes grow by p/(N·c) = 0.402/(4·0.0108696) ≈ 9.25.
+	ratio := mi.seq[4].Size / mi.seq[0].Size
+	want := 0.402 / (4 * (1000.0 / 92e3))
+	if !nearly(ratio, want, 1e-6) {
+		t.Errorf("installment ratio %.3f, want %.3f", ratio, want)
+	}
+}
+
+func TestMultiInstallmentIgnoresLatencies(t *testing.T) {
+	// Linear-cost planning: changing the latencies must not change the
+	// plan — the limitation UMR removed.
+	planWith := func(commLat, compLat float64) []Decision {
+		ests := homogeneousEstimates(4, 0.01, commLat, 0.4, compLat)
+		mi := NewMultiInstallment(3)
+		if err := mi.Plan(Plan{TotalLoad: 10000, MinChunk: 1, Workers: ests}); err != nil {
+			t.Fatal(err)
+		}
+		return mi.seq
+	}
+	a := planWith(0, 0)
+	b := planWith(50, 20)
+	for i := range a {
+		if !nearly(a[i].Size, b[i].Size, 1e-12) {
+			t.Fatalf("latencies changed the multi-installment plan at %d: %.2f vs %.2f", i, a[i].Size, b[i].Size)
+		}
+	}
+}
+
+func TestMultiInstallmentWorseThanUMRWithStartups(t *testing.T) {
+	// On a platform with real start-up costs, ignoring them costs time;
+	// UMR must win.
+	ests := das2Estimates(16)
+	mi := newFakeEngine(ests, 240000, 10)
+	if err := mi.run(NewMultiInstallment(3)); err != nil {
+		t.Fatal(err)
+	}
+	umr := newFakeEngine(ests, 240000, 10)
+	if err := umr.run(NewUMR()); err != nil {
+		t.Fatal(err)
+	}
+	if mi.makespan <= umr.makespan {
+		t.Errorf("mi-3 (%.0f) beat UMR (%.0f) despite ignoring start-up costs", mi.makespan, umr.makespan)
+	}
+}
+
+func TestMultiInstallmentValidation(t *testing.T) {
+	if err := NewMultiInstallment(0).Plan(Plan{TotalLoad: 100, MinChunk: 1, Workers: das2Estimates(2)}); err == nil {
+		t.Error("M=0 accepted")
+	}
+}
+
+func TestClassicRegistryEntries(t *testing.T) {
+	for name, want := range map[string]string{
+		"gss":             "gss",
+		"factoring-plain": "factoring-plain",
+		"plain-factoring": "factoring-plain",
+		"mi-5":            "mi-5",
+	} {
+		alg, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if alg.Name() != want {
+			t.Errorf("New(%q).Name() = %q, want %q", name, alg.Name(), want)
+		}
+	}
+	if _, err := New("mi-0"); err == nil {
+		t.Error("mi-0 accepted")
+	}
+	if _, err := New("mi-x"); err == nil {
+		t.Error("mi-x accepted")
+	}
+}
+
+func TestTSSLinearDecrease(t *testing.T) {
+	ests := homogeneousEstimates(4, 0.0001, 0.001, 0.4, 0.001)
+	f := newFakeEngine(ests, 40000, 1)
+	if err := f.run(NewTSS()); err != nil {
+		t.Fatal(err)
+	}
+	// First chunk = W/(2N) = 5000; sizes then fall by a constant
+	// decrement until the floor.
+	if !nearly(f.dispatches[0].Size, 5000, 1e-9) {
+		t.Errorf("first TSS chunk %.0f, want 5000", f.dispatches[0].Size)
+	}
+	var decs []float64
+	for i := 1; i < len(f.dispatches)-1; i++ {
+		d := f.dispatches[i-1].Size - f.dispatches[i].Size
+		if d < -1e-9 {
+			t.Fatalf("chunk %d grew", i)
+		}
+		decs = append(decs, d)
+	}
+	// Interior decrements are constant (the trapezoid).
+	for i := 1; i < len(decs)-2; i++ {
+		if !nearly(decs[i], decs[0], 1e-6) && decs[i] > 1e-9 {
+			t.Fatalf("decrement %d = %.3f, first = %.3f — not linear", i, decs[i], decs[0])
+		}
+	}
+}
+
+func TestTSSFewerChunksThanGSSAtSameFloor(t *testing.T) {
+	ests := homogeneousEstimates(4, 0.0001, 0.001, 0.4, 0.001)
+	tss := newFakeEngine(ests, 40000, 1)
+	if err := tss.run(NewTSS()); err != nil {
+		t.Fatal(err)
+	}
+	gss := newFakeEngine(ests, 40000, 1)
+	if err := gss.run(NewGSS()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tss.dispatches) >= len(gss.dispatches)*3 {
+		t.Errorf("TSS used %d chunks vs GSS %d — the trapezoid should not explode",
+			len(tss.dispatches), len(gss.dispatches))
+	}
+	if !nearly(tss.totalDispatched(), 40000, 1e-6) {
+		t.Errorf("TSS covered %.1f", tss.totalDispatched())
+	}
+}
+
+func TestTSSDegenerateTinyLoad(t *testing.T) {
+	ests := das2Estimates(8)
+	f := newFakeEngine(ests, 100, 10)
+	if err := f.run(NewTSS()); err != nil {
+		t.Fatal(err)
+	}
+	if !nearly(f.totalDispatched(), 100, 1e-9) {
+		t.Errorf("covered %.1f of 100", f.totalDispatched())
+	}
+}

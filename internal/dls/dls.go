@@ -1,0 +1,218 @@
+// Package dls implements the Divisible Load Scheduling algorithms the
+// paper evaluates: SIMPLE-n (static chunking), UMR (Uniform Multi-Round),
+// Weighted Factoring, RUMR and Fixed-RUMR, plus a classical one-round
+// algorithm with affine costs as a related-work baseline.
+//
+// An Algorithm decides how the load is cut into chunks and in what order
+// the chunks are sent to workers. It is driven by the execution engine
+// (package engine): after an optional probing round the engine calls Plan
+// with per-worker cost estimates, then repeatedly calls Next whenever the
+// serialized master uplink is free, and reports every dispatch and
+// completion back so adaptive algorithms can refine their estimates.
+//
+// All load quantities are float64 load units; the engine aligns requested
+// sizes to the application's valid cut points, so algorithms treat the
+// load as continuous.
+package dls
+
+import (
+	"fmt"
+
+	"apstdv/internal/model"
+)
+
+// Plan carries everything an algorithm may plan with.
+type Plan struct {
+	// TotalLoad is the amount of load to schedule, in load units.
+	TotalLoad float64
+	// MinChunk is the smallest chunk the division method can cut
+	// (load units). Algorithms never request less, except for a final
+	// remnant smaller than MinChunk.
+	MinChunk float64
+	// Workers holds one cost estimate per worker, indexed by worker ID.
+	Workers []model.Estimate
+}
+
+// Validate checks the plan inputs.
+func (p Plan) Validate() error {
+	if p.TotalLoad <= 0 {
+		return fmt.Errorf("dls: non-positive total load %g", p.TotalLoad)
+	}
+	if len(p.Workers) == 0 {
+		return fmt.Errorf("dls: no workers")
+	}
+	if p.MinChunk < 0 {
+		return fmt.Errorf("dls: negative min chunk %g", p.MinChunk)
+	}
+	for _, e := range p.Workers {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("dls: %w", err)
+		}
+	}
+	return nil
+}
+
+// State is the engine's view of execution progress, passed to Next.
+type State struct {
+	// Now is the current time in seconds since execution start.
+	Now float64
+	// Remaining is the undispatched load (units). The engine's value is
+	// authoritative; algorithms should prefer it over internal tallies.
+	Remaining float64
+	// Pending[i] is the load dispatched to worker i (in transfer, queued
+	// or computing) and not yet completed.
+	Pending []float64
+	// PendingChunks[i] is the number of outstanding chunks at worker i.
+	// Demand-driven policies use it to bound per-worker buffering.
+	PendingChunks []int
+	// InFlight is the number of chunks dispatched and not yet completed.
+	InFlight int
+	// Completed is the total load computed so far (units).
+	Completed float64
+}
+
+// Decision is one dispatch: send Size units to worker Worker next.
+type Decision struct {
+	Worker int
+	Size   float64
+}
+
+// Observation reports one completed chunk.
+type Observation struct {
+	Worker int
+	Size   float64
+	// Probe marks calibration chunks from the probing round.
+	Probe bool
+	// Timeline of the chunk, in seconds since execution start.
+	SendStart, SendEnd, CompStart, CompEnd float64
+}
+
+// TransferTime returns the observed transfer duration.
+func (o Observation) TransferTime() float64 { return o.SendEnd - o.SendStart }
+
+// ComputeTime returns the observed computation duration.
+func (o Observation) ComputeTime() float64 { return o.CompEnd - o.CompStart }
+
+// Algorithm is a divisible load scheduling policy.
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("umr", "wf", ...).
+	Name() string
+	// UsesProbing reports whether the engine should run a probing round
+	// before Plan. SIMPLE-n is the only paper algorithm that skips it.
+	UsesProbing() bool
+	// Plan is called once, after probing, before any dispatch.
+	Plan(p Plan) error
+	// Next returns the next dispatch decision, or ok=false if the
+	// algorithm has nothing to send right now (the engine retries after
+	// the next completion event). The engine clamps Size to the
+	// remaining load and to valid cut points.
+	Next(s State) (d Decision, ok bool)
+	// Dispatched reports the size actually cut and sent for a decision,
+	// which may differ from the requested size due to cut-point
+	// alignment or remaining-load clamping.
+	Dispatched(worker int, requested, actual float64)
+	// Observe reports a completed chunk (including probe chunks).
+	Observe(o Observation)
+}
+
+// Recalibrator is an optional interface for algorithms that want the
+// refreshed start-up cost measurements the engine's periodic
+// recalibration produces (§3.5: "APST-DV obtains these estimates
+// periodically by launching no-op jobs on each worker and transferring
+// empty files"). Algorithms that do not implement it still run; the
+// measurements are simply dropped.
+type Recalibrator interface {
+	// Recalibrate delivers a fresh (commLatency, compLatency) sample for
+	// one worker.
+	Recalibrate(worker int, commLatency, compLatency float64)
+}
+
+// predictMakespan simulates a planned dispatch sequence against the
+// estimated cost model: a serialized master uplink and per-worker FIFO
+// compute, both affine. It is exact for the plan (no approximation), so
+// algorithms that search over plan parameters (UMR's number of rounds)
+// can compare candidates faithfully.
+func predictMakespan(ests []model.Estimate, seq []Decision) float64 {
+	linkFree := 0.0
+	compFree := make([]float64, len(ests))
+	makespan := 0.0
+	for _, d := range seq {
+		e := ests[d.Worker]
+		sendEnd := linkFree + e.CommLatency + d.Size*e.UnitComm
+		linkFree = sendEnd
+		start := sendEnd
+		if compFree[d.Worker] > start {
+			start = compFree[d.Worker]
+		}
+		end := start + e.CompLatency + d.Size*e.UnitComp
+		compFree[d.Worker] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
+
+// sumSizes totals the load covered by a dispatch sequence.
+func sumSizes(seq []Decision) float64 {
+	total := 0.0
+	for _, d := range seq {
+		total += d.Size
+	}
+	return total
+}
+
+// sequencePlayer is the shared Next/Dispatched implementation for
+// algorithms that precompute a dispatch sequence (SIMPLE-n, UMR,
+// one-round, the first phase of RUMR variants). It serves decisions in
+// order; the final decision absorbs cut-point alignment drift — the
+// difference between the planned total and what was actually dispatched
+// after the divider rounded each chunk — so a remnant can neither strand
+// the load nor leak into a later phase's share.
+type sequencePlayer struct {
+	seq        []Decision
+	pos        int
+	planned    float64
+	dispatched float64
+}
+
+// reset installs a new sequence.
+func (s *sequencePlayer) reset(seq []Decision) {
+	s.seq = seq
+	s.pos = 0
+	s.planned = sumSizes(seq)
+	s.dispatched = 0
+}
+
+func (s *sequencePlayer) next(st State) (Decision, bool) {
+	for s.pos < len(s.seq) {
+		d := s.seq[s.pos]
+		if s.pos == len(s.seq)-1 {
+			// The plan's own leftover: planned total minus what earlier
+			// decisions actually covered.
+			d.Size = s.planned - s.dispatched
+		}
+		if d.Size > st.Remaining {
+			d.Size = st.Remaining
+		}
+		if d.Size <= 0 {
+			s.pos++
+			continue
+		}
+		return d, true
+	}
+	return Decision{}, false
+}
+
+// advance records the actually dispatched size of the decision just
+// served and moves on.
+func (s *sequencePlayer) advance(actual float64) {
+	s.dispatched += actual
+	s.pos++
+}
+
+// remainingPlanned returns the load in the not-yet-served tail of the
+// sequence.
+func (s *sequencePlayer) remainingPlanned() float64 {
+	return sumSizes(s.seq[s.pos:])
+}

@@ -1,0 +1,232 @@
+package dls
+
+import (
+	"fmt"
+	"math"
+
+	"apstdv/internal/stats"
+)
+
+// WeightedFactoring implements the Weighted Factoring algorithm [23]
+// (Hummel, Schmidt, Uma, Wein 1996) as deployed in APST-DV (§3.6):
+//
+//   - The load is dispatched in rounds; each round's batch is half the
+//     remaining load, so chunk sizes decrease by 2 between rounds, down
+//     to a minimal chunk size. Ending with small chunks is what makes
+//     factoring robust to uncertainty: a mispredicted small chunk causes
+//     a small imbalance.
+//   - "Weighted": the chunk a worker receives is proportional to the
+//     worker's estimated speed.
+//   - Chunks are sent out greedily: the master serves the worker that
+//     will run out of buffered work soonest, and only workers holding
+//     fewer than two outstanding chunks are eligible (one computing, one
+//     buffered — enough to overlap communication with computation
+//     without giving up the late binding that load-balances).
+//   - Adaptive: observed chunk execution times continuously refine the
+//     per-worker speed estimates (§3.6: "It also observes chunk execution
+//     times throughout application execution to refine its estimates of
+//     worker speeds").
+//
+// Factoring was not designed to maximize communication/computation
+// overlap: the first batch is half the load and its serialized transfers
+// stagger the workers' start times, which is exactly the ~10% loss the
+// paper measures against UMR on DAS-2 at γ=0.
+type WeightedFactoring struct {
+	// Adaptive controls online speed refinement (on in the paper; the
+	// ablation benchmark turns it off).
+	Adaptive bool
+	// MaxBuffered is the number of outstanding chunks a worker may hold
+	// before it stops being eligible for dispatch (default 2).
+	MaxBuffered int
+
+	minChunk float64
+	ests     []workerSpeed
+	// batchTotal is the current round's total allocation (half the load
+	// remaining when the round was formed); batchLeft tracks how much of
+	// it is still to dispatch.
+	round      int
+	batchTotal float64
+	batchLeft  float64
+}
+
+type workerSpeed struct {
+	probeUnitComp float64 // the probing round's estimate, kept fixed
+	unitComp      float64 // current estimate, refined when Adaptive
+	compLatency   float64
+	observed      stats.RunningStats // observed per-unit compute times
+}
+
+// NewWeightedFactoring returns the paper's adaptive weighted factoring
+// policy.
+func NewWeightedFactoring() *WeightedFactoring {
+	return &WeightedFactoring{Adaptive: true, MaxBuffered: 2}
+}
+
+// Name implements Algorithm.
+func (wf *WeightedFactoring) Name() string {
+	if !wf.Adaptive {
+		return "wf-static"
+	}
+	return "wf"
+}
+
+// UsesProbing implements Algorithm.
+func (wf *WeightedFactoring) UsesProbing() bool { return true }
+
+// Plan implements Algorithm.
+func (wf *WeightedFactoring) Plan(p Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if wf.MaxBuffered < 1 {
+		return fmt.Errorf("weighted factoring: MaxBuffered must be >= 1, got %d", wf.MaxBuffered)
+	}
+	wf.minChunk = minFactoringChunk(p)
+	wf.ests = make([]workerSpeed, len(p.Workers))
+	for i, e := range p.Workers {
+		wf.ests[i] = workerSpeed{probeUnitComp: e.UnitComp, unitComp: e.UnitComp, compLatency: e.CompLatency}
+	}
+	wf.round = -1
+	wf.batchTotal = 0
+	wf.batchLeft = 0
+	return nil
+}
+
+// minFactoringChunk returns the "minimal chunk size" factoring halves
+// down to. Besides the division granularity, the floor must respect the
+// serialized master uplink: with N workers each needing a transfer of
+// nLat + c·s per chunk of compute time p·s, chunks below
+//
+//	s* = N·nLat / (p − N·c)
+//
+// saturate the link and starve the workers — each end-of-run round would
+// cost more in serialized start-ups than it computes. This is why the
+// paper sees factoring lose ~10% on high-latency DAS-2 (coarse floor,
+// coarse final balancing) while matching the best algorithms on
+// low-latency Meteor (fine floor, fine balancing). The floor is capped
+// at 1/(8N) of the load so several halving rounds always remain.
+func minFactoringChunk(p Plan) float64 {
+	n := float64(len(p.Workers))
+	var nl, c, pc float64
+	for _, e := range p.Workers {
+		nl += e.CommLatency
+		c += e.UnitComm
+		pc += e.UnitComp
+	}
+	nl /= n
+	c /= n
+	pc /= n
+
+	capFloor := p.TotalLoad / (8 * n)
+	floor := capFloor
+	if denom := pc - n*c; denom > 0 {
+		if s := n * nl / denom; s < capFloor {
+			floor = s
+		}
+	}
+	if floor < p.MinChunk {
+		floor = p.MinChunk
+	}
+	if floor <= 0 {
+		floor = p.TotalLoad / n * 1e-3
+	}
+	return floor
+}
+
+// weight returns worker w's share of a batch: its speed relative to the
+// total speed.
+func (wf *WeightedFactoring) weight(w int) float64 {
+	total := 0.0
+	for i := range wf.ests {
+		total += 1 / wf.ests[i].unitComp
+	}
+	return (1 / wf.ests[w].unitComp) / total
+}
+
+// Next implements Algorithm.
+func (wf *WeightedFactoring) Next(st State) (Decision, bool) {
+	if st.Remaining <= 0 {
+		return Decision{}, false
+	}
+	// Open a new round when the current batch is exhausted. The batch is
+	// half the load remaining at the time the round is formed.
+	if wf.batchLeft <= wf.minChunk/2 {
+		wf.round++
+		wf.batchTotal = st.Remaining / 2
+		if st.Remaining <= float64(len(wf.ests))*wf.minChunk || wf.batchTotal < wf.minChunk {
+			// Terminal regime: stop halving, drain the tail in
+			// minimum-size chunks.
+			wf.batchTotal = st.Remaining
+		}
+		wf.batchLeft = wf.batchTotal
+	}
+
+	w, ok := wf.pickWorker(st)
+	if !ok {
+		return Decision{}, false
+	}
+	size := wf.weight(w) * wf.batchTotal
+	if size > wf.batchLeft {
+		size = wf.batchLeft
+	}
+	if size < wf.minChunk {
+		size = wf.minChunk
+	}
+	if size > st.Remaining {
+		size = st.Remaining
+	}
+	return Decision{Worker: w, Size: size}, true
+}
+
+// pickWorker returns the eligible worker that will exhaust its buffered
+// work soonest — an approximation of "the next worker to request work"
+// under the serialized uplink. Workers already holding MaxBuffered
+// outstanding chunks are ineligible; there is deliberately no
+// one-chunk-per-round constraint, so an early-finishing worker grabs
+// extra chunks and the pool self-balances (the self-scheduling behaviour
+// factoring inherits from GSS).
+func (wf *WeightedFactoring) pickWorker(st State) (int, bool) {
+	best, bestDrain := -1, math.Inf(1)
+	for w := range wf.ests {
+		if len(st.PendingChunks) > w && st.PendingChunks[w] >= wf.MaxBuffered {
+			continue
+		}
+		drain := st.Pending[w] * wf.ests[w].unitComp
+		if drain < bestDrain {
+			best, bestDrain = w, drain
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Dispatched implements Algorithm.
+func (wf *WeightedFactoring) Dispatched(worker int, requested, actual float64) {
+	wf.batchLeft -= actual
+	if wf.batchLeft < 0 {
+		wf.batchLeft = 0
+	}
+}
+
+// Observe implements Algorithm: refine the worker's per-unit compute time
+// estimate from the observed chunk execution time.
+func (wf *WeightedFactoring) Observe(o Observation) {
+	if !wf.Adaptive || o.Probe || o.Size <= 0 || o.Worker >= len(wf.ests) {
+		// Probe chunks already produced the baseline estimate; feeding
+		// them back in would double-count the probe sample.
+		return
+	}
+	ws := &wf.ests[o.Worker]
+	perUnit := (o.ComputeTime() - ws.compLatency) / o.Size
+	if perUnit <= 0 {
+		return
+	}
+	ws.observed.Add(perUnit)
+	// Blend towards observations as they accumulate; the probe estimate
+	// acts as one pseudo-observation so a single noisy chunk cannot
+	// swing the weight wildly.
+	n := float64(ws.observed.N())
+	ws.unitComp = (ws.probeUnitComp + n*ws.observed.Mean()) / (1 + n)
+}

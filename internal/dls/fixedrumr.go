@@ -1,0 +1,89 @@
+package dls
+
+import "fmt"
+
+// FixedRUMR is the Fixed-RUMR variant of [38] the paper recommends to
+// APST-DV users (§4.3): instead of deciding at runtime when to switch
+// phases, it always schedules a fixed fraction of the load (80% in the
+// paper) with UMR and the rest with Weighted Factoring. Because the split
+// is baked into the plan — the UMR phase is *planned over 80% of the
+// load*, not truncated mid-flight — the factoring phase always runs,
+// sidestepping RUMR's late-switch pathology while keeping the two-phase
+// structure that handles both start-up costs and uncertainty.
+type FixedRUMR struct {
+	// Phase1Fraction is the share of the load scheduled by UMR
+	// (the paper uses 0.8).
+	Phase1Fraction float64
+
+	player    sequencePlayer
+	factoring *WeightedFactoring
+	inPhase2  bool
+}
+
+// NewFixedRUMR returns Fixed-RUMR with the paper's 80/20 split.
+func NewFixedRUMR() *FixedRUMR { return &FixedRUMR{Phase1Fraction: 0.8} }
+
+// Name implements Algorithm.
+func (f *FixedRUMR) Name() string { return "fixed-rumr" }
+
+// UsesProbing implements Algorithm.
+func (f *FixedRUMR) UsesProbing() bool { return true }
+
+// Plan implements Algorithm.
+func (f *FixedRUMR) Plan(p Plan) error {
+	if f.Phase1Fraction <= 0 || f.Phase1Fraction >= 1 {
+		return fmt.Errorf("fixed-rumr: phase-1 fraction %g outside (0,1)", f.Phase1Fraction)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	rounds, _, err := PlanUMRRounds(p, p.TotalLoad*f.Phase1Fraction)
+	if err != nil {
+		return fmt.Errorf("fixed-rumr: %w", err)
+	}
+	var seq []Decision
+	for _, round := range rounds {
+		seq = append(seq, round...)
+	}
+	f.player = sequencePlayer{}
+	f.player.reset(seq)
+	wf := NewWeightedFactoring()
+	if err := wf.Plan(p); err != nil {
+		return fmt.Errorf("fixed-rumr: %w", err)
+	}
+	f.factoring = wf
+	f.inPhase2 = false
+	return nil
+}
+
+// Next implements Algorithm.
+func (f *FixedRUMR) Next(st State) (Decision, bool) {
+	if !f.inPhase2 {
+		if d, ok := f.player.next(st); ok {
+			return d, true
+		}
+		f.inPhase2 = true
+	}
+	return f.factoring.Next(st)
+}
+
+// Dispatched implements Algorithm.
+func (f *FixedRUMR) Dispatched(worker int, requested, actual float64) {
+	if f.inPhase2 {
+		f.factoring.Dispatched(worker, requested, actual)
+		return
+	}
+	f.player.advance(actual)
+}
+
+// Observe implements Algorithm: observations feed the factoring phase's
+// speed adaptation throughout execution, so by the time phase 2 starts
+// its weights already reflect observed performance.
+func (f *FixedRUMR) Observe(o Observation) {
+	if !o.Probe {
+		f.factoring.Observe(o)
+	}
+}
+
+// Switched reports whether the factoring phase has started.
+func (f *FixedRUMR) Switched() bool { return f.inPhase2 }

@@ -1,0 +1,128 @@
+package dls
+
+import (
+	"testing"
+
+	"apstdv/internal/model"
+)
+
+func TestOneRoundEqualFinish(t *testing.T) {
+	// The optimality condition: under the estimated cost model, all
+	// participating workers finish at the same instant.
+	ests := []model.Estimate{
+		{Worker: 0, UnitComm: 0.01, CommLatency: 1, UnitComp: 0.4, CompLatency: 0.5},
+		{Worker: 1, UnitComm: 0.01, CommLatency: 1, UnitComp: 0.3, CompLatency: 0.5},
+		{Worker: 2, UnitComm: 0.02, CommLatency: 2, UnitComp: 0.5, CompLatency: 0.2},
+	}
+	o := NewOneRound()
+	if err := o.Plan(Plan{TotalLoad: 10000, MinChunk: 1, Workers: ests}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Participants != 3 {
+		t.Fatalf("participants = %d, want 3", o.Participants)
+	}
+	// Replay the serialized schedule and compare finish times.
+	link := 0.0
+	var finishes []float64
+	for _, d := range o.seq {
+		e := ests[d.Worker]
+		link += e.CommLatency + d.Size*e.UnitComm
+		finishes = append(finishes, link+e.CompLatency+d.Size*e.UnitComp)
+	}
+	for i := 1; i < len(finishes); i++ {
+		if !nearly(finishes[i], finishes[0], 1e-9) {
+			t.Errorf("worker finish times differ: %v", finishes)
+		}
+	}
+}
+
+func TestOneRoundCoversLoad(t *testing.T) {
+	o := NewOneRound()
+	if err := o.Plan(Plan{TotalLoad: 12345, MinChunk: 1, Workers: das2Estimates(8)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sumSizes(o.seq); !nearly(got, 12345, 1e-9) {
+		t.Errorf("plan covers %.3f of 12345", got)
+	}
+}
+
+func TestOneRoundFastestFirst(t *testing.T) {
+	ests := das2Estimates(3)
+	ests[2].UnitComp = 0.1 // fastest
+	o := NewOneRound()
+	if err := o.Plan(Plan{TotalLoad: 10000, MinChunk: 1, Workers: ests}); err != nil {
+		t.Fatal(err)
+	}
+	if o.seq[0].Worker != 2 {
+		t.Errorf("first dispatch to worker %d, want the fastest (2)", o.seq[0].Worker)
+	}
+}
+
+func TestOneRoundDropsUselessWorkers(t *testing.T) {
+	// A worker so slow and so far that including it would require a
+	// negative chunk gets dropped, and the schedule re-solved.
+	ests := das2Estimates(3)
+	ests[2].UnitComp = 500    // absurdly slow
+	ests[2].CommLatency = 1e5 // and absurdly far
+	o := NewOneRound()
+	if err := o.Plan(Plan{TotalLoad: 1000, MinChunk: 1, Workers: ests}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Participants != 2 {
+		t.Errorf("participants = %d, want 2 (worker 2 dropped)", o.Participants)
+	}
+	for _, d := range o.seq {
+		if d.Worker == 2 {
+			t.Error("dropped worker still receives load")
+		}
+	}
+	if got := sumSizes(o.seq); !nearly(got, 1000, 1e-9) {
+		t.Errorf("re-solved plan covers %.3f of 1000", got)
+	}
+}
+
+func TestOneRoundSingleWorker(t *testing.T) {
+	o := NewOneRound()
+	if err := o.Plan(Plan{TotalLoad: 500, MinChunk: 1, Workers: das2Estimates(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.seq) != 1 || !nearly(o.seq[0].Size, 500, 1e-12) {
+		t.Errorf("single-worker plan = %v", o.seq)
+	}
+}
+
+func TestOneRoundWorseThanUMRWithStartups(t *testing.T) {
+	// On a platform with significant start-up costs and r ≫ N, the
+	// multi-round schedule overlaps communication and computation while
+	// one-round serializes the whole distribution up front.
+	ests := das2Estimates(16)
+	or := newFakeEngine(ests, 240000, 10)
+	if err := or.run(NewOneRound()); err != nil {
+		t.Fatal(err)
+	}
+	umr := newFakeEngine(ests, 240000, 10)
+	if err := umr.run(NewUMR()); err != nil {
+		t.Fatal(err)
+	}
+	if or.makespan <= umr.makespan {
+		t.Errorf("one-round (%.0f) beat UMR (%.0f)?", or.makespan, umr.makespan)
+	}
+}
+
+func TestOneRoundBeatsSimple1(t *testing.T) {
+	// One-round with optimal (staircase) chunk sizes must beat uniform
+	// single chunks — they pay the same serialization but one-round
+	// compensates late workers with smaller chunks.
+	ests := das2Estimates(16)
+	or := newFakeEngine(ests, 240000, 10)
+	if err := or.run(NewOneRound()); err != nil {
+		t.Fatal(err)
+	}
+	s1 := newFakeEngine(ests, 240000, 10)
+	if err := s1.run(NewSimple(1)); err != nil {
+		t.Fatal(err)
+	}
+	if or.makespan >= s1.makespan {
+		t.Errorf("one-round (%.0f) lost to SIMPLE-1 (%.0f)", or.makespan, s1.makespan)
+	}
+}

@@ -1,0 +1,154 @@
+package dls
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apstdv/internal/model"
+	"apstdv/internal/rng"
+)
+
+// randomPlan builds a random but valid plan from quick-check inputs.
+func randomPlan(seed uint64) Plan {
+	src := rng.New(seed)
+	n := 1 + src.Intn(12)
+	ests := make([]model.Estimate, n)
+	for i := range ests {
+		ests[i] = model.Estimate{
+			Worker:      i,
+			UnitComm:    src.Uniform(0.0001, 0.05),
+			CommLatency: src.Uniform(0, 10),
+			UnitComp:    src.Uniform(0.05, 2),
+			CompLatency: src.Uniform(0, 2),
+		}
+	}
+	total := src.Uniform(1000, 500000)
+	return Plan{TotalLoad: total, MinChunk: src.Uniform(0, total/float64(n)/20), Workers: ests}
+}
+
+// TestPropertyAllAlgorithmsCoverRandomPlatforms drives every algorithm
+// over randomized platforms and checks the two invariants that must hold
+// regardless of platform shape: all load dispatched, and every chunk
+// positive and addressed to a real worker.
+func TestPropertyAllAlgorithmsCoverRandomPlatforms(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seedRaw uint16) bool {
+				p := randomPlan(uint64(seedRaw))
+				alg, err := New(name)
+				if err != nil {
+					return false
+				}
+				eng := newFakeEngine(p.Workers, p.TotalLoad, p.MinChunk)
+				if err := eng.run(alg); err != nil {
+					t.Logf("seed %d: %v", seedRaw, err)
+					return false
+				}
+				if !nearly(eng.totalDispatched(), p.TotalLoad, 1e-6) {
+					t.Logf("seed %d: dispatched %.3f of %.3f", seedRaw, eng.totalDispatched(), p.TotalLoad)
+					return false
+				}
+				for _, d := range eng.dispatches {
+					if d.Size <= 0 || d.Worker < 0 || d.Worker >= len(p.Workers) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestPropertyUMREqualFinishRandom checks UMR's defining invariant on
+// random heterogeneous platforms: within every planned round (except the
+// drift-absorbing last one), all workers compute for the same duration.
+func TestPropertyUMREqualFinishRandom(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		p := randomPlan(uint64(seedRaw) + 77777)
+		rounds, _, err := PlanUMRRounds(p, p.TotalLoad)
+		if err != nil {
+			// Some random extreme platforms are infeasible for UMR; that
+			// is allowed — the algorithm reports rather than mis-plans.
+			return true
+		}
+		for j, round := range rounds {
+			if j == len(rounds)-1 {
+				continue
+			}
+			var t0 float64
+			for i, d := range round {
+				e := p.Workers[d.Worker]
+				dur := e.CompLatency + d.Size*e.UnitComp
+				if i == 0 {
+					t0 = dur
+				} else if !nearly(dur, t0, 1e-6) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOneRoundEqualFinishRandom checks the one-round equal-finish
+// property over random platforms (with worker dropping allowed).
+func TestPropertyOneRoundEqualFinishRandom(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		p := randomPlan(uint64(seedRaw) + 31337)
+		o := NewOneRound()
+		if err := o.Plan(p); err != nil {
+			return true // infeasible platforms may be rejected
+		}
+		link := 0.0
+		var first float64
+		for i, d := range o.seq {
+			e := p.Workers[d.Worker]
+			link += e.CommLatency + d.Size*e.UnitComm
+			finish := link + e.CompLatency + d.Size*e.UnitComp
+			if i == 0 {
+				first = finish
+			} else if !nearly(finish, first, 1e-6) {
+				return false
+			}
+		}
+		return nearly(sumSizes(o.seq), p.TotalLoad, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFactoringChunksShrink checks that weighted factoring's
+// dispatched chunk sizes never grow over the course of a run on
+// homogeneous platforms (the halving-batches invariant; heterogeneous
+// weights can reorder sizes across workers within a round).
+func TestPropertyFactoringChunksShrink(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		src := rng.New(uint64(seedRaw) + 999)
+		n := 2 + src.Intn(8)
+		ests := homogeneousEstimates(n,
+			src.Uniform(0.0001, 0.01), src.Uniform(0, 2),
+			src.Uniform(0.1, 1), src.Uniform(0, 0.5))
+		total := src.Uniform(5000, 100000)
+		eng := newFakeEngine(ests, total, 1)
+		if err := eng.run(NewWeightedFactoring()); err != nil {
+			return false
+		}
+		for i := 1; i < len(eng.dispatches); i++ {
+			if eng.dispatches[i].Size > eng.dispatches[i-1].Size*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

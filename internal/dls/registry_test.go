@@ -1,0 +1,94 @@
+package dls
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKnownNames(t *testing.T) {
+	for _, name := range Names() {
+		alg, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if alg.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, alg.Name())
+		}
+	}
+}
+
+func TestNewAliases(t *testing.T) {
+	cases := map[string]string{
+		"factoring":          "wf",
+		"weighted-factoring": "wf",
+		"FIXED-RUMR":         "fixed-rumr",
+		"fixedrumr":          "fixed-rumr",
+		"oneround":           "one-round",
+		"UMR":                "umr",
+		"simple":             "simple-1",
+		" simple-3 ":         "simple-3",
+	}
+	for in, want := range cases {
+		alg, err := New(in)
+		if err != nil {
+			t.Errorf("New(%q): %v", in, err)
+			continue
+		}
+		if alg.Name() != want {
+			t.Errorf("New(%q).Name() = %q, want %q", in, alg.Name(), want)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	for _, bad := range []string{"", "guided", "simple-0", "simple-x", "rum", "mi-", "mi-0"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewErrorListsKnownNames(t *testing.T) {
+	_, err := New("nope")
+	if err == nil || !strings.Contains(err.Error(), "umr") {
+		t.Errorf("error %v does not list known algorithms", err)
+	}
+}
+
+func TestNewReturnsFreshInstances(t *testing.T) {
+	a, _ := New("umr")
+	b, _ := New("umr")
+	if a == b {
+		t.Error("New returned a shared instance")
+	}
+}
+
+func TestPaperSetMatchesFiguresOrder(t *testing.T) {
+	want := []string{"simple-1", "simple-5", "umr", "wf", "rumr", "fixed-rumr"}
+	set := PaperSet()
+	if len(set) != len(want) {
+		t.Fatalf("PaperSet has %d algorithms, want %d", len(set), len(want))
+	}
+	for i, alg := range set {
+		if alg.Name() != want[i] {
+			t.Errorf("PaperSet[%d] = %q, want %q", i, alg.Name(), want[i])
+		}
+	}
+}
+
+func TestSimpleNRoundTripProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int(n%50) + 1
+		alg, err := New(NewSimple(k).Name())
+		if err != nil {
+			return false
+		}
+		s, ok := alg.(*Simple)
+		return ok && s.N == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package dls
+
+import "fmt"
+
+// Simple is the SIMPLE-n "static chunking" baseline (§3.6): the input is
+// divided uniformly among the workers — equal shares regardless of worker
+// speed — and each worker's share is divided into n equal chunks. No
+// probing is used. This is what APST users did for divisible loads before
+// APST-DV, and the paper shows it is always inefficient (28% / 18% slower
+// than the best algorithm on average for n=1 / n=5).
+//
+// Dispatch order interleaves workers round-robin (chunk k of every worker
+// before chunk k+1 of any), which is how APST would naturally queue the
+// user's pre-divided tasks and gives SIMPLE-n its best chance at
+// overlapping communication with computation.
+type Simple struct {
+	// N is the number of chunks per worker (the paper uses 1 and 5).
+	N int
+
+	sequencePlayer
+}
+
+// NewSimple returns a SIMPLE-n policy. n must be at least 1.
+func NewSimple(n int) *Simple { return &Simple{N: n} }
+
+// Name implements Algorithm.
+func (s *Simple) Name() string { return fmt.Sprintf("simple-%d", s.N) }
+
+// UsesProbing implements Algorithm: static chunking needs no resource
+// information.
+func (s *Simple) UsesProbing() bool { return false }
+
+// Plan implements Algorithm.
+func (s *Simple) Plan(p Plan) error {
+	if s.N < 1 {
+		return fmt.Errorf("simple: chunks per worker must be >= 1, got %d", s.N)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	workers := len(p.Workers)
+	chunk := p.TotalLoad / float64(workers*s.N)
+	var seq []Decision
+	for round := 0; round < s.N; round++ {
+		for w := 0; w < workers; w++ {
+			seq = append(seq, Decision{Worker: w, Size: chunk})
+		}
+	}
+	s.reset(seq)
+	return nil
+}
+
+// Next implements Algorithm.
+func (s *Simple) Next(st State) (Decision, bool) { return s.next(st) }
+
+// Dispatched implements Algorithm.
+func (s *Simple) Dispatched(worker int, requested, actual float64) { s.advance(actual) }
+
+// Observe implements Algorithm: SIMPLE-n does not adapt.
+func (s *Simple) Observe(Observation) {}

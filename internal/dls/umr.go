@@ -1,0 +1,221 @@
+package dls
+
+import (
+	"fmt"
+	"math"
+
+	"apstdv/internal/model"
+)
+
+// UMR implements the Uniform Multi-Round algorithm [39] (Yang & Casanova,
+// IPDPS 2003): multiple rounds with geometrically increasing chunk sizes,
+// affine communication and computation costs, heterogeneous workers, and a
+// near-optimal number of rounds.
+//
+// The schedule is "uniform" in the sense that within one round every
+// worker computes for the same duration T_j:
+//
+//	chunk_{j,i} = (T_j − compLat_i) / unitComp_i
+//
+// and successive round durations follow the pipelining recurrence that
+// keeps the serialized master uplink busy exactly while the workers
+// compute the previous round:
+//
+//	Σ_i (commLat_i + unitComm_i·chunk_{j+1,i}) = T_j
+//	⇒  T_{j+1} = (T_j − L + B) / A
+//	    A = Σ unitComm_i/unitComp_i      (aggregate comm/comp ratio)
+//	    B = Σ unitComm_i·compLat_i/unitComp_i
+//	    L = Σ commLat_i
+//
+// For A < 1 the durations grow geometrically with ratio 1/A, which is
+// what overlaps communication and computation; start-up costs bound the
+// useful number of rounds from above. Rather than using the continuous
+// approximation of [39] for the optimal M, Plan evaluates the exact
+// predicted makespan of every candidate M (the plan is cheap to simulate
+// against the estimated cost model) and keeps the best — "computes a
+// near-optimal number of rounds".
+type UMR struct {
+	sequencePlayer
+
+	// Rounds is the number of rounds the plan chose (set by Plan).
+	Rounds int
+	// PredictedMakespan is the model-predicted makespan of the chosen
+	// plan (set by Plan).
+	PredictedMakespan float64
+}
+
+// NewUMR returns a UMR policy.
+func NewUMR() *UMR { return &UMR{} }
+
+// Name implements Algorithm.
+func (u *UMR) Name() string { return "umr" }
+
+// UsesProbing implements Algorithm.
+func (u *UMR) UsesProbing() bool { return true }
+
+// Plan implements Algorithm.
+func (u *UMR) Plan(p Plan) error {
+	rounds, pred, err := PlanUMRRounds(p, p.TotalLoad)
+	if err != nil {
+		return err
+	}
+	u.Rounds = len(rounds)
+	u.PredictedMakespan = pred
+	var seq []Decision
+	for _, r := range rounds {
+		seq = append(seq, r...)
+	}
+	u.reset(seq)
+	return nil
+}
+
+// Next implements Algorithm.
+func (u *UMR) Next(st State) (Decision, bool) { return u.next(st) }
+
+// Dispatched implements Algorithm.
+func (u *UMR) Dispatched(worker int, requested, actual float64) { u.advance(actual) }
+
+// Observe implements Algorithm: UMR does not adapt during execution
+// (per §3.6: "SIMPLE-n and UMR do not perform such adaptation").
+func (u *UMR) Observe(Observation) {}
+
+// maxUMRRounds bounds the search for the optimal number of rounds. Round
+// start-up costs grow linearly in M, so the predicted-makespan minimum is
+// far below this for any sane platform.
+const maxUMRRounds = 128
+
+// PlanUMRRounds computes the UMR schedule for the given amount of load
+// under the plan's cost estimates. It returns the per-round dispatch
+// decisions (workers in fastest-first order within each round) and the
+// predicted makespan of the schedule. RUMR and Fixed-RUMR reuse it for
+// their first phase, planning only a fraction of the total load.
+func PlanUMRRounds(p Plan, load float64) ([][]Decision, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if load <= 0 || load > p.TotalLoad*(1+1e-9) {
+		return nil, 0, fmt.Errorf("umr: load %g outside (0, total %g]", load, p.TotalLoad)
+	}
+
+	// Aggregate cost-model constants.
+	var sumA, sumB, sumL, sumP, sumC float64
+	for _, e := range p.Workers {
+		sumA += e.UnitComm / e.UnitComp
+		sumB += e.UnitComm * e.CompLatency / e.UnitComp
+		sumL += e.CommLatency
+		sumP += 1 / e.UnitComp
+		sumC += e.CompLatency / e.UnitComp
+	}
+	order := model.BySpeed(p.Workers)
+
+	bestM, bestPred := 0, math.Inf(1)
+	var bestRounds [][]Decision
+	for m := 1; m <= maxUMRRounds; m++ {
+		rounds, ok := umrCandidate(p, load, m, sumA, sumB, sumL, sumP, sumC, order)
+		if !ok {
+			continue
+		}
+		var flat []Decision
+		for _, r := range rounds {
+			flat = append(flat, r...)
+		}
+		pred := predictMakespan(p.Workers, flat)
+		if pred < bestPred {
+			bestM, bestPred, bestRounds = m, pred, rounds
+		}
+	}
+	if bestM == 0 {
+		return nil, 0, fmt.Errorf("umr: no feasible round count for load %g on %d workers", load, len(p.Workers))
+	}
+	return bestRounds, bestPred, nil
+}
+
+// umrCandidate builds the M-round schedule, or reports ok=false when M is
+// infeasible (some round duration would require negative chunks, or
+// chunks fall below the division granularity).
+func umrCandidate(p Plan, load float64, m int, sumA, sumB, sumL, sumP, sumC float64, order []int) ([][]Decision, bool) {
+	// Round durations: T_j = r^j·(T0 − F) + F with r = 1/A.
+	// Total load constraint: sumP·ΣT_j − M·sumC = load.
+	durations := make([]float64, m)
+	switch {
+	case sumA <= 0:
+		// Free communication: the recurrence degenerates; a pipelined
+		// multi-round schedule has no structure to exploit, so only the
+		// single-round candidate is meaningful.
+		if m != 1 {
+			return nil, false
+		}
+		durations[0] = (load + sumC) / sumP
+	case math.Abs(sumA-1) < 1e-12:
+		// T_{j+1} = T_j − L + B: arithmetic progression with d = B − L.
+		d := sumB - sumL
+		// sumP·Σ(T0 + j·d) − M·sumC = load
+		t0 := (load + float64(m)*sumC - sumP*d*float64(m*(m-1))/2) / (sumP * float64(m))
+		for j := 0; j < m; j++ {
+			durations[j] = t0 + float64(j)*d
+		}
+	default:
+		r := 1 / sumA
+		f := (sumL - sumB) / (1 - sumA)
+		// g = Σ_{j<M} r^j, summed iteratively so extreme ratios stay
+		// finite for small M instead of producing Inf/Inf.
+		g, pow := 0.0, 1.0
+		for j := 0; j < m; j++ {
+			g += pow
+			pow *= r
+			if math.IsInf(g, 0) || math.IsInf(pow, 0) {
+				return nil, false
+			}
+		}
+		// sumP·[(T0−F)·g + M·F] − M·sumC = load
+		t0 := f + (load+float64(m)*sumC-sumP*float64(m)*f)/(sumP*g)
+		pow = 1.0
+		for j := 0; j < m; j++ {
+			durations[j] = pow*(t0-f) + f
+			pow *= r
+		}
+	}
+
+	rounds := make([][]Decision, 0, m)
+	dispatched := 0.0
+	for j := 0; j < m; j++ {
+		tj := durations[j]
+		if !(tj > 0) || math.IsInf(tj, 0) || math.IsNaN(tj) {
+			return nil, false
+		}
+		round := make([]Decision, 0, len(p.Workers))
+		for _, w := range order {
+			e := p.Workers[w]
+			size := (tj - e.CompLatency) / e.UnitComp
+			if size < 0 {
+				return nil, false
+			}
+			// Reject candidates whose chunks are below the division
+			// granularity (they could not be materialized), except that
+			// a single-round plan is always allowed as a fallback.
+			if m > 1 && p.MinChunk > 0 && size < p.MinChunk {
+				return nil, false
+			}
+			round = append(round, Decision{Worker: w, Size: size})
+			dispatched += size
+		}
+		rounds = append(rounds, round)
+	}
+
+	// Absorb floating-point drift into the last round, spread across all
+	// workers in proportion to their chunk so the equal-finish property
+	// is preserved.
+	drift := load - dispatched
+	if math.Abs(drift) > load*1e-12 {
+		last := rounds[m-1]
+		lastTotal := sumSizes(last)
+		if lastTotal <= 0 || lastTotal+drift < 0 {
+			return nil, false
+		}
+		scale := (lastTotal + drift) / lastTotal
+		for i := range last {
+			last[i].Size *= scale
+		}
+	}
+	return rounds, true
+}

@@ -1,0 +1,512 @@
+// Package engine is the APST-DV master: it probes resources, hands the
+// estimates to a DLS algorithm, and runs the dispatch loop — cutting
+// chunks at valid division points, streaming them over the serialized
+// master uplink, launching computations, collecting outputs, and
+// recording the execution trace.
+//
+// The engine is execution-backend agnostic: package grid provides the
+// discrete-event simulation of the paper's testbed, package live a real
+// concurrent runtime over net/rpc. Both implement Backend. All engine
+// state is guarded by one mutex so that live backends may invoke
+// callbacks from arbitrary goroutines.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/model"
+	"apstdv/internal/trace"
+)
+
+// Backend abstracts an execution platform.
+type Backend interface {
+	// Now returns the backend's current time in seconds from start.
+	Now() float64
+	// Workers returns the number of compute resources.
+	Workers() int
+	// Transfer moves bytes to worker w over the master uplink and calls
+	// done(start, end) on completion. The engine issues at most one
+	// Transfer at a time — the uplink serialization the paper describes.
+	Transfer(w int, bytes float64, done func(start, end float64))
+	// Execute runs size load units on worker w (FIFO behind earlier
+	// work) and calls done(start, end) on completion. size 0 is a no-op
+	// calibration job costing only the start-up latency. probe marks the
+	// probing round's calibration work: the probe file is a fixed,
+	// representative input, so its compute time carries the platform's
+	// noise (background load) but not the application's data-dependent
+	// variability γ.
+	Execute(w int, size float64, probe bool, done func(start, end float64))
+	// ReturnOutput moves output bytes from worker w back to the master
+	// on a path parallel to the uplink.
+	ReturnOutput(w int, bytes float64, done func(start, end float64))
+	// Run processes work until the engine has finished (and, for
+	// backends implementing Stopper, Stop was called).
+	Run()
+}
+
+// Stopper is implemented by backends whose Run blocks until told to stop
+// (the live runtime); the simulator simply drains its event queue.
+type Stopper interface{ Stop() }
+
+// Divider aligns requested cut points to the application's valid ones.
+// Package divide provides the paper's three methods (uniform, index,
+// callback); a nil Divider means continuously divisible load.
+type Divider interface {
+	// CutAfter returns a valid cut point near want, strictly greater
+	// than from. The total load must always be a valid cut.
+	CutAfter(from, want float64) float64
+}
+
+// Config controls one execution.
+type Config struct {
+	// ProbeLoad is the probe chunk size in load units (the paper's
+	// probefile, e.g. 21 frames against an 1830-frame load). Default:
+	// 1% of the total load.
+	ProbeLoad float64
+	// ProbeBytesPerUnit overrides the probe file's data density;
+	// default: the application's BytesPerUnit.
+	ProbeBytesPerUnit float64
+	// DisableProbing skips the probing round even for algorithms that
+	// request it, handing them blind equal-speed estimates (ablation).
+	DisableProbing bool
+	// Oracle hands the algorithm noise-free estimates derived from the
+	// true platform model instead of probing (ablation upper bound).
+	Oracle bool
+	// Divider aligns chunk cut points; nil means continuous.
+	Divider Divider
+	// RecalibrateInterval, when positive, re-measures each worker's
+	// start-up costs during execution: every interval seconds the engine
+	// sends an empty file and launches a no-op job on the next worker
+	// (round-robin), delivering the measurements to algorithms that
+	// implement dls.Recalibrator. This is §3.5's "obtains these estimates
+	// periodically". Calibration shares the serialized uplink politely:
+	// it runs only when the link is otherwise free.
+	RecalibrateInterval float64
+	// ParallelUplink lifts the one-outstanding-transfer rule, modelling
+	// an idealized master that can feed every worker concurrently at
+	// full per-link bandwidth. The paper's platforms serialize (§4.2:
+	// "communications to workers are serialized"); this switch exists
+	// for the ablation that quantifies how much that serialization is
+	// responsible for the algorithms' behaviour.
+	ParallelUplink bool
+}
+
+// Run executes the application on the backend under the algorithm's
+// schedule and returns the execution trace.
+func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.Platform, cfg Config) (*trace.Trace, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if b.Workers() == 0 {
+		return nil, errors.New("engine: backend has no workers")
+	}
+	e := &execution{
+		backend:  b,
+		alg:      alg,
+		app:      app,
+		platform: platform,
+		cfg:      cfg,
+		trace:    trace.New(alg.Name(), platformName(platform)),
+		total:    float64(app.TotalLoad),
+	}
+	e.remaining = e.total
+	n := b.Workers()
+	e.pending = make([]float64, n)
+	e.pendingChunks = make([]int, n)
+	if cfg.ProbeLoad <= 0 {
+		e.probeLoad = e.total / 100
+	} else {
+		e.probeLoad = cfg.ProbeLoad
+	}
+	e.probeBPU = float64(app.BytesPerUnit)
+	if cfg.ProbeBytesPerUnit > 0 {
+		e.probeBPU = cfg.ProbeBytesPerUnit
+	}
+
+	e.mu.Lock()
+	e.start()
+	e.mu.Unlock()
+	b.Run()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.trace, e.err
+	}
+	if e.remaining > 1e-9 || e.inflight > 0 {
+		return e.trace, fmt.Errorf("engine: %s stalled with %.6g load undispatched and %d chunks in flight",
+			alg.Name(), e.remaining, e.inflight)
+	}
+	return e.trace, nil
+}
+
+func platformName(p *model.Platform) string {
+	if p == nil {
+		return "unknown"
+	}
+	return p.Name
+}
+
+type execution struct {
+	mu       sync.Mutex
+	backend  Backend
+	alg      dls.Algorithm
+	app      *model.Application
+	platform *model.Platform
+	cfg      Config
+	trace    *trace.Trace
+
+	total     float64
+	remaining float64
+	offset    float64
+	completed float64
+
+	pending       []float64
+	pendingChunks []int
+	inflight      int
+	sending       bool
+	chunkID       int
+
+	probeLoad float64
+	probeBPU  float64
+	// Periodic recalibration state.
+	lastCal     float64
+	calWorker   int
+	calibrating bool
+	calCount    int
+	// probing-phase measurements, indexed by worker.
+	probes       []probeResult
+	probesLeft   int
+	planned      bool
+	err          error
+	stopNotified bool
+}
+
+type probeResult struct {
+	emptyTransfer float64 // measured comm latency
+	noopExec      float64 // measured comp latency
+	probeTransfer float64
+	probeExec     float64
+	execDone      int // of 2 (no-op + probe)
+}
+
+// start seeds the first actions; the caller holds the mutex.
+func (e *execution) start() {
+	if e.alg.UsesProbing() && !e.cfg.DisableProbing && !e.cfg.Oracle {
+		e.startProbing()
+		return
+	}
+	e.plan(e.initialEstimates())
+}
+
+// initialEstimates returns the estimates for the no-probing paths:
+// oracle truth, or blind equal-speed stubs.
+func (e *execution) initialEstimates() []model.Estimate {
+	if e.cfg.Oracle && e.platform != nil {
+		return model.TrueEstimates(e.app, e.platform)
+	}
+	ests := make([]model.Estimate, e.backend.Workers())
+	for i := range ests {
+		ests[i] = model.Estimate{Worker: i, UnitComp: 1, UnitComm: 0}
+	}
+	return ests
+}
+
+// startProbing launches the probing round (§3.5): for each worker, an
+// empty transfer and a no-op job measure the start-up costs, then a probe
+// chunk measures the per-unit transfer and compute rates. Transfers
+// serialize on the uplink; computations overlap across workers.
+func (e *execution) startProbing() {
+	n := e.backend.Workers()
+	e.probes = make([]probeResult, n)
+	e.probesLeft = n
+	e.probeWorker(0)
+}
+
+// probeWorker issues worker w's empty transfer; the chain continues in
+// callbacks and moves to worker w+1 as soon as the uplink frees.
+func (e *execution) probeWorker(w int) {
+	e.backend.Transfer(w, 0, func(start, end float64) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.probes[w].emptyTransfer = end - start
+		// Launch the no-op job; its completion is independent of the
+		// uplink chain.
+		e.backend.Execute(w, 0, true, func(s2, e2 float64) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.probes[w].noopExec = e2 - s2
+			e.probeExecDone(w)
+		})
+		// Send the probe chunk on the now-free uplink.
+		e.backend.Transfer(w, e.probeLoad*e.probeBPU, func(s3, e3 float64) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.probes[w].probeTransfer = e3 - s3
+			id := e.nextChunkID()
+			e.backend.Execute(w, e.probeLoad, true, func(s4, e4 float64) {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				e.probes[w].probeExec = e4 - s4
+				e.trace.Add(trace.Record{
+					Chunk: id, Worker: w, Offset: -1, Size: e.probeLoad,
+					Probe: true, SendStart: s3, SendEnd: e3,
+					CompStart: s4, CompEnd: e4, OutputEnd: e4,
+				})
+				e.alg.Observe(dls.Observation{
+					Worker: w, Size: e.probeLoad, Probe: true,
+					SendStart: s3, SendEnd: e3, CompStart: s4, CompEnd: e4,
+				})
+				e.probeExecDone(w)
+			})
+			// Uplink free: probe the next worker.
+			if w+1 < e.backend.Workers() {
+				e.probeWorker(w + 1)
+			}
+		})
+	})
+}
+
+// probeExecDone accounts for one of worker w's two calibration
+// executions; when every worker has reported both, planning proceeds.
+func (e *execution) probeExecDone(w int) {
+	e.probes[w].execDone++
+	if e.probes[w].execDone == 2 {
+		e.probesLeft--
+	}
+	if e.probesLeft == 0 && !e.planned {
+		e.plan(e.estimatesFromProbes())
+	}
+}
+
+// estimatesFromProbes converts the probing measurements into per-worker
+// affine cost estimates, exactly as §3.5 describes: start-up costs from
+// the empty transfer and no-op job, rates from the probe chunk with the
+// start-up costs subtracted.
+func (e *execution) estimatesFromProbes() []model.Estimate {
+	ests := make([]model.Estimate, len(e.probes))
+	for w, pr := range e.probes {
+		unitComm := (pr.probeTransfer - pr.emptyTransfer) / e.probeLoad
+		if unitComm < 0 {
+			unitComm = 0
+		}
+		// Rescale to the application's data density when the probe file's
+		// differs (the case study's probe.avi has its own frames/byte).
+		if e.probeBPU > 0 && float64(e.app.BytesPerUnit) > 0 {
+			unitComm *= float64(e.app.BytesPerUnit) / e.probeBPU
+		}
+		unitComp := (pr.probeExec - pr.noopExec) / e.probeLoad
+		if unitComp <= 0 {
+			unitComp = pr.probeExec / e.probeLoad
+		}
+		ests[w] = model.Estimate{
+			Worker:      w,
+			UnitComm:    unitComm,
+			CommLatency: pr.emptyTransfer,
+			UnitComp:    unitComp,
+			CompLatency: pr.noopExec,
+		}
+	}
+	return ests
+}
+
+// plan invokes the algorithm's planning step and opens the dispatch loop.
+func (e *execution) plan(ests []model.Estimate) {
+	e.planned = true
+	minChunk := float64(e.app.MinChunk)
+	err := e.alg.Plan(dls.Plan{TotalLoad: e.total, MinChunk: minChunk, Workers: ests})
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	e.tryDispatch()
+}
+
+// state snapshots the engine's progress for the algorithm.
+func (e *execution) state() dls.State {
+	return dls.State{
+		Now:           e.backend.Now(),
+		Remaining:     e.remaining,
+		Pending:       e.pending,
+		PendingChunks: e.pendingChunks,
+		InFlight:      e.inflight,
+		Completed:     e.completed,
+	}
+}
+
+// tryDispatch asks the algorithm for the next chunk whenever the uplink
+// is free; the caller holds the mutex.
+func (e *execution) tryDispatch() {
+	if e.err != nil || (e.sending && !e.cfg.ParallelUplink) || e.calibrating || e.remaining <= 1e-9 {
+		e.maybeFinish()
+		return
+	}
+	if e.cfg.RecalibrateInterval > 0 && e.backend.Now()-e.lastCal >= e.cfg.RecalibrateInterval {
+		e.recalibrate()
+		return
+	}
+	d, ok := e.alg.Next(e.state())
+	if !ok {
+		if e.inflight == 0 && e.remaining > 1e-9 {
+			// Nothing in flight can retrigger dispatch: the algorithm
+			// has abandoned load. Fail fast instead of hanging a live
+			// backend.
+			e.fail(fmt.Errorf("engine: %s declined to dispatch with %.6g load remaining and nothing in flight",
+				e.alg.Name(), e.remaining))
+		}
+		e.maybeFinish()
+		return
+	}
+	if d.Worker < 0 || d.Worker >= e.backend.Workers() {
+		e.fail(fmt.Errorf("engine: %s dispatched to invalid worker %d", e.alg.Name(), d.Worker))
+		return
+	}
+	if d.Size <= 0 {
+		e.fail(fmt.Errorf("engine: %s dispatched non-positive size %g", e.alg.Name(), d.Size))
+		return
+	}
+	requested := d.Size
+	if requested > e.remaining {
+		requested = e.remaining
+	}
+	// Align the cut to a valid division point.
+	actual := requested
+	if e.cfg.Divider != nil {
+		cut := e.cfg.Divider.CutAfter(e.offset, e.offset+requested)
+		if cut <= e.offset || cut > e.total+1e-9 {
+			e.fail(fmt.Errorf("engine: divider returned invalid cut %g (offset %g, total %g)", cut, e.offset, e.total))
+			return
+		}
+		actual = cut - e.offset
+	}
+	if actual > e.remaining {
+		actual = e.remaining
+	}
+	// Absorb a sub-granularity remnant into this chunk rather than
+	// stranding a tail no algorithm would ask for.
+	minChunk := float64(e.app.MinChunk)
+	if rem := e.remaining - actual; rem > 0 && rem < minChunk {
+		actual = e.remaining
+	}
+
+	offset := e.offset
+	e.offset += actual
+	e.remaining -= actual
+	e.pending[d.Worker] += actual
+	e.pendingChunks[d.Worker]++
+	e.inflight++
+	e.sending = true
+	e.alg.Dispatched(d.Worker, d.Size, actual)
+
+	id := e.nextChunkID()
+	w := d.Worker
+	e.backend.Transfer(w, actual*float64(e.app.BytesPerUnit), func(sendStart, sendEnd float64) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.sending = false
+		e.backend.Execute(w, actual, false, func(compStart, compEnd float64) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.finishChunk(id, w, offset, actual, sendStart, sendEnd, compStart, compEnd)
+		})
+		e.tryDispatch()
+	})
+	if e.cfg.ParallelUplink {
+		// With the serialization rule lifted, keep dispatching while the
+		// algorithm offers work.
+		e.sending = false
+		e.tryDispatch()
+	}
+}
+
+// recalibrate runs one worker's empty-transfer + no-op measurement pair
+// on the otherwise-free uplink, then resumes dispatching. Caller holds
+// the mutex.
+func (e *execution) recalibrate() {
+	w := e.calWorker
+	e.calWorker = (e.calWorker + 1) % e.backend.Workers()
+	e.calibrating = true
+	e.lastCal = e.backend.Now()
+	e.calCount++
+	e.backend.Transfer(w, 0, func(s1, e1 float64) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		commLat := e1 - s1
+		e.calibrating = false
+		e.backend.Execute(w, 0, true, func(s2, e2 float64) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if rc, ok := e.alg.(dls.Recalibrator); ok {
+				rc.Recalibrate(w, commLat, e2-s2)
+			}
+			e.tryDispatch()
+		})
+		e.tryDispatch()
+	})
+}
+
+// finishChunk handles a completed computation: return output if any, then
+// account, record, notify, and keep dispatching. Caller holds the mutex.
+func (e *execution) finishChunk(id, w int, offset, size, sendStart, sendEnd, compStart, compEnd float64) {
+	outBytes := size * float64(e.app.OutputBytesPerUnit)
+	complete := func(outputEnd float64) {
+		e.pending[w] -= size
+		if e.pending[w] < 0 {
+			e.pending[w] = 0
+		}
+		e.pendingChunks[w]--
+		e.inflight--
+		e.completed += size
+		e.trace.Add(trace.Record{
+			Chunk: id, Worker: w, Offset: offset, Size: size,
+			SendStart: sendStart, SendEnd: sendEnd,
+			CompStart: compStart, CompEnd: compEnd, OutputEnd: outputEnd,
+		})
+		e.alg.Observe(dls.Observation{
+			Worker: w, Size: size,
+			SendStart: sendStart, SendEnd: sendEnd,
+			CompStart: compStart, CompEnd: compEnd,
+		})
+		e.tryDispatch()
+	}
+	if outBytes <= 0 {
+		complete(compEnd)
+		return
+	}
+	e.backend.ReturnOutput(w, outBytes, func(_, outEnd float64) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		complete(outEnd)
+	})
+}
+
+func (e *execution) nextChunkID() int {
+	e.chunkID++
+	return e.chunkID
+}
+
+// maybeFinish stops the backend once all load is computed. Caller holds
+// the mutex.
+func (e *execution) maybeFinish() {
+	if e.stopNotified {
+		return
+	}
+	finished := e.remaining <= 1e-9 && e.inflight == 0
+	if finished || e.err != nil {
+		e.stopNotified = true
+		if s, ok := e.backend.(Stopper); ok {
+			s.Stop()
+		}
+	}
+}
+
+// fail records the first error and stops. Caller holds the mutex.
+func (e *execution) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.maybeFinish()
+}

@@ -1,0 +1,117 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/grid"
+)
+
+// recalCapture wraps an algorithm and records Recalibrate deliveries.
+type recalCapture struct {
+	dls.Algorithm
+	mu    sync.Mutex
+	calls []recalSample
+}
+
+type recalSample struct {
+	worker   int
+	comm, cl float64
+}
+
+func (r *recalCapture) Recalibrate(worker int, commLatency, compLatency float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, recalSample{worker, commLatency, compLatency})
+}
+
+func TestPeriodicRecalibrationDeliversMeasurements(t *testing.T) {
+	platform := simplePlatform(3)
+	app := simpleApp() // makespan ~40s on 3 workers
+	backend, err := grid.New(platform, app, grid.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &recalCapture{Algorithm: dls.NewWeightedFactoring()}
+	tr, err := engine.Run(backend, cap, app, platform, engine.Config{
+		ProbeLoad:           10,
+		RecalibrateInterval: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan() <= 0 {
+		t.Fatal("no run")
+	}
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.calls) == 0 {
+		t.Fatal("no recalibration delivered")
+	}
+	seen := map[int]bool{}
+	for _, c := range cap.calls {
+		seen[c.worker] = true
+		// Noise-free platform: the empty transfer measures exactly the
+		// 2 s comm latency, the no-op exactly the 0.5 s comp latency.
+		if c.comm < 1.9 || c.comm > 2.1 {
+			t.Errorf("measured comm latency %.3f, want ≈2", c.comm)
+		}
+		if c.cl < 0.45 || c.cl > 0.56 {
+			t.Errorf("measured comp latency %.3f, want ≈0.5", c.cl)
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("recalibration covered %d workers; round-robin should reach several", len(seen))
+	}
+}
+
+func TestRecalibrationOffByDefault(t *testing.T) {
+	platform := simplePlatform(2)
+	app := simpleApp()
+	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
+	cap := &recalCapture{Algorithm: dls.NewUMR()}
+	if _, err := engine.Run(backend, cap, app, platform, engine.Config{ProbeLoad: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.calls) != 0 {
+		t.Errorf("recalibration ran without being configured: %d calls", len(cap.calls))
+	}
+}
+
+func TestRecalibrationWithNonRecalibratorAlgorithm(t *testing.T) {
+	// Algorithms that don't implement Recalibrator must still run
+	// cleanly with recalibration enabled (measurements dropped).
+	platform := simplePlatform(2)
+	app := simpleApp()
+	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
+	tr, err := engine.Run(backend, dls.NewSimple(5), app, platform, engine.Config{
+		RecalibrateInterval: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tr.BuildReport(2)
+	if rep.TotalLoad < float64(app.TotalLoad)*0.999 {
+		t.Errorf("computed %.1f", rep.TotalLoad)
+	}
+}
+
+func TestRecalibrationFeedsAdaptiveRUMR(t *testing.T) {
+	platform := simplePlatform(4)
+	app := simpleApp()
+	app.Gamma = 0.1
+	backend, _ := grid.New(platform, app, grid.Config{Seed: 9})
+	alg := dls.NewAdaptiveRUMR()
+	tr, err := engine.Run(backend, alg, app, platform, engine.Config{
+		ProbeLoad:           10,
+		RecalibrateInterval: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.BuildReport(4).TotalLoad < float64(app.TotalLoad)*0.999 {
+		t.Error("load not covered under recalibration")
+	}
+}

@@ -1,0 +1,44 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/grid"
+	"apstdv/internal/workload"
+)
+
+// TestSmokeAllAlgorithmsDAS2 runs every paper algorithm end-to-end on the
+// simulated DAS-2 platform and checks basic sanity: all load computed,
+// makespan positive and below the trivial sequential bound.
+func TestSmokeAllAlgorithmsDAS2(t *testing.T) {
+	for _, gamma := range []float64{0, 0.10} {
+		app := workload.Synthetic(gamma)
+		platform := workload.DAS2(16)
+		for _, alg := range dls.PaperSet() {
+			name := fmt.Sprintf("%s/γ=%g", alg.Name(), gamma)
+			t.Run(name, func(t *testing.T) {
+				backend, err := grid.New(platform, app, grid.Config{Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: 200})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := tr.BuildReport(len(platform.Workers))
+				if rep.TotalLoad < float64(app.TotalLoad)*0.9999 {
+					t.Errorf("computed %.1f of %.1f load", rep.TotalLoad, float64(app.TotalLoad))
+				}
+				seq := float64(app.SequentialTime())
+				if rep.Makespan <= 0 || rep.Makespan > seq {
+					t.Errorf("makespan %.1f outside (0, %.1f]", rep.Makespan, seq)
+				}
+				t.Logf("%s: makespan %.0fs, %d chunks, overlap %.0f%%, idleFront %.0fs",
+					alg.Name(), rep.Makespan, rep.Chunks, 100*rep.Overlap, rep.IdleFront)
+			})
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package experiment defines and runs the paper's evaluation: every
+// figure and table of §2.1, §4 and §5 has a Spec here that regenerates
+// its rows — same platforms, same applications, same γ values, averaged
+// over the same number of runs (10).
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/grid"
+	"apstdv/internal/model"
+	"apstdv/internal/stats"
+	"apstdv/internal/trace"
+)
+
+// Spec describes one experiment: a platform, an application family
+// parameterized by γ, a set of algorithms, and run parameters.
+type Spec struct {
+	ID    string
+	Title string
+	// Platform under test.
+	Platform *model.Platform
+	// App builds the application for a given γ.
+	App func(gamma float64) *model.Application
+	// Gammas lists the uncertainty levels to evaluate (the paper uses
+	// 0 and 0.10 for §4, platform-induced ~0.20 for §5).
+	Gammas []float64
+	// Algorithms returns fresh algorithm instances for one run.
+	Algorithms func() []dls.Algorithm
+	// Runs is the number of repetitions per (algorithm, γ) cell; the
+	// paper averages over 10 distinct runs.
+	Runs int
+	// ProbeLoad is the probe chunk size in load units.
+	ProbeLoad float64
+	// Seed is the base seed; run k uses Seed+k.
+	Seed uint64
+	// GridConfig customizes the backend beyond the seed (ablations).
+	GridConfig func(seed uint64) grid.Config
+	// EngineConfig customizes the engine (ablations).
+	EngineConfig func() engine.Config
+}
+
+// Cell is the aggregated result for one (algorithm, γ) pair.
+type Cell struct {
+	Algorithm string
+	Gamma     float64
+	Summary   stats.Summary
+	// SlowdownPct is the paper's headline metric: how much slower than
+	// the best algorithm at the same γ, in percent.
+	SlowdownPct float64
+	// MeasuredGamma is the observed CV of normalized per-unit compute
+	// times across the run's chunks (how the paper "measures" γ).
+	MeasuredGamma float64
+	// RUMRSwitched counts runs in which RUMR entered its factoring phase
+	// (only meaningful for the rumr row) — the paper's key diagnostic.
+	RUMRSwitched int
+	// Makespans holds the per-run values behind Summary.
+	Makespans []float64
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Spec  *Spec
+	Cells []Cell
+}
+
+// Run executes the experiment.
+func (s *Spec) Run() (*Result, error) {
+	if s.Runs <= 0 {
+		s.Runs = 10
+	}
+	res := &Result{Spec: s}
+	for _, gamma := range s.Gammas {
+		var cells []Cell
+		proto := s.Algorithms()
+		for ai := range proto {
+			name := proto[ai].Name()
+			cell := Cell{Algorithm: name, Gamma: gamma}
+			gammaStats := stats.RunningStats{}
+			for run := 0; run < s.Runs; run++ {
+				alg := s.Algorithms()[ai]
+				app := s.App(gamma)
+				seed := s.Seed + uint64(run)*1000003
+				gcfg := grid.Config{Seed: seed}
+				if s.GridConfig != nil {
+					gcfg = s.GridConfig(seed)
+				}
+				backend, err := grid.New(s.Platform, app, gcfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", s.ID, err)
+				}
+				ecfg := engine.Config{ProbeLoad: s.ProbeLoad}
+				if s.EngineConfig != nil {
+					ecfg = s.EngineConfig()
+					if ecfg.ProbeLoad == 0 {
+						ecfg.ProbeLoad = s.ProbeLoad
+					}
+				}
+				tr, err := engine.Run(backend, alg, app, s.Platform, ecfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %s γ=%g run %d: %w", s.ID, name, gamma, run, err)
+				}
+				cell.Makespans = append(cell.Makespans, tr.Makespan())
+				gammaStats.Add(MeasureGamma(tr, s.Platform))
+				if r, ok := alg.(*dls.RUMR); ok && r.Switched() {
+					cell.RUMRSwitched++
+				}
+			}
+			cell.Summary = stats.Summarize(cell.Makespans)
+			cell.MeasuredGamma = gammaStats.Mean()
+			cells = append(cells, cell)
+		}
+		// Slowdowns are relative to the best mean at this γ.
+		best := cells[0].Summary.Mean
+		for _, c := range cells {
+			if c.Summary.Mean < best {
+				best = c.Summary.Mean
+			}
+		}
+		for i := range cells {
+			cells[i].SlowdownPct = stats.SlowdownPct(cells[i].Summary.Mean, best)
+		}
+		res.Cells = append(res.Cells, cells...)
+	}
+	return res, nil
+}
+
+// MeasureGamma estimates the paper's γ from one run's trace: the CV of
+// per-unit compute times, normalized per worker (so heterogeneity does
+// not masquerade as uncertainty). This is the quantity the case study
+// reports as "the average value for γ that was measured ... is 20%".
+func MeasureGamma(tr *trace.Trace, p *model.Platform) float64 {
+	perWorker := make([]stats.RunningStats, len(p.Workers))
+	for _, r := range tr.Records() {
+		if r.Probe || r.Size <= 0 || r.Worker < 0 || r.Worker >= len(perWorker) {
+			continue
+		}
+		perWorker[r.Worker].Add(r.ComputeTime() / r.Size)
+	}
+	var ratios []float64
+	for w, rs := range perWorker {
+		if rs.N() < 2 || rs.Mean() <= 0 {
+			continue
+		}
+		mean := rs.Mean()
+		for _, r := range tr.Records() {
+			if r.Probe || r.Size <= 0 || r.Worker != w {
+				continue
+			}
+			ratios = append(ratios, r.ComputeTime()/r.Size/mean)
+		}
+	}
+	return stats.CV(ratios)
+}
+
+// CellsAt returns the cells for one γ, in algorithm order.
+func (r *Result) CellsAt(gamma float64) []Cell {
+	var out []Cell
+	for _, c := range r.Cells {
+		if c.Gamma == gamma {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Cell returns the cell for (algorithm, γ), or false.
+func (r *Result) Cell(alg string, gamma float64) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Algorithm == alg && c.Gamma == gamma {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// Best returns the fastest algorithm name at γ.
+func (r *Result) Best(gamma float64) string {
+	cells := r.CellsAt(gamma)
+	if len(cells) == 0 {
+		return ""
+	}
+	best := cells[0]
+	for _, c := range cells[1:] {
+		if c.Summary.Mean < best.Summary.Mean {
+			best = c
+		}
+	}
+	return best.Algorithm
+}
+
+// Bars renders the result as horizontal bar charts, one per γ — the
+// visual form of the paper's Figures 2–4.
+func (r *Result) Bars(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	for _, g := range r.Spec.Gammas {
+		cells := r.CellsAt(g)
+		if len(cells) == 0 {
+			continue
+		}
+		maxSpan := 0.0
+		for _, c := range cells {
+			if c.Summary.Mean > maxSpan {
+				maxSpan = c.Summary.Mean
+			}
+		}
+		fmt.Fprintf(&b, "%s, γ=%g%%:\n", r.Spec.Title, g*100)
+		for _, c := range cells {
+			n := int(c.Summary.Mean / maxSpan * float64(width))
+			fmt.Fprintf(&b, "  %-14s %s %.0fs\n", c.Algorithm, strings.Repeat("▇", n), c.Summary.Mean)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table renders the result in the layout of the paper's figures: one row
+// per algorithm, one column pair (makespan, slowdown) per γ.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (platform %s, %d runs)\n", r.Spec.ID, r.Spec.Title, r.Spec.Platform.Name, r.Spec.Runs)
+	fmt.Fprintf(&b, "%-12s", "algorithm")
+	for _, g := range r.Spec.Gammas {
+		fmt.Fprintf(&b, " | %21s", fmt.Sprintf("γ=%g%%: makespan", g*100))
+		fmt.Fprintf(&b, " %8s", "vs best")
+	}
+	b.WriteString("\n")
+	names := r.algorithmOrder()
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, g := range r.Spec.Gammas {
+			c, ok := r.Cell(name, g)
+			if !ok {
+				fmt.Fprintf(&b, " | %21s %8s", "-", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " | %12.0fs ±%5.0fs %+7.1f%%", c.Summary.Mean, c.Summary.CI95(), c.SlowdownPct)
+		}
+		if name == "rumr" {
+			for _, g := range r.Spec.Gammas {
+				if c, ok := r.Cell(name, g); ok {
+					fmt.Fprintf(&b, "  [switched %d/%d at γ=%g%%]", c.RUMRSwitched, r.Spec.Runs, g*100)
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// algorithmOrder lists algorithm names in first-appearance order.
+func (r *Result) algorithmOrder() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, c := range r.Cells {
+		if !seen[c.Algorithm] {
+			seen[c.Algorithm] = true
+			names = append(names, c.Algorithm)
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool { return false }) // keep appearance order
+	return names
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the result as plot-ready CSV: one row per
+// (algorithm, γ, run) with the run's makespan, plus aggregate columns —
+// the data behind the paper's bar charts, for anyone regenerating the
+// figures with their own plotting stack.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"experiment", "platform", "algorithm", "gamma",
+		"run", "makespan_s", "mean_s", "ci95_s", "slowdown_pct", "rumr_switched",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, c := range r.Cells {
+		for run, m := range c.Makespans {
+			rec := []string{
+				r.Spec.ID, r.Spec.Platform.Name, c.Algorithm,
+				fmt.Sprintf("%g", c.Gamma),
+				strconv.Itoa(run), f(m),
+				f(c.Summary.Mean), f(c.Summary.CI95()), f(c.SlowdownPct),
+				strconv.Itoa(c.RUMRSwitched),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"apstdv/internal/dls"
+	"apstdv/internal/workload"
+)
+
+// Extended compares the full algorithm library — the paper's six plus
+// the related-work baselines (§2.2: one-round, GSS, plain factoring,
+// fixed-M multi-installment) and the extensions (adaptive RUMR, oracle
+// RUMR) — on the mixed grid. It answers the question a library user
+// actually has ("which policy for my platform?") with the full menu,
+// which the paper's evaluation only sketches through its survey.
+func Extended() *Spec {
+	return &Spec{
+		ID:       "extended",
+		Title:    "full algorithm library on the mixed grid",
+		Platform: workload.Mixed(8, 8),
+		App:      workload.Synthetic,
+		Gammas:   []float64{0, 0.10, 0.25},
+		Algorithms: func() []dls.Algorithm {
+			return []dls.Algorithm{
+				dls.NewSimple(1),
+				dls.NewSimple(5),
+				dls.NewOneRound(),
+				dls.NewMultiInstallment(3),
+				dls.NewGSS(),
+				dls.NewTSS(),
+				dls.NewPlainFactoring(),
+				dls.NewWeightedFactoring(),
+				dls.NewUMR(),
+				dls.NewRUMR(),
+				dls.NewAdaptiveRUMR(),
+				dls.NewFixedRUMR(),
+				dls.NewOracleRUMR(0.10),
+			}
+		},
+		Runs:      10,
+		ProbeLoad: sectionFourProbeLoad,
+		Seed:      6,
+	}
+}

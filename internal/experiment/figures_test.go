@@ -1,0 +1,18 @@
+package experiment
+
+import "testing"
+
+// TestFigureShapes runs all four paper experiments and prints the tables,
+// so calibration deviations are visible in test output.
+func TestFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure reproduction skipped in -short mode")
+	}
+	for _, spec := range All() {
+		res, err := spec.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		t.Logf("\n%s", res.Table())
+	}
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// TestRobustnessSweepConclusionsHold is §4.3's parenthetical as a test:
+// across cluster subsets and load sizes, the qualitative conclusions do
+// not change.
+func TestRobustnessSweepConclusionsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("36 algorithm runs")
+	}
+	rs := DefaultRobustnessSweep()
+	rs.Runs = 3
+	cells, err := rs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(rs.NodeCounts)*len(rs.LoadScales)*2 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	failed := 0
+	for _, c := range cells {
+		if !c.ConclusionsHold() {
+			failed++
+			t.Logf("conclusions violated at %d nodes ×%.1f γ=%g: best=%s simple1=%+.1f%%",
+				c.Nodes, c.LoadScale, c.Gamma, c.Best, c.Simple1Pct)
+		}
+	}
+	// The paper's claim is qualitative; allow one marginal cell out of 18.
+	if failed > 1 {
+		t.Errorf("%d/%d sweep cells violate the §4.3 conclusions", failed, len(cells))
+	}
+	if out := RenderSweep(cells); len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestResultWriteCSV(t *testing.T) {
+	s := Figure2()
+	s.Runs = 2
+	s.Gammas = []float64{0}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 6 algorithms × 2 runs.
+	if len(rows) != 1+12 {
+		t.Fatalf("%d CSV rows, want 13", len(rows))
+	}
+	if rows[0][0] != "experiment" || rows[1][0] != "fig2" {
+		t.Errorf("header/first row: %v / %v", rows[0], rows[1])
+	}
+	if rows[1][2] != "simple-1" {
+		t.Errorf("first algorithm %q", rows[1][2])
+	}
+}
+
+// TestExtendedComparison runs the full algorithm menu briefly and checks
+// the ancestry story: one-round worst of the informed algorithms at γ=0
+// (no pipelining), weighted factoring beats its unweighted ancestor and
+// GSS under uncertainty, and the oracle/fixed RUMRs lead at γ=25%.
+func TestExtendedComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 algorithms × 3 γ")
+	}
+	s := Extended()
+	s.Runs = 3
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	umr0 := cellOf(t, res, "umr", 0)
+	or0 := cellOf(t, res, "one-round", 0)
+	if or0.Summary.Mean <= umr0.Summary.Mean {
+		t.Errorf("one-round (%.0f) beat UMR (%.0f) at γ=0", or0.Summary.Mean, umr0.Summary.Mean)
+	}
+	wf25 := cellOf(t, res, "wf", 0.25)
+	gss25 := cellOf(t, res, "gss", 0.25)
+	if wf25.Summary.Mean > gss25.Summary.Mean {
+		t.Errorf("weighted factoring (%.0f) lost to GSS (%.0f) at γ=25%%", wf25.Summary.Mean, gss25.Summary.Mean)
+	}
+	best25 := res.Best(0.25)
+	robust := map[string]bool{"fixed-rumr": true, "rumr-oracle": true, "wf": true, "adaptive-rumr": true, "rumr": true}
+	if !robust[best25] {
+		t.Errorf("best at γ=25%% is %s; expected a robust variant", best25)
+	}
+}
+
+func TestResultBars(t *testing.T) {
+	s := Figure2()
+	s.Runs = 1
+	s.Gammas = []float64{0}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Bars(30)
+	if !strings.Contains(out, "▇") || !strings.Contains(out, "umr") {
+		t.Errorf("bars output:\n%s", out)
+	}
+	// The slowest algorithm's bar must be the full width.
+	if !strings.Contains(out, strings.Repeat("▇", 30)) {
+		t.Error("no full-width bar for the slowest algorithm")
+	}
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"apstdv/internal/rng"
+	"apstdv/internal/stats"
+	"apstdv/internal/workload"
+)
+
+// Table1Row is one measured row of the paper's Table 1, alongside the
+// paper's reported values.
+type Table1Row struct {
+	Name       string
+	InputMB    float64
+	RunTimeSec float64
+	R          float64
+	GammaPct   float64
+	SpreadPct  float64
+
+	PaperRunTimeSec float64
+	PaperR          float64
+	PaperGammaPct   float64 // -1 = N/A
+	PaperSpreadPct  float64 // -1 = N/A
+}
+
+// Table1Result holds the regenerated table.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// table1Units is how many load units (1 unit = 1 MB of input) are
+// sampled per application when measuring γ and the spread. HMMER's
+// outliers occur at ~1e-5 probability, so the sample must be large
+// enough to surface them.
+const table1Units = 400000
+
+// Table1 regenerates the paper's Table 1 by profiling each application
+// model: drawing per-unit compute times, then measuring the runtime on
+// the reference machine, the communication/computation ratio r at the
+// paper's 10 MB/s effective rate, the coefficient of variation γ, and
+// the (max-min)/mean spread.
+func Table1() *Table1Result {
+	res := &Table1Result{}
+	src := rng.Stream(1, "table1")
+	for _, app := range workload.Table1() {
+		costs := make([]float64, table1Units)
+		for i := range costs {
+			costs[i] = app.Sampler.Sample(src)
+		}
+		meanCost := stats.Mean(costs)
+		runtime := meanCost * app.InputMB
+		transfer := app.InputMB * 1e6 / float64(workload.Table1ReferenceRate)
+		row := Table1Row{
+			Name:       app.Name,
+			InputMB:    app.InputMB,
+			RunTimeSec: runtime,
+			R:          runtime / transfer,
+			GammaPct:   100 * stats.CV(costs),
+			SpreadPct:  100 * stats.Spread(costs),
+
+			PaperRunTimeSec: app.RunTimeSec,
+			PaperR:          app.R,
+			PaperGammaPct:   app.GammaPct,
+			PaperSpreadPct:  app.SpreadPct,
+		}
+		if app.GammaPct < 0 {
+			row.GammaPct = -1
+			row.SpreadPct = -1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the table with measured and paper values side by side.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — characteristics of 4 divisible load applications (measured | paper)\n")
+	fmt.Fprintf(&b, "%-12s %10s %22s %16s %14s %18s\n",
+		"application", "input(MB)", "runtime(s)", "r", "γ(%)", "spread(%)")
+	na := func(v float64, f string) string {
+		if v < 0 {
+			return "N/A"
+		}
+		return fmt.Sprintf(f, v)
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %10.1f %10.0f | %7.0f %7.1f | %6.1f %6s | %5s %8s | %7s\n",
+			r.Name, r.InputMB,
+			r.RunTimeSec, r.PaperRunTimeSec,
+			r.R, r.PaperR,
+			na(r.GammaPct, "%.0f"), na(r.PaperGammaPct, "%.0f"),
+			na(r.SpreadPct, "%.0f"), na(r.PaperSpreadPct, "%.0f"))
+	}
+	return b.String()
+}

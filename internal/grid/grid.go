@@ -1,0 +1,257 @@
+// Package grid is the simulated execution backend: it realizes the
+// paper's testbed — two clusters behind a serialized master uplink, batch
+// access latencies, heterogeneous nodes, stochastic compute times, and
+// (for the case study) non-dedicated hosts with background load — as a
+// discrete-event model the engine drives through the same Backend
+// interface as the live runtime.
+//
+// Time is virtual: a full multi-hour experiment simulates in
+// milliseconds, which is what makes the paper's 10-run averages over six
+// algorithms reproducible on a laptop.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"apstdv/internal/model"
+	"apstdv/internal/rng"
+	"apstdv/internal/sim"
+	"apstdv/internal/units"
+)
+
+// Config tunes backend behaviour beyond what the platform and application
+// models specify.
+type Config struct {
+	// Seed drives all stochastic processes; runs with equal seeds are
+	// bit-identical.
+	Seed uint64
+	// CommJitter is a coefficient of variation applied to transfer
+	// durations. The paper's testbed had a stable network; the default 0
+	// matches it, and the uncertainty ablation raises it.
+	CommJitter float64
+	// ProbeBias scales probe compute times, modelling an unrepresentative
+	// probe file ("representative may mean close to the average case",
+	// §3.5 — a probe costing 1.2× the average biases every speed estimate
+	// by 20%). 0 means unbiased (1.0).
+	ProbeBias float64
+}
+
+// Backend simulates a Platform executing an Application.
+type Backend struct {
+	eng      *sim.Engine
+	platform *model.Platform
+	app      *model.Application
+	cfg      Config
+
+	compute  []*sim.FCFSQueue // one per worker CPU
+	downlink *sim.FCFSQueue   // output return path, parallel to the uplink
+
+	compRNG []*rng.Source // per-worker compute noise
+	commRNG *rng.Source
+	bg      []*bgProcess
+	batch   []*batchState
+}
+
+// New validates the models and returns a backend positioned at time zero.
+func New(p *model.Platform, a *model.Application, cfg Config) (*Backend, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CommJitter < 0 {
+		return nil, fmt.Errorf("grid: negative comm jitter %g", cfg.CommJitter)
+	}
+	if cfg.ProbeBias == 0 {
+		cfg.ProbeBias = 1
+	}
+	if cfg.ProbeBias < 0 {
+		return nil, fmt.Errorf("grid: negative probe bias %g", cfg.ProbeBias)
+	}
+	eng := sim.New()
+	b := &Backend{
+		eng:      eng,
+		platform: p,
+		app:      a,
+		cfg:      cfg,
+		downlink: sim.NewFCFSQueue(eng),
+		commRNG:  rng.Stream(cfg.Seed, "comm"),
+	}
+	for i := range p.Workers {
+		b.compute = append(b.compute, sim.NewFCFSQueue(eng))
+		b.compRNG = append(b.compRNG, rng.Stream(cfg.Seed, fmt.Sprintf("comp/%d", i)))
+		w := p.Workers[i]
+		if w.Background != nil {
+			b.bg = append(b.bg, newBGProcess(w.Background, rng.Stream(cfg.Seed, fmt.Sprintf("bg/%d", i))))
+		} else {
+			b.bg = append(b.bg, nil)
+		}
+		if w.Batch != nil {
+			b.batch = append(b.batch, newBatchState(w.Batch, rng.Stream(cfg.Seed, fmt.Sprintf("batch/%d", i))))
+		} else {
+			b.batch = append(b.batch, nil)
+		}
+	}
+	return b, nil
+}
+
+// Now implements engine.Backend.
+func (b *Backend) Now() float64 { return float64(b.eng.Now()) }
+
+// Workers implements engine.Backend.
+func (b *Backend) Workers() int { return len(b.platform.Workers) }
+
+// Run implements engine.Backend: process events until quiescent.
+func (b *Backend) Run() { b.eng.Run() }
+
+// Transfer implements engine.Backend: move bytes to worker w over the
+// master uplink. The engine guarantees at most one outstanding Transfer,
+// which is how the model realizes the serialized uplink.
+func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64)) {
+	wk := b.platform.Workers[w]
+	d := float64(wk.CommLatency) + bytes/float64(wk.Bandwidth)
+	if b.cfg.CommJitter > 0 {
+		d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
+	}
+	start := b.eng.Now()
+	b.eng.After(units.Seconds(d), func() {
+		done(float64(start), float64(b.eng.Now()))
+	})
+}
+
+// Execute implements engine.Backend: run size load units on worker w's
+// CPU (FIFO behind whatever the worker is already doing). size 0 models a
+// no-op calibration job that costs only the computation start-up latency.
+// Probe work computes a fixed, representative input (the user's probe
+// file), so it sees the host's time-varying background load but not the
+// application's data-dependent cost variability.
+func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64)) {
+	wk := b.platform.Workers[w]
+	b.compute[w].Enqueue(func(start units.Seconds) units.Seconds {
+		base := size * float64(b.app.UnitCost) / wk.Speed
+		if probe {
+			base *= b.cfg.ProbeBias
+		} else {
+			base *= b.noise(w, size)
+		}
+		hold := 0.0
+		if b.batch[w] != nil {
+			hold = b.batch[w].startDelay(float64(start))
+		}
+		stretched := base
+		if b.bg[w] != nil && base > 0 {
+			stretched = b.bg[w].finish(float64(start)+hold, base)
+		}
+		return units.Seconds(hold + float64(wk.CompLatency) + stretched)
+	}, func(start, end units.Seconds) {
+		done(float64(start), float64(end))
+	})
+}
+
+// noise returns the multiplicative compute-time perturbation for a chunk
+// of the given size, per the application's uncertainty model.
+func (b *Backend) noise(w int, size float64) float64 {
+	g := b.app.Gamma
+	if g <= 0 || size <= 0 {
+		return 1
+	}
+	cv := g
+	if b.app.Uncertainty == model.PerUnit {
+		// Independent unit costs: the chunk-level CV shrinks with the
+		// square root of the number of units.
+		cv = g / math.Sqrt(size)
+	}
+	return b.compRNG[w].TruncNormal(1, cv, 0.1)
+}
+
+// ReturnOutput implements engine.Backend: move output bytes from worker w
+// back to the master over the downlink (FIFO, parallel to the uplink).
+// Zero bytes complete immediately without occupying the downlink.
+func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float64)) {
+	if bytes <= 0 {
+		now := float64(b.eng.Now())
+		b.eng.After(0, func() { done(now, now) })
+		return
+	}
+	wk := b.platform.Workers[w]
+	b.downlink.Enqueue(func(units.Seconds) units.Seconds {
+		d := float64(wk.CommLatency) + bytes/float64(wk.Bandwidth)
+		if b.cfg.CommJitter > 0 {
+			d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
+		}
+		return units.Seconds(d)
+	}, func(start, end units.Seconds) {
+		done(float64(start), float64(end))
+	})
+}
+
+// bgProcess is the two-state Markov-modulated CPU thief of non-dedicated
+// hosts. Queries must come with non-decreasing start times, which holds
+// because each worker's compute queue is FIFO.
+type bgProcess struct {
+	cfg        *model.BackgroundLoad
+	src        *rng.Source
+	t          float64 // timeline position up to which state is decided
+	on         bool
+	nextSwitch float64
+}
+
+func newBGProcess(cfg *model.BackgroundLoad, src *rng.Source) *bgProcess {
+	p := &bgProcess{cfg: cfg, src: src}
+	// Start in the stationary distribution so early chunks see the same
+	// load climate as late ones.
+	pOn := float64(cfg.MeanOn) / float64(cfg.MeanOn+cfg.MeanOff)
+	p.on = p.src.Float64() < pOn
+	p.nextSwitch = p.src.Exp(p.meanSojourn())
+	return p
+}
+
+func (p *bgProcess) meanSojourn() float64 {
+	if p.on {
+		return float64(p.cfg.MeanOn)
+	}
+	return float64(p.cfg.MeanOff)
+}
+
+// finish returns the wall time needed to complete `work` seconds of CPU
+// demand starting at time start, given the host's time-varying available
+// CPU share.
+func (p *bgProcess) finish(start, work float64) float64 {
+	if start < p.t {
+		// FIFO guarantees monotonicity; tolerate exact ties.
+		start = p.t
+	}
+	p.advanceTo(start)
+	t := start
+	for work > 1e-12 {
+		rate := 1.0
+		if p.on {
+			rate = 1 - p.cfg.Share
+		}
+		span := p.nextSwitch - t
+		if need := work / rate; need <= span {
+			t += need
+			work = 0
+		} else {
+			work -= span * rate
+			t = p.nextSwitch
+			p.toggle()
+		}
+	}
+	p.t = t
+	return t - start
+}
+
+func (p *bgProcess) advanceTo(t float64) {
+	for p.nextSwitch <= t {
+		p.toggle()
+	}
+	p.t = t
+}
+
+func (p *bgProcess) toggle() {
+	p.on = !p.on
+	p.nextSwitch += p.src.Exp(p.meanSojourn())
+}

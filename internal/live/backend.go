@@ -1,0 +1,225 @@
+package live
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// NetModel imposes transfer costs on the data path so that scheduling
+// effects are observable even when master and workers share one machine:
+// each transfer sleeps Latency, then paces writes at Bandwidth. Zero
+// values mean "as fast as the loopback goes".
+type NetModel struct {
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second; 0 = unlimited
+}
+
+// WorkerConn describes one worker the backend drives.
+type WorkerConn struct {
+	Addr string
+	Net  NetModel
+}
+
+// Backend is the live engine.Backend: real RPC, real bytes, real CPU.
+type Backend struct {
+	clients []*rpc.Client
+	nets    []NetModel
+	t0      time.Time
+
+	mu      sync.Mutex
+	stopped bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	err     error
+
+	chunkSeq int64
+	seqMu    sync.Mutex
+
+	// FragmentSize is the Store fragment granularity (default 256 KiB).
+	FragmentSize int
+}
+
+// Dial connects to the given workers.
+func Dial(workers []WorkerConn) (*Backend, error) {
+	b := &Backend{
+		t0:           time.Now(),
+		stopCh:       make(chan struct{}),
+		FragmentSize: 256 << 10,
+	}
+	for _, w := range workers {
+		c, err := rpc.Dial("tcp", w.Addr)
+		if err != nil {
+			b.closeAll()
+			return nil, fmt.Errorf("live: dial %s: %w", w.Addr, err)
+		}
+		b.clients = append(b.clients, c)
+		b.nets = append(b.nets, w.Net)
+	}
+	if len(b.clients) == 0 {
+		return nil, fmt.Errorf("live: no workers")
+	}
+	return b, nil
+}
+
+// Cluster starts n in-process workers (each on its own loopback TCP
+// port) and a backend connected to them. The returned cleanup stops
+// everything.
+func Cluster(n, workPerUnit int, netModel NetModel) (*Backend, []*WorkerService, func(), error) {
+	var services []*WorkerService
+	var stops []func()
+	var conns []WorkerConn
+	cleanup := func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	for i := 0; i < n; i++ {
+		svc := NewWorkerService(workPerUnit, 1)
+		addr, stop, err := Serve(svc)
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		services = append(services, svc)
+		stops = append(stops, stop)
+		conns = append(conns, WorkerConn{Addr: addr, Net: netModel})
+	}
+	b, err := Dial(conns)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	all := func() { b.closeAll(); cleanup() }
+	return b, services, all, nil
+}
+
+func (b *Backend) closeAll() {
+	for _, c := range b.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Now implements engine.Backend: seconds since the backend started.
+func (b *Backend) Now() float64 { return time.Since(b.t0).Seconds() }
+
+// Workers implements engine.Backend.
+func (b *Backend) Workers() int { return len(b.clients) }
+
+// Run implements engine.Backend: block until Stop, then drain callbacks.
+func (b *Backend) Run() {
+	<-b.stopCh
+	b.wg.Wait()
+}
+
+// Stop implements engine.Stopper.
+func (b *Backend) Stop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.stopped {
+		b.stopped = true
+		close(b.stopCh)
+	}
+}
+
+// Err returns the first transport error observed.
+func (b *Backend) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+func (b *Backend) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+	b.Stop()
+}
+
+func (b *Backend) nextChunk() int64 {
+	b.seqMu.Lock()
+	defer b.seqMu.Unlock()
+	b.chunkSeq++
+	return b.chunkSeq
+}
+
+// Transfer implements engine.Backend: move `bytes` of real data to the
+// worker over RPC, paced by the worker's network model. The engine
+// guarantees serialization (one outstanding Transfer).
+func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64)) {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		start := b.Now()
+		nm := b.nets[w]
+		if nm.Latency > 0 {
+			time.Sleep(nm.Latency)
+		}
+		chunk := b.nextChunk()
+		remaining := int(bytes)
+		frag := b.FragmentSize
+		if frag <= 0 {
+			frag = 256 << 10
+		}
+		buf := make([]byte, frag)
+		sent := 0
+		for remaining > 0 || sent == 0 {
+			n := remaining
+			if n > frag {
+				n = frag
+			}
+			args := StoreArgs{Chunk: int(chunk), Data: buf[:n], Last: n == remaining}
+			var reply StoreReply
+			if err := b.clients[w].Call("Worker.Store", args, &reply); err != nil {
+				b.fail(fmt.Errorf("live: store on worker %d: %w", w, err))
+				return
+			}
+			remaining -= n
+			sent += n
+			if nm.Bandwidth > 0 && n > 0 {
+				time.Sleep(time.Duration(float64(n) / nm.Bandwidth * float64(time.Second)))
+			}
+			if n == 0 {
+				break
+			}
+		}
+		done(start, b.Now())
+	}()
+}
+
+// Execute implements engine.Backend: RPC the worker's compute loop.
+// FIFO ordering comes from the worker's internal mutex.
+func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64)) {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		start := b.Now()
+		args := ComputeArgs{Chunk: int(b.nextChunk()), Units: size, Probe: probe}
+		var reply ComputeReply
+		if err := b.clients[w].Call("Worker.Compute", args, &reply); err != nil {
+			b.fail(fmt.Errorf("live: compute on worker %d: %w", w, err))
+			return
+		}
+		done(start, b.Now())
+	}()
+}
+
+// ReturnOutput implements engine.Backend: fetch output bytes back.
+func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float64)) {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		start := b.Now()
+		var reply FetchReply
+		if err := b.clients[w].Call("Worker.Fetch", FetchArgs{Bytes: int(bytes)}, &reply); err != nil {
+			b.fail(fmt.Errorf("live: fetch from worker %d: %w", w, err))
+			return
+		}
+		done(start, b.Now())
+	}()
+}

@@ -1,0 +1,288 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/model"
+)
+
+func TestWorkerServiceCompute(t *testing.T) {
+	svc := NewWorkerService(10000, 1)
+	var reply ComputeReply
+	if err := svc.Compute(ComputeArgs{Chunk: 1, Units: 10}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Checksum == 0 {
+		t.Error("no work performed")
+	}
+	if reply.Units != 10 {
+		t.Errorf("echoed units %g", reply.Units)
+	}
+	if svc.Computed() != 1 {
+		t.Errorf("computed count %d", svc.Computed())
+	}
+	if err := svc.Compute(ComputeArgs{Units: -1}, &reply); err == nil {
+		t.Error("negative units accepted")
+	}
+}
+
+func TestWorkerServiceStoreAccounting(t *testing.T) {
+	svc := NewWorkerService(1, 1)
+	var r StoreReply
+	if err := svc.Store(StoreArgs{Chunk: 1, Data: make([]byte, 100)}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Received != 100 {
+		t.Errorf("received %d", r.Received)
+	}
+	if err := svc.Store(StoreArgs{Chunk: 1, Data: make([]byte, 50), Last: true}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Received != 150 {
+		t.Errorf("received %d after second fragment", r.Received)
+	}
+	if svc.BytesReceived() != 150 {
+		t.Errorf("BytesReceived = %d", svc.BytesReceived())
+	}
+}
+
+func TestWorkerServiceFetch(t *testing.T) {
+	svc := NewWorkerService(1, 1)
+	var r FetchReply
+	if err := svc.Fetch(FetchArgs{Bytes: 64}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Data) != 64 {
+		t.Errorf("fetched %d bytes", len(r.Data))
+	}
+	if err := svc.Fetch(FetchArgs{Bytes: -1}, &r); err == nil {
+		t.Error("negative fetch accepted")
+	}
+}
+
+func TestServeAndDial(t *testing.T) {
+	svc := NewWorkerService(1000, 1)
+	addr, stop, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	b, err := Dial([]WorkerConn{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	if b.Workers() != 1 {
+		t.Errorf("Workers = %d", b.Workers())
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	b.Execute(0, 5, false, func(s, e float64) {
+		if e < s {
+			t.Errorf("timeline [%g, %g]", s, e)
+		}
+		wg.Done()
+	})
+	wg.Wait()
+	if svc.Computed() != 1 {
+		t.Errorf("computed %d", svc.Computed())
+	}
+}
+
+func TestDialRejectsNoWorkers(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Error("empty worker list accepted")
+	}
+}
+
+func TestDialRejectsBadAddr(t *testing.T) {
+	if _, err := Dial([]WorkerConn{{Addr: "127.0.0.1:1"}}); err == nil {
+		t.Error("unreachable worker accepted")
+	}
+}
+
+func TestTransferMovesRealBytes(t *testing.T) {
+	b, services, cleanup, err := Cluster(1, 1000, NetModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	b.Transfer(0, 1<<20, func(s, e float64) { wg.Done() })
+	wg.Wait()
+	if got := services[0].BytesReceived(); got != 1<<20 {
+		t.Errorf("worker received %d bytes, want %d", got, 1<<20)
+	}
+}
+
+func TestNetModelPacesTransfers(t *testing.T) {
+	b, _, cleanup, err := Cluster(1, 1000, NetModel{Latency: 30 * time.Millisecond, Bandwidth: 10 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	var dur float64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	b.Transfer(0, 1<<20, func(s, e float64) { dur = e - s; wg.Done() })
+	wg.Wait()
+	// 30 ms latency + 1 MiB at 10 MiB/s = 100 ms → at least 120 ms.
+	if dur < 0.12 {
+		t.Errorf("paced transfer took %.3fs, want ≥ 0.12s", dur)
+	}
+}
+
+func TestLiveEndToEndWithEngine(t *testing.T) {
+	// Full stack on real RPC workers: probing, planning, dispatching.
+	b, services, cleanup, err := Cluster(3, 50000, NetModel{Latency: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	app := &model.Application{
+		Name: "live-test", TotalLoad: 120, BytesPerUnit: 2048,
+		UnitCost: 1, MinChunk: 1,
+	}
+	tr, err := engine.Run(b, dls.NewFixedRUMR(), app, nil, engine.Config{ProbeLoad: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep := tr.BuildReport(3)
+	if rep.TotalLoad < 119.9 {
+		t.Errorf("computed %.1f of 120 units", rep.TotalLoad)
+	}
+	totalComputed := 0
+	for _, svc := range services {
+		totalComputed += svc.Computed()
+	}
+	// Real chunks + 2 calibration executions per worker (no-op + probe).
+	if totalComputed < rep.Chunks {
+		t.Errorf("workers computed %d RPCs for %d chunks", totalComputed, rep.Chunks)
+	}
+	if rep.Makespan <= 0 {
+		t.Error("no time elapsed?")
+	}
+}
+
+func TestLiveEndToEndAllPaperAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live multi-algorithm run in -short mode")
+	}
+	for _, alg := range dls.PaperSet() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			b, _, cleanup, err := Cluster(2, 20000, NetModel{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+			app := &model.Application{
+				Name: "live", TotalLoad: 60, BytesPerUnit: 512,
+				UnitCost: 1, MinChunk: 1,
+			}
+			tr, err := engine.Run(b, alg, app, nil, engine.Config{ProbeLoad: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := tr.BuildReport(2); rep.TotalLoad < 59.9 {
+				t.Errorf("computed %.1f of 60", rep.TotalLoad)
+			}
+		})
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	b, _, cleanup, err := Cluster(1, 100, NetModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	b.Stop()
+	b.Stop() // must not panic
+	done := make(chan struct{})
+	go func() { b.Run(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Error("Run did not return after Stop")
+	}
+}
+
+func TestHeterogeneousLiveWorkersProbeDifferently(t *testing.T) {
+	// Two workers with a 3x speed gap: probing through the real stack
+	// must measure the difference, and weighted factoring must give the
+	// fast worker more load.
+	svcSlow := NewWorkerService(60000, 1)
+	addrSlow, stop1, err := Serve(svcSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop1()
+	svcFast := NewWorkerService(60000, 3)
+	addrFast, stop2, err := Serve(svcFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	b, err := Dial([]WorkerConn{{Addr: addrSlow}, {Addr: addrFast}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	app := &model.Application{
+		Name: "hetero", TotalLoad: 90, BytesPerUnit: 256,
+		UnitCost: 1, MinChunk: 1,
+	}
+	tr, err := engine.Run(b, dls.NewWeightedFactoring(), app, nil, engine.Config{ProbeLoad: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tr.BuildReport(2)
+	if rep.TotalLoad < 89.9 {
+		t.Fatalf("computed %.1f of 90", rep.TotalLoad)
+	}
+	if rep.WorkerLoad[1] <= rep.WorkerLoad[0] {
+		t.Errorf("fast worker got %.1f units, slow got %.1f — weights should favor fast",
+			rep.WorkerLoad[1], rep.WorkerLoad[0])
+	}
+}
+
+func TestLiveWorkerFailureSurfacesError(t *testing.T) {
+	svc := NewWorkerService(10000, 1)
+	addr, stop, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dial([]WorkerConn{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the worker mid-run: the backend must record a transport error
+	// and stop rather than hang.
+	stop()
+	app := &model.Application{
+		Name: "doomed", TotalLoad: 50, BytesPerUnit: 1024,
+		UnitCost: 1, MinChunk: 1,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := engine.Run(b, dls.NewSimple(1), app, nil, engine.Config{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil && b.Err() == nil {
+			t.Error("dead worker produced neither engine nor backend error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine hung on a dead worker")
+	}
+}

@@ -1,0 +1,208 @@
+// Package live is the real execution backend: workers are net/rpc
+// services (in-process or remote) that receive actual chunk bytes over
+// TCP and burn actual CPU for each load unit. It implements the same
+// engine.Backend interface as the simulator, demonstrating that the
+// scheduling layer is execution-agnostic — the paper's point about APST
+// working over Ssh/Scp, Globus, or anything else that moves files and
+// starts processes.
+//
+// To make scheduling effects observable on a single machine, the backend
+// can impose a network model on transfers (latency + bandwidth pacing)
+// and per-worker speed factors on computation, while the work itself
+// remains real: bytes cross a real TCP connection and the compute loop
+// does real floating-point operations.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// StoreArgs carries chunk data to a worker.
+type StoreArgs struct {
+	Chunk int
+	Data  []byte
+	// Last marks the final fragment of a chunk transfer.
+	Last bool
+}
+
+// StoreReply acknowledges a fragment.
+type StoreReply struct {
+	Received int
+}
+
+// ComputeArgs requests computation of a stored chunk.
+type ComputeArgs struct {
+	Chunk int
+	// Units is the chunk size in load units; the worker burns
+	// WorkPerUnit floating-point iterations per unit.
+	Units float64
+	// Probe marks calibration work.
+	Probe bool
+}
+
+// ComputeReply reports the result of a computation.
+type ComputeReply struct {
+	// Checksum is a digest of the work actually performed, so tests can
+	// verify computation really ran.
+	Checksum float64
+	// Units echoes the computed load.
+	Units float64
+}
+
+// FetchArgs requests output bytes back from the worker.
+type FetchArgs struct {
+	Chunk int
+	Bytes int
+}
+
+// FetchReply returns output data.
+type FetchReply struct {
+	Data []byte
+}
+
+// WorkerService is the RPC service a worker exposes. One service
+// instance serves one worker CPU: computations are serialized FIFO by a
+// mutex, exactly like a single-core node draining its queue.
+type WorkerService struct {
+	// WorkPerUnit is the number of inner loop iterations one load unit
+	// costs. Calibrate so a unit takes the time your experiment needs.
+	WorkPerUnit int
+	// SpeedFactor scales the work down for faster workers (>1 = faster).
+	SpeedFactor float64
+
+	mu       sync.Mutex // serializes Compute: one CPU
+	storeMu  sync.Mutex
+	received map[int]int
+	computed int
+	bytesIn  int64
+}
+
+// NewWorkerService returns a worker burning workPerUnit iterations per
+// load unit.
+func NewWorkerService(workPerUnit int, speed float64) *WorkerService {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &WorkerService{
+		WorkPerUnit: workPerUnit,
+		SpeedFactor: speed,
+		received:    make(map[int]int),
+	}
+}
+
+// Store implements the data path: fragments of a chunk arrive and are
+// accounted (the data itself is load, not meaning — the synthetic
+// application reads it and computes).
+func (s *WorkerService) Store(args StoreArgs, reply *StoreReply) error {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	s.received[args.Chunk] += len(args.Data)
+	s.bytesIn += int64(len(args.Data))
+	reply.Received = s.received[args.Chunk]
+	if args.Last {
+		delete(s.received, args.Chunk)
+	}
+	return nil
+}
+
+// Compute implements the compute path: burn real CPU proportional to the
+// chunk's load. The checksum prevents the loop from being optimized away
+// and lets callers verify work happened.
+func (s *WorkerService) Compute(args ComputeArgs, reply *ComputeReply) error {
+	if args.Units < 0 {
+		return errors.New("live: negative units")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	iters := int(args.Units * float64(s.WorkPerUnit) / s.SpeedFactor)
+	x := 1.000000019
+	sum := 0.0
+	for i := 0; i < iters; i++ {
+		sum += x
+		x = x*1.0000001 + 1e-9
+		if x > 2 {
+			x -= 1
+		}
+	}
+	s.computed++
+	reply.Checksum = sum
+	reply.Units = args.Units
+	return nil
+}
+
+// Fetch implements the output path: return Bytes of (synthetic) output.
+func (s *WorkerService) Fetch(args FetchArgs, reply *FetchReply) error {
+	if args.Bytes < 0 {
+		return errors.New("live: negative output size")
+	}
+	reply.Data = make([]byte, args.Bytes)
+	return nil
+}
+
+// Computed returns how many computations this worker has served.
+func (s *WorkerService) Computed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.computed
+}
+
+// BytesReceived returns the total chunk bytes stored.
+func (s *WorkerService) BytesReceived() int64 {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	return s.bytesIn
+}
+
+// Serve registers the service on a fresh rpc.Server and serves it on a
+// loopback TCP listener, returning the address and a shutdown function.
+// The shutdown function kills the worker outright: it closes the
+// listener and every active connection, so in-flight RPCs fail the way
+// they would if the node crashed.
+func Serve(svc *WorkerService) (addr string, stop func(), err error) {
+	srv := rpc.NewServer()
+	// Each worker gets its own server, so the service name is fixed.
+	if err := srv.RegisterName("Worker", svc); err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("live: listen: %w", err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	stopped := false
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			if stopped {
+				mu.Unlock()
+				conn.Close()
+				return
+			}
+			conns = append(conns, conn)
+			mu.Unlock()
+			go srv.ServeConn(conn)
+		}
+	}()
+	stop = func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return
+		}
+		stopped = true
+		ln.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,56 @@
+package model
+
+import (
+	"fmt"
+
+	"apstdv/internal/units"
+)
+
+// BatchQueue models access to a worker through a batch scheduler (the
+// paper's clusters are reached "via the SGE and PBS batch schedulers").
+// The deterministic part of job-start overhead is the worker's
+// CompLatency (the paper measures ≈0.7 s on DAS-2, ≈0.1 s on Meteor for
+// dedicated nodes); a BatchQueue adds the effects dedication removes:
+//
+//   - scheduler cycles: jobs only start when the scheduler wakes, so a
+//     submission waits for the next cycle boundary;
+//   - dispatch jitter: variability in the scheduler's own dispatch path;
+//   - external contention: other users' jobs occupying the node, which
+//     delay ours (the reason §4.1 dedicates the nodes: "so that we can
+//     control the performance prediction error parameter γ").
+type BatchQueue struct {
+	// CycleInterval is the scheduler wake-up period; 0 disables cycle
+	// quantization. SGE-era defaults were tens of seconds.
+	CycleInterval units.Seconds
+	// DispatchJitterCV is the coefficient of variation on the dispatch
+	// latency (applied to the worker's CompLatency).
+	DispatchJitterCV float64
+	// ExternalRate is the arrival rate (jobs/second) of competing jobs
+	// on this node; each holds the node exclusively for an exponential
+	// duration with mean ExternalMeanHold. 0 disables contention.
+	ExternalRate float64
+	// ExternalMeanHold is the mean duration of an external job.
+	ExternalMeanHold units.Seconds
+}
+
+// Validate checks the batch-queue parameters.
+func (b *BatchQueue) Validate() error {
+	if b.CycleInterval < 0 {
+		return fmt.Errorf("batch queue: negative cycle interval %v", b.CycleInterval)
+	}
+	if b.DispatchJitterCV < 0 {
+		return fmt.Errorf("batch queue: negative dispatch jitter %g", b.DispatchJitterCV)
+	}
+	if b.ExternalRate < 0 {
+		return fmt.Errorf("batch queue: negative external rate %g", b.ExternalRate)
+	}
+	if b.ExternalRate > 0 && b.ExternalMeanHold <= 0 {
+		return fmt.Errorf("batch queue: external rate %g with non-positive mean hold %v",
+			b.ExternalRate, b.ExternalMeanHold)
+	}
+	if b.ExternalRate > 0 && float64(b.ExternalMeanHold)*b.ExternalRate >= 1 {
+		return fmt.Errorf("batch queue: external utilization %.2f ≥ 1 (the node would never be free)",
+			float64(b.ExternalMeanHold)*b.ExternalRate)
+	}
+	return nil
+}

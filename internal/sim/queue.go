@@ -1,0 +1,66 @@
+package sim
+
+import "apstdv/internal/units"
+
+// FCFSQueue models a resource that serves requests one at a time in
+// arrival order — a worker CPU, a download link. The master uplink is
+// serialized at the engine layer instead (at most one outstanding
+// transfer), so the simulator only needs per-worker queues.
+type FCFSQueue struct {
+	eng     *Engine
+	busy    bool
+	pending []request
+	served  int
+}
+
+type request struct {
+	// durFn is evaluated when service begins, not at enqueue time, so
+	// time-varying effects (background load) see the correct clock.
+	durFn func(start units.Seconds) units.Seconds
+	done  func(start, end units.Seconds)
+}
+
+// NewFCFSQueue returns an idle queue on the given engine.
+func NewFCFSQueue(eng *Engine) *FCFSQueue {
+	return &FCFSQueue{eng: eng}
+}
+
+// Enqueue requests service for a duration that may depend on the service
+// start time. done(start, end) fires when service completes.
+func (q *FCFSQueue) Enqueue(durFn func(start units.Seconds) units.Seconds, done func(start, end units.Seconds)) {
+	q.pending = append(q.pending, request{durFn, done})
+	if !q.busy {
+		q.startNext()
+	}
+}
+
+func (q *FCFSQueue) startNext() {
+	if len(q.pending) == 0 {
+		q.busy = false
+		return
+	}
+	req := q.pending[0]
+	q.pending = q.pending[1:]
+	q.busy = true
+	start := q.eng.Now()
+	d := req.durFn(start)
+	if d < 0 {
+		d = 0
+	}
+	end := start + d
+	q.eng.At(end, func() {
+		q.served++
+		req.done(start, end)
+		q.startNext()
+	})
+}
+
+// Busy reports whether the resource is serving or has waiting requests.
+func (q *FCFSQueue) Busy() bool { return q.busy || len(q.pending) > 0 }
+
+// QueueLength returns the number of requests waiting (not counting the
+// one in service).
+func (q *FCFSQueue) QueueLength() int { return len(q.pending) }
+
+// Served returns the number of completed services.
+func (q *FCFSQueue) Served() int { return q.served }

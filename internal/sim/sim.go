@@ -1,0 +1,136 @@
+// Package sim implements a small discrete-event simulation core: a virtual
+// clock and an event heap. The grid backend (package grid) builds the
+// platform model on top of it; the engine (package engine) is backend
+// agnostic and never sees this package directly.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so a simulation
+// is a pure function of its inputs and seeds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"apstdv/internal/units"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   units.Seconds
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; call New.
+type Engine struct {
+	now  units.Seconds
+	seq  uint64
+	heap eventHeap
+}
+
+// New returns an engine with the clock at zero and no pending events.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a modelling bug, and silently clamping
+// would corrupt causality.
+func (e *Engine) At(t units.Seconds, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(t)))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return Handle{ev}
+}
+
+// After schedules fn d seconds from now. Negative d panics.
+func (e *Engine) After(d units.Seconds, fn func()) Handle {
+	return e.At(e.now+d, fn)
+}
+
+// Pending returns the number of live scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Step fires the earliest event and advances the clock to it. It returns
+// false when no live events remain.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps ≤ t, then advances the clock to
+// exactly t (even if no event lies there).
+func (e *Engine) RunUntil(t units.Seconds) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		if !e.Step() {
+			break
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

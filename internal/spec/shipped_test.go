@@ -1,0 +1,42 @@
+package spec
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedExampleSpecsParse validates every XML document under
+// examples/specs so the shipped examples can never rot.
+func TestShippedExampleSpecsParse(t *testing.T) {
+	root := "../../examples/specs"
+	tasks, err := filepath.Glob(filepath.Join(root, "*.xml"))
+	if err != nil || len(tasks) == 0 {
+		t.Fatalf("no shipped specs found: %v", err)
+	}
+	for _, path := range tasks {
+		if filepath.Base(path) == "resources_twocluster.xml" {
+			res, err := ParseResourcesFile(path)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			p, err := res.Platform("shipped")
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			if len(p.Workers) != 8 {
+				t.Errorf("%s: %d workers, want 8 (4 das2 + 2×2 meteor CPUs)", path, len(p.Workers))
+			}
+			continue
+		}
+		task, err := ParseFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if task.Divisibility.Algorithm == "" {
+			t.Errorf("%s: no algorithm", path)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package stats provides the summary statistics the paper reports:
+// means over repeated runs, coefficients of variation (the paper's γ),
+// min–max spread, and simple confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator),
+// or 0 when fewer than two samples are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation (stddev / mean), the paper's γ
+// when applied to per-unit compute times. Returns 0 when the mean is 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Spread returns (max-min)/mean, the last column of the paper's Table 1
+// ("percentage spread of the running time of a unit of load").
+func Spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return (hi - lo) / m
+}
+
+// Min returns the smallest element, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	lo := math.Inf(1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+	}
+	return lo
+}
+
+// Max returns the largest element, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	hi := math.Inf(-1)
+	for _, x := range xs {
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// Median returns the median, interpolating between the middle two
+// elements for even-length input, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Summary aggregates repeated measurements of one quantity
+// (e.g. ten makespans of one algorithm on one platform).
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+	}
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean. With the paper's n=10 runs this slightly
+// understates the t-distribution interval but is adequate for shape
+// comparisons.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean, s.CI95(), s.N)
+}
+
+// SlowdownPct returns how much slower x is than best, in percent
+// (the paper's "SIMPLE-1 is 26% slower" metric). Returns 0 when best
+// is not positive.
+func SlowdownPct(x, best float64) float64 {
+	if best <= 0 {
+		return 0
+	}
+	return 100 * (x - best) / best
+}
+
+// RunningStats accumulates mean/variance incrementally (Welford), used by
+// the adaptive schedulers to track observed per-unit compute times without
+// retaining every observation.
+type RunningStats struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *RunningStats) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *RunningStats) N() int { return r.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (r *RunningStats) Mean() float64 { return r.mean }
+
+// Variance returns the running unbiased variance.
+func (r *RunningStats) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (r *RunningStats) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// CV returns the running coefficient of variation.
+func (r *RunningStats) CV() float64 {
+	if r.mean == 0 {
+		return 0
+	}
+	return r.StdDev() / r.mean
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Sample variance of {2,4,4,4,5,5,7,9} with n-1 denominator = 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("variance of fewer than 2 samples should be 0")
+	}
+	if Variance([]float64{7, 7, 7}) != 0 {
+		t.Error("variance of constants should be 0")
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{90, 100, 110}
+	want := StdDev(xs) / 100
+	if got := CV(xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("CV = %g, want %g", got, want)
+	}
+	if CV([]float64{0, 0}) != 0 {
+		t.Error("CV with zero mean should be 0")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	xs := []float64{8, 10, 12}
+	if got := Spread(xs); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("Spread = %g, want 0.4", got)
+	}
+	if Spread(nil) != 0 {
+		t.Error("Spread(nil) should be 0")
+	}
+	if Spread([]float64{5, 5}) != 0 {
+		t.Error("Spread of constants should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %g/%g, want -1/5", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{42}, 42},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 12, 14})
+	if s.N != 3 || s.Mean != 12 || s.Min != 10 || s.Max != 14 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 should be positive for varying samples")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.CI95() != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("Summary.String() empty")
+	}
+}
+
+func TestSlowdownPct(t *testing.T) {
+	if got := SlowdownPct(110, 100); !almostEq(got, 10, 1e-12) {
+		t.Errorf("SlowdownPct(110,100) = %g, want 10", got)
+	}
+	if got := SlowdownPct(100, 100); got != 0 {
+		t.Errorf("SlowdownPct of best = %g, want 0", got)
+	}
+	if got := SlowdownPct(5, 0); got != 0 {
+		t.Errorf("SlowdownPct with zero best = %g, want 0", got)
+	}
+}
+
+func TestRunningStatsMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		var rs RunningStats
+		for _, x := range xs {
+			rs.Add(x)
+		}
+		if rs.N() != len(xs) {
+			return false
+		}
+		scale := 1.0 + math.Abs(Mean(xs))
+		if !almostEq(rs.Mean(), Mean(xs), 1e-8*scale) {
+			return false
+		}
+		return almostEq(rs.Variance(), Variance(xs), 1e-6*(1+Variance(xs)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningStatsCV(t *testing.T) {
+	var rs RunningStats
+	for _, x := range []float64{90, 100, 110} {
+		rs.Add(x)
+	}
+	want := CV([]float64{90, 100, 110})
+	if !almostEq(rs.CV(), want, 1e-12) {
+		t.Errorf("RunningStats.CV = %g, want %g", rs.CV(), want)
+	}
+}
+
+func TestRunningStatsEmpty(t *testing.T) {
+	var rs RunningStats
+	if rs.Mean() != 0 || rs.Variance() != 0 || rs.CV() != 0 || rs.StdDev() != 0 {
+		t.Error("zero-value RunningStats should report zeros")
+	}
+}

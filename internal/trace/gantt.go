@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the execution as a per-worker text timeline — the visual
+// form of the "detailed execution report" that let the paper's authors
+// see RUMR dispatching its last large round before the switch condition
+// fired. One row per worker; columns are time buckets:
+//
+//	w00 |pp▒▒▒▒████████████·███████████████████████████ |
+//
+//	p  probing work        ▒  receiving/buffered (chunk sent, not started)
+//	█  computing           ·  idle
+//
+// Width is the number of time buckets; a bucket shows the dominant state
+// within its time span.
+func (t *Trace) Gantt(w io.Writer, workers, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	makespan := t.Makespan()
+	if makespan <= 0 || workers <= 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	bucket := makespan / float64(width)
+
+	type span struct {
+		s, e  float64
+		state byte // precedence: compute > buffered > probe
+	}
+	rows := make([][]span, workers)
+	add := func(wk int, s, e float64, state byte) {
+		if wk < 0 || wk >= workers || e <= s {
+			return
+		}
+		rows[wk] = append(rows[wk], span{s, e, state})
+	}
+	for _, r := range t.recs {
+		state := byte('C')
+		if r.Probe {
+			state = 'P'
+		}
+		add(r.Worker, r.SendEnd, r.CompStart, 'B') // buffered, waiting for CPU
+		add(r.Worker, r.CompStart, r.CompEnd, state)
+	}
+
+	glyph := map[byte]rune{'C': '█', 'B': '▒', 'P': 'p'}
+	precedence := map[byte]int{'C': 3, 'P': 2, 'B': 1}
+	for wk := 0; wk < workers; wk++ {
+		line := make([]rune, width)
+		winner := make([]int, width)
+		for i := range line {
+			line[i] = '·'
+		}
+		sort.Slice(rows[wk], func(i, j int) bool { return rows[wk][i].s < rows[wk][j].s })
+		for _, sp := range rows[wk] {
+			lo := int(sp.s / bucket)
+			hi := int(sp.e / bucket)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				if p := precedence[sp.state]; p > winner[i] {
+					winner[i] = p
+					line[i] = glyph[sp.state]
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "w%02d |%s|\n", wk, string(line)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "     0s%s%.0fs  (p probe, ▒ buffered, █ compute, · idle)\n",
+		strings.Repeat(" ", maxInt(1, width-11)), makespan)
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGanttBasic(t *testing.T) {
+	tr := New("umr", "test")
+	tr.Add(Record{Worker: 0, Size: 10, SendStart: 0, SendEnd: 10, CompStart: 10, CompEnd: 100, OutputEnd: 100})
+	tr.Add(Record{Worker: 1, Size: 10, SendStart: 10, SendEnd: 20, CompStart: 20, CompEnd: 60, OutputEnd: 60})
+	var buf bytes.Buffer
+	if err := tr.Gantt(&buf, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two workers + legend
+		t.Fatalf("gantt:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "w00 |") || !strings.HasPrefix(lines[1], "w01 |") {
+		t.Errorf("row labels wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "█") {
+		t.Errorf("worker 0 shows no compute:\n%s", out)
+	}
+	// Worker 1 idles until t=20 (half the 40-bucket width at makespan
+	// 100 → first ~8 buckets idle).
+	row1 := lines[1][len("w01 |"):]
+	if !strings.HasPrefix(row1, "·") {
+		t.Errorf("worker 1 should start idle:\n%s", out)
+	}
+}
+
+func TestGanttProbeGlyph(t *testing.T) {
+	tr := New("umr", "test")
+	tr.Add(Record{Worker: 0, Size: 5, Probe: true, SendStart: 0, SendEnd: 1, CompStart: 1, CompEnd: 50})
+	tr.Add(Record{Worker: 0, Size: 5, SendStart: 50, SendEnd: 51, CompStart: 60, CompEnd: 100})
+	var buf bytes.Buffer
+	if err := tr.Gantt(&buf, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p") {
+		t.Errorf("probe glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "▒") {
+		t.Errorf("buffered glyph missing (chunk waits 51→60):\n%s", out)
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New("a", "b").Gantt(&buf, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Errorf("empty trace output: %q", buf.String())
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	tr := New("a", "b")
+	tr.Add(Record{Worker: 0, Size: 1, SendStart: 0, SendEnd: 1, CompStart: 1, CompEnd: 2})
+	var buf bytes.Buffer
+	if err := tr.Gantt(&buf, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.SplitN(buf.String(), "\n", 2)[0]
+	if len([]rune(line)) < 80 {
+		t.Errorf("default width row too short: %d runes", len([]rune(line)))
+	}
+}

@@ -1,0 +1,268 @@
+// Package trace records what happened during one application execution:
+// one record per chunk with its full timeline, from which the report
+// derives the metrics the paper discusses — makespan, per-worker
+// utilization, communication/computation overlap, and the "detailed
+// execution report" that let the authors diagnose RUMR's late switch.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Record is the timeline of one chunk.
+type Record struct {
+	Chunk  int
+	Worker int
+	// Offset and Size locate the chunk within the load (load units).
+	Offset, Size float64
+	// Probe marks calibration chunks from the probing round.
+	Probe bool
+	// SendStart/SendEnd bracket the transfer on the master uplink;
+	// CompStart/CompEnd bracket the computation on the worker.
+	SendStart, SendEnd, CompStart, CompEnd float64
+	// OutputEnd is when the chunk's output arrived back at the master
+	// (equal to CompEnd when the application returns no output).
+	OutputEnd float64
+}
+
+// TransferTime returns the chunk's time on the uplink.
+func (r Record) TransferTime() float64 { return r.SendEnd - r.SendStart }
+
+// ComputeTime returns the chunk's time on the worker CPU.
+func (r Record) ComputeTime() float64 { return r.CompEnd - r.CompStart }
+
+// Trace accumulates records for one run.
+type Trace struct {
+	Algorithm string
+	Platform  string
+	recs      []Record
+}
+
+// New returns an empty trace labeled with the algorithm and platform.
+func New(algorithm, platform string) *Trace {
+	return &Trace{Algorithm: algorithm, Platform: platform}
+}
+
+// Add appends a record.
+func (t *Trace) Add(r Record) { t.recs = append(t.recs, r) }
+
+// Records returns the records in completion order.
+func (t *Trace) Records() []Record { return t.recs }
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.recs) }
+
+// Makespan returns the time of the last event in the trace (chunk output
+// arrival), i.e. the application execution time the paper plots.
+func (t *Trace) Makespan() float64 {
+	m := 0.0
+	for _, r := range t.recs {
+		if r.OutputEnd > m {
+			m = r.OutputEnd
+		}
+		if r.CompEnd > m {
+			m = r.CompEnd
+		}
+	}
+	return m
+}
+
+// Report summarizes a trace.
+type Report struct {
+	Algorithm string
+	Platform  string
+	Makespan  float64
+	// Chunks is the number of real (non-probe) chunks; Probes counts
+	// calibration transfers/executions.
+	Chunks, Probes int
+	// TotalLoad is the load computed by real chunks.
+	TotalLoad float64
+	// CommTime is the total uplink busy time; CompTime the summed worker
+	// busy time over all real chunks.
+	CommTime, CompTime float64
+	// Overlap is the fraction of uplink busy time during which at least
+	// one worker was computing — UMR's design goal is pushing this
+	// toward 1.
+	Overlap float64
+	// WorkerUtil[i] is worker i's compute busy time divided by the
+	// makespan; WorkerLoad[i] the load it computed.
+	WorkerUtil []float64
+	WorkerLoad []float64
+	// IdleFront is the mean per-worker idle time before the first real
+	// chunk starts computing (the serialized-distribution stagger).
+	IdleFront float64
+	// ProbeEnd is when the probing round finished (0 for non-probing
+	// algorithms); AppMakespan is the makespan net of probing — §3.5's
+	// probing is in-band, so both views matter when comparing probing
+	// and non-probing algorithms.
+	ProbeEnd    float64
+	AppMakespan float64
+	// LastChunkSizes lists each worker's final chunk size — factoring
+	// ends small, UMR ends large; this is the quantity behind the
+	// uncertainty-tolerance difference.
+	LastChunkSizes []float64
+}
+
+// BuildReport derives a Report from the trace for a platform with the
+// given number of workers.
+func (t *Trace) BuildReport(workers int) Report {
+	rep := Report{
+		Algorithm:  t.Algorithm,
+		Platform:   t.Platform,
+		Makespan:   t.Makespan(),
+		WorkerUtil: make([]float64, workers),
+		WorkerLoad: make([]float64, workers),
+	}
+	lastSize := make([]float64, workers)
+	lastEnd := make([]float64, workers)
+	firstComp := make([]float64, workers)
+	for i := range firstComp {
+		firstComp[i] = -1
+	}
+	var comm []interval
+	var comp []interval
+	for _, r := range t.recs {
+		if r.Probe {
+			rep.Probes++
+			if r.CompEnd > rep.ProbeEnd {
+				rep.ProbeEnd = r.CompEnd
+			}
+			if r.SendEnd > rep.ProbeEnd {
+				rep.ProbeEnd = r.SendEnd
+			}
+			continue
+		}
+		rep.Chunks++
+		rep.TotalLoad += r.Size
+		rep.CommTime += r.TransferTime()
+		rep.CompTime += r.ComputeTime()
+		if r.Worker >= 0 && r.Worker < workers {
+			rep.WorkerUtil[r.Worker] += r.ComputeTime()
+			rep.WorkerLoad[r.Worker] += r.Size
+			if r.CompEnd > lastEnd[r.Worker] {
+				lastEnd[r.Worker] = r.CompEnd
+				lastSize[r.Worker] = r.Size
+			}
+			if firstComp[r.Worker] < 0 || r.CompStart < firstComp[r.Worker] {
+				firstComp[r.Worker] = r.CompStart
+			}
+		}
+		comm = append(comm, interval{r.SendStart, r.SendEnd})
+		comp = append(comp, interval{r.CompStart, r.CompEnd})
+	}
+	if rep.Makespan > 0 {
+		for i := range rep.WorkerUtil {
+			rep.WorkerUtil[i] /= rep.Makespan
+		}
+	}
+	rep.LastChunkSizes = lastSize
+	front := 0.0
+	for _, f := range firstComp {
+		if f > 0 {
+			front += f
+		}
+	}
+	if workers > 0 {
+		rep.IdleFront = front / float64(workers)
+	}
+	rep.Overlap = overlapFraction(comm, comp)
+	rep.AppMakespan = rep.Makespan - rep.ProbeEnd
+	if rep.AppMakespan < 0 {
+		rep.AppMakespan = 0
+	}
+	return rep
+}
+
+// overlapFraction returns the fraction of the union of comm intervals
+// covered by the union of comp intervals.
+func overlapFraction(comm, comp []interval) float64 {
+	commU := unionIntervals(comm)
+	compU := unionIntervals(comp)
+	total := 0.0
+	for _, c := range commU {
+		total += c.e - c.s
+	}
+	if total == 0 {
+		return 0
+	}
+	cov := 0.0
+	j := 0
+	for _, c := range commU {
+		for j < len(compU) && compU[j].e <= c.s {
+			j++
+		}
+		k := j
+		for k < len(compU) && compU[k].s < c.e {
+			lo := c.s
+			if compU[k].s > lo {
+				lo = compU[k].s
+			}
+			hi := c.e
+			if compU[k].e < hi {
+				hi = compU[k].e
+			}
+			if hi > lo {
+				cov += hi - lo
+			}
+			k++
+		}
+	}
+	return cov / total
+}
+
+type interval struct{ s, e float64 }
+
+// unionIntervals merges overlapping intervals into a sorted disjoint set.
+func unionIntervals(in []interval) []interval {
+	if len(in) == 0 {
+		return nil
+	}
+	cp := append([]interval(nil), in...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].s < cp[j].s })
+	out := cp[:1]
+	for _, iv := range cp[1:] {
+		last := &out[len(out)-1]
+		if iv.s <= last.e {
+			if iv.e > last.e {
+				last.e = iv.e
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the records as CSV with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"chunk", "worker", "offset", "size", "probe",
+		"send_start", "send_end", "comp_start", "comp_end", "output_end",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	for _, r := range t.recs {
+		err := cw.Write([]string{
+			strconv.Itoa(r.Chunk), strconv.Itoa(r.Worker),
+			f(r.Offset), f(r.Size), strconv.FormatBool(r.Probe),
+			f(r.SendStart), f(r.SendEnd), f(r.CompStart), f(r.CompEnd), f(r.OutputEnd),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders a one-line summary.
+func (rep Report) String() string {
+	return fmt.Sprintf("%s on %s: makespan %.1fs, %d chunks (+%d probes), overlap %.0f%%",
+		rep.Algorithm, rep.Platform, rep.Makespan, rep.Chunks, rep.Probes, 100*rep.Overlap)
+}

@@ -1,0 +1,169 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSecondsDuration(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want time.Duration
+	}{
+		{0, 0},
+		{1, time.Second},
+		{0.5, 500 * time.Millisecond},
+		{-2, -2 * time.Second},
+		{1e-6, time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := c.in.Duration(); got != c.want {
+			t.Errorf("Seconds(%v).Duration() = %v, want %v", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSecondsDurationSaturates(t *testing.T) {
+	if got := Seconds(1e300).Duration(); got != time.Duration(math.MaxInt64) {
+		t.Errorf("huge duration did not saturate high: %v", got)
+	}
+	if got := Seconds(-1e300).Duration(); got != time.Duration(math.MinInt64) {
+		t.Errorf("huge negative duration did not saturate low: %v", got)
+	}
+}
+
+func TestFromDurationRoundTrip(t *testing.T) {
+	// float64 seconds cannot represent every nanosecond count exactly;
+	// the round trip must stay within a microsecond even at month-scale
+	// durations (int32 milliseconds ≈ ±24 days).
+	f := func(ms int32) bool {
+		d := time.Duration(ms) * time.Millisecond
+		back := FromDuration(d).Duration()
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{0, "0s"},
+		{0.0000005, "0.5µs"},
+		{0.002, "2.0ms"},
+		{1.25, "1.25s"},
+		{90, "90.00s"},
+		{600, "10.0min"},
+		{7205, "2.00h"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Seconds(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{1500, "1.5kB"},
+		{92e3, "92.0kB"},
+		{240e6, "240.0MB"},
+		{12e9, "12.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestByteConstants(t *testing.T) {
+	if KB != 1e3 || MB != 1e6 || GB != 1e9 {
+		t.Errorf("byte constants are not decimal: KB=%g MB=%g GB=%g", float64(KB), float64(MB), float64(GB))
+	}
+}
+
+func TestLoadClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want Load }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{7, 7, 7, 7},
+	}
+	for _, c := range cases {
+		if got := c.v.Clamp(c.lo, c.hi); got != c.want {
+			t.Errorf("Load(%g).Clamp(%g,%g) = %g, want %g",
+				float64(c.v), float64(c.lo), float64(c.hi), float64(got), float64(c.want))
+		}
+	}
+}
+
+func TestLoadClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		lo, hi := Load(math.Min(a, b)), Load(math.Max(a, b))
+		got := Load(v).Clamp(lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadPositive(t *testing.T) {
+	if Load(0).Positive() {
+		t.Error("zero load reported positive")
+	}
+	if Load(1e-12).Positive() {
+		t.Error("float dust reported positive")
+	}
+	if !Load(1e-6).Positive() {
+		t.Error("small real load not positive")
+	}
+	if Load(-1).Positive() {
+		t.Error("negative load reported positive")
+	}
+}
+
+func TestNearlyEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{0, 0, 0, true},
+		{100, 100.0001, 1e-5, true},
+		{100, 101, 1e-5, false},
+		{1e-300, 2e-300, 0.6, true},
+		{-5, -5.0000001, 1e-6, true},
+	}
+	for _, c := range cases {
+		if got := NearlyEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("NearlyEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestNearlyEqualSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return NearlyEqual(a, b, 1e-9) == NearlyEqual(b, a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"apstdv/internal/rng"
+)
+
+// Input-file generators for the file-based division methods and for
+// probe files ("a separate, user-specified small input file that is
+// representative of the application's load", §3.5). All generators are
+// deterministic in their seed.
+
+// GenerateBytes writes n pseudo-random bytes — the input for the uniform
+// byte-division method and the synthetic application.
+func GenerateBytes(w io.Writer, n int64, seed uint64) error {
+	src := rng.Stream(seed, "genfile/bytes")
+	bw := bufio.NewWriter(w)
+	var word [8]byte
+	for n > 0 {
+		binary.LittleEndian.PutUint64(word[:], src.Uint64())
+		k := int64(8)
+		if n < k {
+			k = n
+		}
+		if _, err := bw.Write(word[:k]); err != nil {
+			return err
+		}
+		n -= k
+	}
+	return bw.Flush()
+}
+
+// GenerateRecords writes records separated by sep — the input for the
+// uniform separator-division method. Record lengths are uniform in
+// [minLen, maxLen]; the separator byte never appears inside a record.
+// It returns the total bytes written.
+func GenerateRecords(w io.Writer, records int, minLen, maxLen int, sep byte, seed uint64) (int64, error) {
+	if records < 0 || minLen < 0 || maxLen < minLen {
+		return 0, fmt.Errorf("workload: bad record geometry [%d, %d] × %d", minLen, maxLen, records)
+	}
+	src := rng.Stream(seed, "genfile/records")
+	bw := bufio.NewWriter(w)
+	total := int64(0)
+	for r := 0; r < records; r++ {
+		n := minLen
+		if maxLen > minLen {
+			n += src.Intn(maxLen - minLen + 1)
+		}
+		for i := 0; i < n; i++ {
+			b := byte('a' + src.Intn(26))
+			if b == sep {
+				b = '_'
+			}
+			if err := bw.WriteByte(b); err != nil {
+				return total, err
+			}
+			total++
+		}
+		if err := bw.WriteByte(sep); err != nil {
+			return total, err
+		}
+		total++
+	}
+	return total, bw.Flush()
+}
+
+// GenerateIndexed writes variable-length records and returns the byte
+// offsets of the valid cut points (the end of each record) — the inputs
+// for the index division method: write the data file, then write the
+// cuts as the index file with WriteIndexFile.
+func GenerateIndexed(w io.Writer, records int, minLen, maxLen int, seed uint64) (cuts []float64, total int64, err error) {
+	if records < 0 || minLen <= 0 || maxLen < minLen {
+		return nil, 0, fmt.Errorf("workload: bad record geometry [%d, %d] × %d", minLen, maxLen, records)
+	}
+	src := rng.Stream(seed, "genfile/indexed")
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, maxLen)
+	for r := 0; r < records; r++ {
+		n := minLen
+		if maxLen > minLen {
+			n += src.Intn(maxLen - minLen + 1)
+		}
+		for i := 0; i < n; i++ {
+			buf[i] = byte(src.Uint64())
+		}
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return nil, total, err
+		}
+		total += int64(n)
+		cuts = append(cuts, float64(total))
+	}
+	return cuts, total, bw.Flush()
+}
+
+// WriteIndexFile writes cut positions in the index-file format §3.4
+// specifies (one decimal byte offset per line).
+func WriteIndexFile(w io.Writer, cuts []float64) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range cuts {
+		if _, err := fmt.Fprintf(bw, "%.0f\n", c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FrameContainerMagic begins every synthetic frame container.
+const FrameContainerMagic = "DVDEMO01"
+
+// GenerateFrameContainer writes a synthetic frame-indexed video container
+// (header, frame count, then fixed-size frames) — the stand-in for the
+// case study's DV/AVI input that the callback division method splits at
+// frame boundaries. It returns the total size in bytes.
+func GenerateFrameContainer(w io.Writer, frames, frameBytes int, seed uint64) (int64, error) {
+	if frames < 0 || frameBytes <= 0 {
+		return 0, fmt.Errorf("workload: bad frame geometry %d × %d", frames, frameBytes)
+	}
+	src := rng.Stream(seed, "genfile/frames")
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(FrameContainerMagic); err != nil {
+		return 0, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(frames))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	total := int64(len(FrameContainerMagic) + 4)
+	frame := make([]byte, frameBytes)
+	for f := 0; f < frames; f++ {
+		for i := range frame {
+			frame[i] = byte(src.Uint64())
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return total, err
+		}
+		total += int64(frameBytes)
+	}
+	return total, bw.Flush()
+}
+
+// FrameContainerOffset returns the byte range of the given frame span in
+// a container written by GenerateFrameContainer — the arithmetic an
+// avisplit-style callback performs.
+func FrameContainerOffset(frame, count, frameBytes int) (start, length int64) {
+	header := int64(len(FrameContainerMagic) + 4)
+	return header + int64(frame)*int64(frameBytes), int64(count) * int64(frameBytes)
+}

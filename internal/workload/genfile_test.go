@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"apstdv/internal/divide"
+)
+
+func TestGenerateBytesLengthAndDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := GenerateBytes(&a, 1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateBytes(&b, 1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1000 {
+		t.Errorf("wrote %d bytes", a.Len())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different files")
+	}
+	var c bytes.Buffer
+	if err := GenerateBytes(&c, 1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds produced identical files")
+	}
+}
+
+func TestGenerateBytesOddLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GenerateBytes(&buf, 13, 1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 13 {
+		t.Errorf("wrote %d bytes, want 13", buf.Len())
+	}
+}
+
+func TestGenerateRecordsSeparators(t *testing.T) {
+	var buf bytes.Buffer
+	total, err := GenerateRecords(&buf, 50, 5, 20, '\n', 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != total {
+		t.Errorf("reported %d, wrote %d", total, buf.Len())
+	}
+	recs := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(recs) != 50 {
+		t.Fatalf("%d records, want 50", len(recs))
+	}
+	for i, r := range recs {
+		if len(r) < 5 || len(r) > 20 {
+			t.Errorf("record %d has length %d outside [5,20]", i, len(r))
+		}
+		if strings.ContainsRune(r, '\n') {
+			t.Errorf("record %d contains the separator", i)
+		}
+	}
+}
+
+func TestGenerateRecordsFeedsSeparatorDivision(t *testing.T) {
+	// End-to-end: generate → scan → index divider with one cut per record.
+	var buf bytes.Buffer
+	total, err := GenerateRecords(&buf, 30, 3, 9, '|', 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, scanned, err := divide.ScanSeparators(bytes.NewReader(buf.Bytes()), '|')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned != float64(total) {
+		t.Errorf("scanned %g of %d bytes", scanned, total)
+	}
+	if len(cuts) != 30 {
+		t.Errorf("%d cuts, want 30", len(cuts))
+	}
+}
+
+func TestGenerateRecordsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := GenerateRecords(&buf, 5, 10, 5, '\n', 1); err == nil {
+		t.Error("max < min accepted")
+	}
+}
+
+func TestGenerateIndexedCutsMatchData(t *testing.T) {
+	var buf bytes.Buffer
+	cuts, total, err := GenerateIndexed(&buf, 20, 10, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != total {
+		t.Errorf("reported %d, wrote %d", total, buf.Len())
+	}
+	if len(cuts) != 20 {
+		t.Fatalf("%d cuts", len(cuts))
+	}
+	if cuts[len(cuts)-1] != float64(total) {
+		t.Errorf("last cut %g != total %d", cuts[len(cuts)-1], total)
+	}
+	for i := 1; i < len(cuts); i++ {
+		gap := cuts[i] - cuts[i-1]
+		if gap < 10 || gap > 30 {
+			t.Errorf("record %d has length %g outside [10,30]", i, gap)
+		}
+	}
+}
+
+func TestWriteIndexFileRoundTrip(t *testing.T) {
+	var data, idx bytes.Buffer
+	cuts, total, err := GenerateIndexed(&data, 10, 5, 15, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIndexFile(&idx, cuts); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := divide.LoadIndexFile(&idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(cuts) {
+		t.Fatalf("parsed %d cuts of %d", len(parsed), len(cuts))
+	}
+	div, err := divide.NewIndex(float64(total), parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.TotalLoad() != float64(total) {
+		t.Error("index divider total wrong")
+	}
+}
+
+func TestGenerateFrameContainer(t *testing.T) {
+	var buf bytes.Buffer
+	total, err := GenerateFrameContainer(&buf, 10, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := int64(len(FrameContainerMagic) + 4 + 10*256)
+	if total != wantTotal || int64(buf.Len()) != wantTotal {
+		t.Errorf("total %d (buffer %d), want %d", total, buf.Len(), wantTotal)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(FrameContainerMagic)) {
+		t.Error("magic missing")
+	}
+	start, length := FrameContainerOffset(3, 2, 256)
+	if start != int64(len(FrameContainerMagic)+4+3*256) || length != 512 {
+		t.Errorf("frame offset = (%d, %d)", start, length)
+	}
+	// The byte range of frames [3,5) must lie inside the container.
+	if start+length > total {
+		t.Error("frame range beyond container")
+	}
+}
+
+func TestGenerateFrameContainerValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := GenerateFrameContainer(&buf, 5, 0, 1); err == nil {
+		t.Error("zero frame size accepted")
+	}
+	if _, err := GenerateFrameContainer(&buf, -1, 10, 1); err == nil {
+		t.Error("negative frames accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"apstdv/internal/model"
+)
+
+// ParsePlatform resolves the compact platform syntax the command-line
+// tools share:
+//
+//	das2:N      N DAS-2 nodes
+//	meteor:N    N Meteor nodes
+//	mixed:N,M   N DAS-2 + M Meteor nodes
+//	grail       the §5 case-study LAN (7 CPUs)
+func ParsePlatform(s string) (*model.Platform, error) {
+	switch {
+	case s == "grail":
+		return GRAIL(), nil
+	case s == "grail-dedicated":
+		return GRAILDedicated(), nil
+	case strings.HasPrefix(s, "das2:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "das2:"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("workload: bad platform %q (want das2:N)", s)
+		}
+		return DAS2(n), nil
+	case strings.HasPrefix(s, "meteor:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "meteor:"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("workload: bad platform %q (want meteor:N)", s)
+		}
+		return Meteor(n), nil
+	case strings.HasPrefix(s, "mixed:"):
+		parts := strings.Split(strings.TrimPrefix(s, "mixed:"), ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: bad platform %q (want mixed:N,M)", s)
+		}
+		a, err1 := strconv.Atoi(parts[0])
+		b, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || a < 0 || b < 0 || a+b == 0 {
+			return nil, fmt.Errorf("workload: bad platform %q (want mixed:N,M)", s)
+		}
+		return Mixed(a, b), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown platform %q (want das2:N, meteor:N, mixed:N,M or grail)", s)
+	}
+}
