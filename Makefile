@@ -1,0 +1,29 @@
+# Standard gates for the repository. `make check` is the bar every
+# change must clear: build, vet, and the full test suite under the race
+# detector (the parallel experiment runner is on by default, so -race
+# coverage is non-negotiable).
+
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# bench records the runner's sequential-vs-parallel wall time into
+# BENCH_<n>.json (see scripts/bench.sh; n defaults to 1).
+bench:
+	scripts/bench.sh

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"apstdv/internal/dls"
@@ -19,6 +20,7 @@ import (
 	"apstdv/internal/experiment"
 	"apstdv/internal/grid"
 	"apstdv/internal/model"
+	"apstdv/internal/parallel"
 	"apstdv/internal/rng"
 	"apstdv/internal/sim"
 	"apstdv/internal/stats"
@@ -99,12 +101,13 @@ func BenchmarkCaseStudyMPEG(b *testing.B) { runCells(b, experiment.CaseStudy) }
 // --- Ablations -----------------------------------------------------------
 
 // ablationRun executes one algorithm on one platform/app multiple times
-// and returns the mean makespan.
+// — fanned across the worker pool, collected in run order — and returns
+// the mean makespan.
 func ablationRun(b *testing.B, platform *model.Platform, app *model.Application,
 	mk func() dls.Algorithm, gcfg func(seed uint64) grid.Config, ecfg engine.Config) float64 {
 	b.Helper()
-	var spans []float64
-	for run := 0; run < benchRuns; run++ {
+	spans := make([]float64, benchRuns)
+	err := parallel.ForEach(benchRuns, 0, func(run int) error {
 		seed := uint64(7000 + run*37)
 		cfg := grid.Config{Seed: seed}
 		if gcfg != nil {
@@ -112,13 +115,17 @@ func ablationRun(b *testing.B, platform *model.Platform, app *model.Application,
 		}
 		backend, err := grid.New(platform, app, cfg)
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
 		tr, err := engine.Run(backend, mk(), app, platform, ecfg)
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		spans = append(spans, tr.Makespan())
+		spans[run] = tr.Makespan()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 	return stats.Mean(spans)
 }
@@ -309,6 +316,35 @@ func BenchmarkAblationOutputTransfers(b *testing.B) {
 				b.ReportMetric(mean, "makespan-s")
 			})
 		}
+	}
+}
+
+// BenchmarkRunnerParallelism measures the experiment runner's fan-out:
+// the same Figure 2 spec at pool width 1 (the old sequential driver)
+// and at one worker per CPU. Results are bit-identical at every width
+// (see TestParallelRunMatchesSequential); only wall time differs, and
+// the width=1 / width=N ns/op ratio is the parallel speedup recorded in
+// BENCH_*.json by scripts/bench.sh.
+func BenchmarkRunnerParallelism(b *testing.B) {
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	} else {
+		// Still exercise the concurrent path on single-CPU machines.
+		widths = append(widths, 2)
+	}
+	for _, w := range widths {
+		w := w
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiment.Figure2()
+				s.Runs = benchRuns
+				s.Parallelism = w
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -7,6 +7,11 @@
 //
 // Platforms: das2:N, meteor:N, mixed:N,M, grail. Algorithms: any name
 // accepted by the scheduler registry, or "all" for the paper's set.
+//
+// Each algorithm's repetitions fan out across a bounded worker pool;
+// -parallel N caps its width (0 = one worker per CPU). Runs are
+// independently seeded and collected in run order, so the printed
+// metrics are identical at every width.
 package main
 
 import (
@@ -18,7 +23,9 @@ import (
 	"apstdv/internal/engine"
 	"apstdv/internal/grid"
 	"apstdv/internal/model"
+	"apstdv/internal/parallel"
 	"apstdv/internal/stats"
+	"apstdv/internal/trace"
 	"apstdv/internal/workload"
 )
 
@@ -33,6 +40,7 @@ func main() {
 		probeLoad    = flag.Float64("probe", 200, "probe chunk size in load units")
 		csvPath      = flag.String("csv", "", "write the last run's trace as CSV to this file")
 		gantt        = flag.Bool("gantt", false, "print a per-worker timeline for each algorithm's last run")
+		parWidth     = flag.Int("parallel", 0, "worker-pool width for the run fan-out (0 = one per CPU; output is identical at every width)")
 	)
 	flag.Parse()
 
@@ -70,39 +78,50 @@ func main() {
 	fmt.Printf("%-12s %12s %10s %8s %8s\n", "algorithm", "makespan", "±95%ci", "chunks", "overlap")
 
 	for ai := range algs {
-		var spans []float64
-		var chunks int
-		var overlap float64
-		for run := 0; run < *runs; run++ {
+		reports := make([]trace.Report, *runs)
+		var lastTrace *trace.Trace
+		err := parallel.ForEach(*runs, *parWidth, func(run int) error {
 			alg := freshAlgorithm(*algFlag, ai)
 			backend, err := grid.New(platform, app, grid.Config{Seed: *seed + uint64(run)*7919})
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: *probeLoad})
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			rep := tr.BuildReport(len(platform.Workers))
+			reports[run] = tr.BuildReport(len(platform.Workers))
+			if run == *runs-1 {
+				lastTrace = tr // sole writer: only run runs-1 assigns
+			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		spans := make([]float64, 0, *runs)
+		var chunks int
+		var overlap float64
+		for _, rep := range reports {
 			spans = append(spans, rep.Makespan)
 			chunks = rep.Chunks
 			overlap = rep.Overlap
-			if *gantt && run == *runs-1 {
-				fmt.Printf("\n%s timeline:\n", algs[ai].Name())
-				if err := tr.Gantt(os.Stdout, len(platform.Workers), 100); err != nil {
-					fatal(err)
-				}
+		}
+		if *gantt && lastTrace != nil {
+			fmt.Printf("\n%s timeline:\n", algs[ai].Name())
+			if err := lastTrace.Gantt(os.Stdout, len(platform.Workers), 100); err != nil {
+				fatal(err)
 			}
-			if *csvPath != "" && run == *runs-1 && ai == len(algs)-1 {
-				f, err := os.Create(*csvPath)
-				if err != nil {
-					fatal(err)
-				}
-				if err := tr.WriteCSV(f); err != nil {
-					fatal(err)
-				}
-				f.Close()
+		}
+		if *csvPath != "" && ai == len(algs)-1 && lastTrace != nil {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fatal(err)
 			}
+			if err := lastTrace.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
 		}
 		s := stats.Summarize(spans)
 		fmt.Printf("%-12s %11.0fs %9.0fs %8d %7.0f%%\n", algs[ai].Name(), s.Mean, s.CI95(), chunks, 100*overlap)

@@ -6,9 +6,15 @@
 //	experiments -run fig2 -runs 20
 //	experiments -run casestudy
 //	experiments -run discussion
+//	experiments -run all -parallel 1
 //
 // Output is one text table per experiment, in the layout of the paper's
 // figures, with the paper's reported relationships noted alongside.
+//
+// The (algorithm, γ, run) cells fan out across a bounded worker pool;
+// -parallel N caps its width (default: one worker per CPU). Every run is
+// independently seeded and aggregation is order-stable, so the output is
+// byte-identical at every width — -parallel only changes wall time.
 package main
 
 import (
@@ -22,11 +28,12 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended")
-		runs   = flag.Int("runs", 10, "repetitions per (algorithm, γ) cell (paper: 10)")
-		seed   = flag.Uint64("seed", 0, "base seed override (0 = experiment default)")
-		csvDir = flag.String("csvdir", "", "also write per-experiment plot data CSVs into this directory")
-		bars   = flag.Bool("bars", false, "also render each figure as bar charts (like the paper's figures)")
+		run      = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended")
+		runs     = flag.Int("runs", 10, "repetitions per (algorithm, γ) cell (paper: 10)")
+		seed     = flag.Uint64("seed", 0, "base seed override (0 = experiment default)")
+		csvDir   = flag.String("csvdir", "", "also write per-experiment plot data CSVs into this directory")
+		bars     = flag.Bool("bars", false, "also render each figure as bar charts (like the paper's figures)")
+		parWidth = flag.Int("parallel", 0, "worker-pool width for the run fan-out (0 = one per CPU; output is identical at every width)")
 	)
 	flag.Parse()
 
@@ -44,6 +51,7 @@ func main() {
 			continue
 		}
 		spec.Runs = *runs
+		spec.Parallelism = *parWidth
 		if *seed != 0 {
 			spec.Seed = *seed
 		}
@@ -89,6 +97,7 @@ func main() {
 	if want == "extended" {
 		spec := experiment.Extended()
 		spec.Runs = *runs
+		spec.Parallelism = *parWidth
 		res, err := spec.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -101,6 +110,7 @@ func main() {
 	if want == "all" || want == "sweep" {
 		rs := experiment.DefaultRobustnessSweep()
 		rs.Runs = *runs
+		rs.Parallelism = *parWidth
 		cells, err := rs.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelRunMatchesSequential is the parallel runner's determinism
+// guarantee: Spec.Run at pool width 8 must produce results deep-equal —
+// and byte-identical in rendered form — to the width-1 sequential run of
+// the same seed, across both γ levels of Figure 2.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	runAt := func(width int) *Result {
+		s := Figure2()
+		s.Runs = 3
+		s.Parallelism = width
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := runAt(1)
+	par := runAt(8)
+	if !reflect.DeepEqual(seq.Cells, par.Cells) {
+		t.Fatalf("parallel cells diverge from sequential:\nseq: %+v\npar: %+v", seq.Cells, par.Cells)
+	}
+	if seq.Table() != par.Table() {
+		t.Error("rendered tables differ between sequential and parallel runs")
+	}
+	if seq.Bars(50) != par.Bars(50) {
+		t.Error("rendered bars differ between sequential and parallel runs")
+	}
+}
+
+// TestParallelCaseStudyMatchesSequential repeats the guarantee on the
+// noisy non-dedicated platform, where background-load processes would
+// expose any cross-run RNG sharing immediately.
+func TestParallelCaseStudyMatchesSequential(t *testing.T) {
+	runAt := func(width int) *Result {
+		s := CaseStudy()
+		s.Runs = 2
+		s.Parallelism = width
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if seq, par := runAt(1), runAt(8); !reflect.DeepEqual(seq.Cells, par.Cells) {
+		t.Fatalf("case-study parallel cells diverge:\nseq: %+v\npar: %+v", seq.Cells, par.Cells)
+	}
+}
+
+// TestSweepParallelMatchesSequential asserts the robustness sweep's cell
+// fan-out is order-stable and width-independent.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	runAt := func(width int) []SweepCell {
+		rs := &RobustnessSweep{
+			NodeCounts:  []int{4, 8},
+			LoadScales:  []float64{0.5, 1},
+			Runs:        2,
+			Seed:        11,
+			Parallelism: width,
+		}
+		cells, err := rs.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	seq := runAt(1)
+	par := runAt(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sweep cells diverge:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if RenderSweep(seq) != RenderSweep(par) {
+		t.Error("rendered sweep differs between sequential and parallel runs")
+	}
+}
+
+// TestTable1WidthIndependent asserts Table 1 regeneration is identical
+// across invocations now that each application samples its own stream.
+func TestTable1WidthIndependent(t *testing.T) {
+	a, b := Table1(), Table1()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Table1 not reproducible across invocations")
+	}
+}

@@ -6,13 +6,13 @@ package experiment
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"apstdv/internal/dls"
 	"apstdv/internal/engine"
 	"apstdv/internal/grid"
 	"apstdv/internal/model"
+	"apstdv/internal/parallel"
 	"apstdv/internal/stats"
 	"apstdv/internal/trace"
 )
@@ -42,6 +42,11 @@ type Spec struct {
 	GridConfig func(seed uint64) grid.Config
 	// EngineConfig customizes the engine (ablations).
 	EngineConfig func() engine.Config
+	// Parallelism bounds the worker pool that fans the (γ, algorithm,
+	// run) cells across cores; <= 0 means one worker per CPU. Results
+	// are identical at every width: each run is an independently seeded
+	// simulation and aggregation happens in deterministic order.
+	Parallelism int
 }
 
 // Cell is the aggregated result for one (algorithm, γ) pair.
@@ -68,45 +73,57 @@ type Result struct {
 	Cells []Cell
 }
 
-// Run executes the experiment.
+// runResult is one simulation's outputs, collected into a slot of a
+// preallocated slice so parallel execution aggregates identically to
+// sequential.
+type runResult struct {
+	makespan      float64
+	measuredGamma float64
+	rumrSwitched  bool
+}
+
+// Run executes the experiment: every (γ, algorithm, run) triple is an
+// independently seeded simulation, fanned across a bounded worker pool
+// (Parallelism wide) and aggregated in deterministic (γ, algorithm,
+// run) order, so the result is identical at every pool width.
 func (s *Spec) Run() (*Result, error) {
 	if s.Runs <= 0 {
 		s.Runs = 10
 	}
 	res := &Result{Spec: s}
-	for _, gamma := range s.Gammas {
-		var cells []Cell
-		proto := s.Algorithms()
+	proto := s.Algorithms()
+	nAlg := len(proto)
+	if nAlg == 0 || len(s.Gammas) == 0 {
+		return res, nil
+	}
+
+	// Fan out over the flat (γ, algorithm, run) index space.
+	runs := make([]runResult, len(s.Gammas)*nAlg*s.Runs)
+	err := parallel.ForEach(len(runs), s.Parallelism, func(idx int) error {
+		gi := idx / (nAlg * s.Runs)
+		ai := idx % (nAlg * s.Runs) / s.Runs
+		run := idx % s.Runs
+		return s.runOnce(s.Gammas[gi], ai, run, &runs[idx])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate sequentially in the original loop order.
+	for gi, gamma := range s.Gammas {
+		cells := make([]Cell, 0, nAlg)
 		for ai := range proto {
-			name := proto[ai].Name()
-			cell := Cell{Algorithm: name, Gamma: gamma}
+			cell := Cell{
+				Algorithm: proto[ai].Name(),
+				Gamma:     gamma,
+				Makespans: make([]float64, 0, s.Runs),
+			}
 			gammaStats := stats.RunningStats{}
 			for run := 0; run < s.Runs; run++ {
-				alg := s.Algorithms()[ai]
-				app := s.App(gamma)
-				seed := s.Seed + uint64(run)*1000003
-				gcfg := grid.Config{Seed: seed}
-				if s.GridConfig != nil {
-					gcfg = s.GridConfig(seed)
-				}
-				backend, err := grid.New(s.Platform, app, gcfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", s.ID, err)
-				}
-				ecfg := engine.Config{ProbeLoad: s.ProbeLoad}
-				if s.EngineConfig != nil {
-					ecfg = s.EngineConfig()
-					if ecfg.ProbeLoad == 0 {
-						ecfg.ProbeLoad = s.ProbeLoad
-					}
-				}
-				tr, err := engine.Run(backend, alg, app, s.Platform, ecfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s: %s γ=%g run %d: %w", s.ID, name, gamma, run, err)
-				}
-				cell.Makespans = append(cell.Makespans, tr.Makespan())
-				gammaStats.Add(MeasureGamma(tr, s.Platform))
-				if r, ok := alg.(*dls.RUMR); ok && r.Switched() {
+				r := runs[(gi*nAlg+ai)*s.Runs+run]
+				cell.Makespans = append(cell.Makespans, r.makespan)
+				gammaStats.Add(r.measuredGamma)
+				if r.rumrSwitched {
 					cell.RUMRSwitched++
 				}
 			}
@@ -129,29 +146,70 @@ func (s *Spec) Run() (*Result, error) {
 	return res, nil
 }
 
+// runOnce executes one independently seeded simulation and writes its
+// outputs into out. It shares nothing mutable with concurrent runs: the
+// algorithm, application, and backend are constructed fresh, and the
+// platform is read-only during execution.
+func (s *Spec) runOnce(gamma float64, ai, run int, out *runResult) error {
+	alg := s.Algorithms()[ai]
+	app := s.App(gamma)
+	seed := s.Seed + uint64(run)*1000003
+	gcfg := grid.Config{Seed: seed}
+	if s.GridConfig != nil {
+		gcfg = s.GridConfig(seed)
+	}
+	backend, err := grid.New(s.Platform, app, gcfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.ID, err)
+	}
+	ecfg := engine.Config{ProbeLoad: s.ProbeLoad}
+	if s.EngineConfig != nil {
+		ecfg = s.EngineConfig()
+		if ecfg.ProbeLoad == 0 {
+			ecfg.ProbeLoad = s.ProbeLoad
+		}
+	}
+	tr, err := engine.Run(backend, alg, app, s.Platform, ecfg)
+	if err != nil {
+		return fmt.Errorf("%s: %s γ=%g run %d: %w", s.ID, alg.Name(), gamma, run, err)
+	}
+	out.makespan = tr.Makespan()
+	out.measuredGamma = MeasureGamma(tr, s.Platform)
+	if r, ok := alg.(*dls.RUMR); ok && r.Switched() {
+		out.rumrSwitched = true
+	}
+	return nil
+}
+
 // MeasureGamma estimates the paper's γ from one run's trace: the CV of
 // per-unit compute times, normalized per worker (so heterogeneity does
 // not masquerade as uncertainty). This is the quantity the case study
 // reports as "the average value for γ that was measured ... is 20%".
+//
+// One pass over the records buckets per-unit costs by worker while the
+// per-worker means accumulate; normalization then walks the compact
+// buckets instead of rescanning the full trace once per worker.
 func MeasureGamma(tr *trace.Trace, p *model.Platform) float64 {
 	perWorker := make([]stats.RunningStats, len(p.Workers))
+	costs := make([][]float64, len(p.Workers))
+	total := 0
 	for _, r := range tr.Records() {
 		if r.Probe || r.Size <= 0 || r.Worker < 0 || r.Worker >= len(perWorker) {
 			continue
 		}
-		perWorker[r.Worker].Add(r.ComputeTime() / r.Size)
+		v := r.ComputeTime() / r.Size
+		perWorker[r.Worker].Add(v)
+		costs[r.Worker] = append(costs[r.Worker], v)
+		total++
 	}
-	var ratios []float64
+	ratios := make([]float64, 0, total)
 	for w, rs := range perWorker {
 		if rs.N() < 2 || rs.Mean() <= 0 {
 			continue
 		}
 		mean := rs.Mean()
-		for _, r := range tr.Records() {
-			if r.Probe || r.Size <= 0 || r.Worker != w {
-				continue
-			}
-			ratios = append(ratios, r.ComputeTime()/r.Size/mean)
+		for _, v := range costs[w] {
+			ratios = append(ratios, v/mean)
 		}
 	}
 	return stats.CV(ratios)
@@ -265,6 +323,5 @@ func (r *Result) algorithmOrder() []string {
 			names = append(names, c.Algorithm)
 		}
 	}
-	sort.SliceStable(names, func(i, j int) bool { return false }) // keep appearance order
 	return names
 }

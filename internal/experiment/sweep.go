@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"apstdv/internal/dls"
 	"apstdv/internal/engine"
 	"apstdv/internal/grid"
+	"apstdv/internal/parallel"
 	"apstdv/internal/stats"
 	"apstdv/internal/units"
 	"apstdv/internal/workload"
@@ -23,6 +25,10 @@ type RobustnessSweep struct {
 	LoadScales []float64 // multiples of the default 240,000-unit load
 	Runs       int
 	Seed       uint64
+	// Parallelism bounds the worker pool fanning the (nodes, loadScale,
+	// γ) cells across cores; <= 0 means one worker per CPU. Each cell is
+	// independently seeded, so results are identical at every width.
+	Parallelism int
 }
 
 // DefaultRobustnessSweep mirrors the kind of variation the authors
@@ -75,22 +81,38 @@ func (c SweepCell) ConclusionsHold() bool {
 	return within("fixed-rumr", "wf", "rumr")
 }
 
-// Run executes the sweep.
+// Run executes the sweep, fanning the independent (nodes, loadScale, γ)
+// cells across the worker pool and collecting them in configuration
+// order, so parallel output matches the sequential nesting exactly.
 func (rs *RobustnessSweep) Run() ([]SweepCell, error) {
 	if rs.Runs <= 0 {
 		rs.Runs = 4
 	}
-	var cells []SweepCell
+	type config struct {
+		nodes int
+		scale float64
+		gamma float64
+	}
+	var configs []config
 	for _, nodes := range rs.NodeCounts {
 		for _, scale := range rs.LoadScales {
 			for _, gamma := range []float64{0, 0.10} {
-				cell, err := rs.runCell(nodes, scale, gamma)
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, cell)
+				configs = append(configs, config{nodes, scale, gamma})
 			}
 		}
+	}
+	cells := make([]SweepCell, len(configs))
+	err := parallel.ForEach(len(configs), rs.Parallelism, func(i int) error {
+		c := configs[i]
+		cell, err := rs.runCell(c.nodes, c.scale, c.gamma)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }
@@ -104,7 +126,7 @@ func (rs *RobustnessSweep) runCell(nodes int, scale, gamma float64) (SweepCell, 
 	proto := dls.PaperSet()
 	for ai := range proto {
 		name := proto[ai].Name()
-		var spans []float64
+		spans := make([]float64, 0, rs.Runs)
 		for run := 0; run < rs.Runs; run++ {
 			app := workload.Synthetic(gamma)
 			app.TotalLoad = units.Load(float64(app.TotalLoad) * scale)
@@ -123,10 +145,12 @@ func (rs *RobustnessSweep) runCell(nodes int, scale, gamma float64) (SweepCell, 
 		}
 		cell.Makespans[name] = stats.Mean(spans)
 	}
-	best, bestVal := "", 0.0
-	for name, m := range cell.Makespans {
-		if best == "" || m < bestVal {
-			best, bestVal = name, m
+	// Pick the best in paper-set order, not map order, so exact ties
+	// break deterministically.
+	best, bestVal := "", math.Inf(1)
+	for _, a := range proto {
+		if m := cell.Makespans[a.Name()]; m < bestVal {
+			best, bestVal = a.Name(), m
 		}
 	}
 	cell.Best = best

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"apstdv/internal/parallel"
 	"apstdv/internal/rng"
 	"apstdv/internal/stats"
 	"apstdv/internal/workload"
@@ -41,10 +42,16 @@ const table1Units = 400000
 // the reference machine, the communication/computation ratio r at the
 // paper's 10 MB/s effective rate, the coefficient of variation γ, and
 // the (max-min)/mean spread.
+//
+// Each application samples from its own labelled rng stream, so the
+// four profiles are independent and can run on the worker pool without
+// changing any value.
 func Table1() *Table1Result {
-	res := &Table1Result{}
-	src := rng.Stream(1, "table1")
-	for _, app := range workload.Table1() {
+	apps := workload.Table1()
+	rows := make([]Table1Row, len(apps))
+	_ = parallel.ForEach(len(apps), 0, func(ai int) error {
+		app := apps[ai]
+		src := rng.Stream(1, "table1/"+app.Name)
 		costs := make([]float64, table1Units)
 		for i := range costs {
 			costs[i] = app.Sampler.Sample(src)
@@ -69,9 +76,10 @@ func Table1() *Table1Result {
 			row.GammaPct = -1
 			row.SpreadPct = -1
 		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res
+		rows[ai] = row
+		return nil
+	})
+	return &Table1Result{Rows: rows}
 }
 
 // Render formats the table with measured and paper values side by side.

@@ -1,0 +1,94 @@
+// Package parallel is the experiment harness's concurrency substrate: a
+// bounded worker pool that fans an index space out across cores while
+// keeping results order-stable, so parallel experiment output is
+// byte-identical to a sequential run of the same seed.
+//
+// Every run of the paper's evaluation is an independently seeded,
+// fully deterministic simulation (rng.Stream derives each component's
+// randomness from the run seed), so the (algorithm, γ, run) cells are
+// embarrassingly parallel. The only requirements for determinism are
+// that no task shares mutable state with another and that aggregation
+// happens in index order after the fan-out — ForEach provides the
+// fan-out; callers write task i's result into slot i of a preallocated
+// slice and aggregate sequentially afterwards.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWidth is the worker-pool width used when a caller passes a
+// non-positive width: one worker per available CPU.
+func DefaultWidth() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of `width` worker
+// goroutines (width <= 0 means DefaultWidth). It returns after every
+// started task has finished.
+//
+// Error handling is fail-fast with deterministic reporting: the first
+// failure stops workers from claiming further indices (already-running
+// tasks complete — simulation runs are not interruptible), and among
+// the errors that did occur the one with the lowest index is returned,
+// so the reported error does not depend on goroutine scheduling when a
+// deterministic earliest failure exists.
+//
+// With width 1, ForEach degenerates to the exact sequential loop:
+// tasks run in index order on the calling goroutine and the first
+// error returns immediately.
+func ForEach(n, width int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if width <= 0 {
+		width = DefaultWidth()
+	}
+	if width > n {
+		width = n
+	}
+	if width == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachVisitsEveryIndexOnce checks the core contract at several
+// widths, including widths above n and the sequential degenerate case.
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	for _, width := range []int{0, 1, 2, 7, n, 3 * n} {
+		var visits [n]atomic.Int32
+		if err := ForEach(n, width, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Errorf("width %d: index %d visited %d times", width, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachOrderStableResults writes each task's result into its slot
+// and checks the collected slice is independent of width — the property
+// the experiment drivers rely on for byte-identical output.
+func TestForEachOrderStableResults(t *testing.T) {
+	const n = 64
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, width := range []int{1, 4, 16} {
+		got := make([]int, n)
+		if err := ForEach(n, width, func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("width %d: slot %d = %d, want %d", width, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForEachPropagatesError checks a lone failure is returned verbatim
+// at any width.
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, width := range []int{1, 3, 8} {
+		err := ForEach(20, width, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("width %d: got %v, want boom", width, err)
+		}
+	}
+}
+
+// TestForEachReturnsLowestIndexError checks deterministic error
+// selection: when several tasks fail, the lowest-index error wins.
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	// Fail at index 0 (slowly) and at a high index (fast) so both errors
+	// occur before fail-fast can suppress either; index 0 must win.
+	err := ForEach(8, 8, func(i int) error {
+		if i == 0 {
+			time.Sleep(10 * time.Millisecond)
+			return errLow
+		}
+		if i == 7 {
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Errorf("got %v, want the lowest-index error", err)
+	}
+}
+
+// TestForEachFailFastCancellation checks that after a failure the pool
+// stops claiming new indices instead of draining all n tasks.
+func TestForEachFailFastCancellation(t *testing.T) {
+	const n = 10000
+	var started atomic.Int64
+	err := ForEach(n, 2, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("fail early")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := started.Load(); got >= n {
+		t.Errorf("all %d tasks ran despite early failure; fail-fast did not cancel", got)
+	}
+}
+
+// TestForEachSequentialStopsAtError checks the width-1 path preserves
+// exact sequential semantics: nothing after the failing index runs.
+func TestForEachSequentialStopsAtError(t *testing.T) {
+	var ran []int
+	err := ForEach(10, 1, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if len(ran) != 4 {
+		t.Errorf("ran %v, want exactly [0 1 2 3]", ran)
+	}
+}
+
+// TestForEachEmpty checks degenerate inputs.
+func TestForEachEmpty(t *testing.T) {
+	calls := 0
+	if err := ForEach(0, 4, func(i int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-5, 4, func(i int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("fn called %d times for empty index spaces", calls)
+	}
+}

@@ -7,9 +7,14 @@ import "apstdv/internal/units"
 // serialized at the engine layer instead (at most one outstanding
 // transfer), so the simulator only needs per-worker queues.
 type FCFSQueue struct {
-	eng     *Engine
-	busy    bool
+	eng  *Engine
+	busy bool
+	// pending[head:] are the waiting requests. Popping advances head and
+	// zeroes the slot (so served requests' closures become collectable)
+	// instead of re-slicing, which would keep every served request
+	// reachable through the backing array for the queue's lifetime.
 	pending []request
+	head    int
 	served  int
 }
 
@@ -35,12 +40,15 @@ func (q *FCFSQueue) Enqueue(durFn func(start units.Seconds) units.Seconds, done 
 }
 
 func (q *FCFSQueue) startNext() {
-	if len(q.pending) == 0 {
+	if q.head == len(q.pending) {
+		q.pending = q.pending[:0]
+		q.head = 0
 		q.busy = false
 		return
 	}
-	req := q.pending[0]
-	q.pending = q.pending[1:]
+	req := q.pending[q.head]
+	q.pending[q.head] = request{}
+	q.head++
 	q.busy = true
 	start := q.eng.Now()
 	d := req.durFn(start)
@@ -56,11 +64,11 @@ func (q *FCFSQueue) startNext() {
 }
 
 // Busy reports whether the resource is serving or has waiting requests.
-func (q *FCFSQueue) Busy() bool { return q.busy || len(q.pending) > 0 }
+func (q *FCFSQueue) Busy() bool { return q.busy || len(q.pending) > q.head }
 
 // QueueLength returns the number of requests waiting (not counting the
 // one in service).
-func (q *FCFSQueue) QueueLength() int { return len(q.pending) }
+func (q *FCFSQueue) QueueLength() int { return len(q.pending) - q.head }
 
 // Served returns the number of completed services.
 func (q *FCFSQueue) Served() int { return q.served }

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"apstdv/internal/units"
+)
+
+// TestFCFSQueuePopReleasesServedRequests checks the head-index pop: a
+// served request's slot is zeroed as soon as service starts (so its
+// closures are collectable) and the backing slice resets once the queue
+// drains, instead of the old pending[1:] re-slice that kept every
+// served request reachable for the queue's lifetime.
+func TestFCFSQueuePopReleasesServedRequests(t *testing.T) {
+	e := New()
+	q := NewFCFSQueue(e)
+	const n = 8
+	done := 0
+	for i := 0; i < n; i++ {
+		q.Enqueue(func(units.Seconds) units.Seconds { return 1 }, func(start, end units.Seconds) {
+			done++
+			// The in-service slot must already be zeroed.
+			for j := 0; j < q.head; j++ {
+				if q.pending[j].durFn != nil || q.pending[j].done != nil {
+					t.Errorf("served slot %d still holds closures", j)
+				}
+			}
+		})
+	}
+	e.Run()
+	if done != n {
+		t.Fatalf("%d of %d requests served", done, n)
+	}
+	if q.head != 0 || len(q.pending) != 0 {
+		t.Errorf("drained queue not reset: head=%d len=%d", q.head, len(q.pending))
+	}
+	if q.Busy() {
+		t.Error("drained queue reports busy")
+	}
+	if q.Served() != n {
+		t.Errorf("served = %d, want %d", q.Served(), n)
+	}
+}
+
+// TestFCFSQueueLengthWithHeadIndex checks QueueLength/Busy account for
+// the consumed head region.
+func TestFCFSQueueLengthWithHeadIndex(t *testing.T) {
+	e := New()
+	q := NewFCFSQueue(e)
+	lengths := []int{}
+	for i := 0; i < 3; i++ {
+		q.Enqueue(func(units.Seconds) units.Seconds { return 1 }, func(start, end units.Seconds) {
+			lengths = append(lengths, q.QueueLength())
+		})
+	}
+	if q.QueueLength() != 2 {
+		t.Errorf("initial waiting = %d, want 2 (one in service)", q.QueueLength())
+	}
+	e.Run()
+	// done fires before the next request starts, so request i still sees
+	// the 2-i requests behind it waiting.
+	for i, l := range lengths {
+		if want := 2 - i; l != want {
+			t.Errorf("after service %d: QueueLength = %d, want %d", i, l, want)
+		}
+	}
+}

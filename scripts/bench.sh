@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — record the experiment runner's parallel speedup.
+#
+# Runs BenchmarkRunnerParallelism (the same Figure 2 workload at pool
+# width 1 and at one worker per CPU) and writes BENCH_<n>.json at the
+# repository root, so the perf trajectory is tracked PR over PR:
+#
+#   scripts/bench.sh        # writes BENCH_1.json
+#   scripts/bench.sh 7      # writes BENCH_7.json
+set -eu
+
+cd "$(dirname "$0")/.."
+n="${1:-1}"
+out="BENCH_${n}.json"
+
+raw=$(go test -run '^$' -bench '^BenchmarkRunnerParallelism$' -benchtime 3x .)
+echo "$raw"
+
+echo "$raw" | awk -v out="$out" '
+/^BenchmarkRunnerParallelism\// {
+    # e.g. BenchmarkRunnerParallelism/width=4-8   3   123456789 ns/op
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    width = substr(parts[2], index(parts[2], "=") + 1)
+    ns[width] = $3
+    if (order == "") order = width; else order = order " " width
+}
+/^cpu: / { sub(/^cpu: /, ""); cpu = $0 }
+END {
+    if (order == "") { print "bench.sh: no BenchmarkRunnerParallelism results" > "/dev/stderr"; exit 1 }
+    split(order, ws, " ")
+    printf "{\n  \"benchmark\": \"BenchmarkRunnerParallelism\",\n" > out
+    printf "  \"cpu\": \"%s\",\n  \"results\": [\n", cpu > out
+    for (i = 1; i <= length(ws); i++) {
+        w = ws[i]
+        printf "    {\"width\": %s, \"ns_per_op\": %s}%s\n", w, ns[w], (i < length(ws) ? "," : "") > out
+    }
+    printf "  ],\n" > out
+    seq = ns[ws[1]]; par = ns[ws[length(ws)]]
+    printf "  \"speedup\": %.3f\n}\n", (par > 0 ? seq / par : 0) > out
+}
+'
+echo "wrote $out"
