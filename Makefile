@@ -1,11 +1,11 @@
 # Standard gates for the repository. `make check` is the bar every
-# change must clear: build, vet, and the full test suite under the race
+# change must clear: build, vet, the full test suite under the race
 # detector (the parallel experiment runner is on by default, so -race
-# coverage is non-negotiable).
+# coverage is non-negotiable), and lint.
 
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race lint check bench
 
 all: check
 
@@ -21,9 +21,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+# lint runs go vet always, and staticcheck when a binary is available
+# (PATH or GOPATH/bin). It never downloads anything: offline
+# environments get vet-only linting instead of a network failure.
+lint: vet
+	@sc=$$(command -v staticcheck || true); \
+	if [ -z "$$sc" ] && [ -x "$$($(GO) env GOPATH)/bin/staticcheck" ]; then \
+		sc="$$($(GO) env GOPATH)/bin/staticcheck"; \
+	fi; \
+	if [ -n "$$sc" ]; then \
+		echo "lint: running $$sc"; \
+		"$$sc" ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only" ; \
+		echo "lint: (install with: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
-# bench records the runner's sequential-vs-parallel wall time into
-# BENCH_<n>.json (see scripts/bench.sh; n defaults to 1).
+check: build vet race lint
+
+# bench records the runner's sequential-vs-parallel wall time and the
+# observability layer's overhead into BENCH_<n>.json (see
+# scripts/bench.sh; n defaults to 1).
 bench:
 	scripts/bench.sh

@@ -20,6 +20,7 @@ import (
 	"apstdv/internal/experiment"
 	"apstdv/internal/grid"
 	"apstdv/internal/model"
+	"apstdv/internal/obs"
 	"apstdv/internal/parallel"
 	"apstdv/internal/rng"
 	"apstdv/internal/sim"
@@ -346,6 +347,38 @@ func BenchmarkRunnerParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures what instrumentation costs the
+// simulator: the same Figure-2-style run with no sink at all (the
+// baseline every prior PR measured), with the no-op sink (every emit
+// call is made, nothing retained), and with a ring sink plus the full
+// metric set (the daemon's always-on configuration). DESIGN.md's
+// observability section documents the ≤5% envelope for the no-op
+// variant; scripts/bench.sh records all three in BENCH_<n>.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	platform := workload.DAS2(16)
+	app := workload.Synthetic(0.10)
+	run := func(b *testing.B, cfg engine.Config) {
+		for i := 0; i < b.N; i++ {
+			backend, err := grid.New(platform, app, grid.Config{Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			alg, _ := dls.New("fixed-rumr")
+			cfg.ProbeLoad = 200
+			if _, err := engine.Run(backend, alg, app, platform, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sink=none", func(b *testing.B) { run(b, engine.Config{}) })
+	b.Run("sink=nop", func(b *testing.B) { run(b, engine.Config{Events: obs.Nop{}}) })
+	b.Run("sink=ring", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		met := obs.NewRunMetrics(reg)
+		run(b, engine.Config{Events: obs.NewRing(8192), Metrics: met})
+	})
 }
 
 // --- Substrate micro-benchmarks ------------------------------------------

@@ -7,6 +7,7 @@
 //	apstdv -daemon 127.0.0.1:4321 report -job 1 [-csv trace.csv]
 //	apstdv -daemon 127.0.0.1:4321 run -spec app.xml   # submit + wait + report
 //	apstdv -daemon 127.0.0.1:4321 jobs
+//	apstdv -daemon 127.0.0.1:4321 events -job 1 -follow   # JSONL event tail
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"apstdv/internal/client"
 	"apstdv/internal/daemon"
+	"apstdv/internal/obs"
 )
 
 func main() {
@@ -43,6 +45,8 @@ func main() {
 	bytesPerUnit := sub.Float64("bytesperunit", 0, "sim mode: input bytes per load unit")
 	gamma := sub.Float64("gamma", 0, "sim mode: per-unit compute uncertainty γ")
 	wait := sub.Duration("wait", 10*time.Minute, "run: maximum time to wait for completion")
+	follow := sub.Bool("follow", false, "events: keep polling until the job finishes")
+	after := sub.Int64("after", -1, "events: only events with seq greater than this")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
 		fatal(err)
 	}
@@ -99,6 +103,31 @@ func main() {
 		for _, j := range jobs {
 			printJob(j)
 		}
+	case "events":
+		sink := obs.NewJSONL(os.Stdout)
+		if *follow {
+			err := c.FollowEvents(*jobID, *wait, 100*time.Millisecond, sink.Emit)
+			if ferr := sink.Flush(); err == nil {
+				err = ferr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			break
+		}
+		evs, _, dropped, err := c.Events(*jobID, *after)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ev := range evs {
+			sink.Emit(ev)
+		}
+		if err := sink.Flush(); err != nil {
+			fatal(err)
+		}
+		if dropped {
+			fmt.Fprintln(os.Stderr, "apstdv: ring dropped events before this tail (job outran the buffer)")
+		}
 	default:
 		usage()
 	}
@@ -133,7 +162,7 @@ func showReport(c *client.Client, jobID int, csvPath string, gantt bool) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apstdv [-daemon addr] <algorithms|submit|run|status|report|jobs> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: apstdv [-daemon addr] <algorithms|submit|run|status|report|jobs|events> [flags]")
 	os.Exit(2)
 }
 

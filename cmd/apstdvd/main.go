@@ -16,7 +16,9 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"strings"
+	"time"
 
 	"apstdv/internal/daemon"
 	"apstdv/internal/live"
@@ -36,6 +38,7 @@ func main() {
 		workers     = flag.Int("workers", 2, "live mode: number of local RPC workers to start")
 		workPerUnit = flag.Int("workperunit", 1_000_000, "live mode: compute iterations per load unit")
 		workerAddrs = flag.String("workeraddrs", "", "live mode: comma-separated external worker addresses (overrides -workers)")
+		telemetry   = flag.String("telemetry", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 
@@ -76,6 +79,19 @@ func main() {
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("apstdvd: %v", err)
+	}
+	if *telemetry != "" {
+		tln, err := net.Listen("tcp", *telemetry)
+		if err != nil {
+			log.Fatalf("apstdvd: telemetry listen: %v", err)
+		}
+		srv := &http.Server{Handler: d.TelemetryHandler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.Serve(tln); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("apstdvd: telemetry: %v", err)
+			}
+		}()
+		log.Printf("apstdvd: telemetry on http://%s/metrics", tln.Addr())
 	}
 	log.Printf("apstdvd: %s mode, serving on %s", *mode, ln.Addr())
 	if err := d.Serve(ln); err != nil {

@@ -23,6 +23,7 @@ import (
 	"apstdv/internal/engine"
 	"apstdv/internal/grid"
 	"apstdv/internal/model"
+	"apstdv/internal/obs"
 	"apstdv/internal/parallel"
 	"apstdv/internal/stats"
 	"apstdv/internal/trace"
@@ -41,6 +42,7 @@ func main() {
 		csvPath      = flag.String("csv", "", "write the last run's trace as CSV to this file")
 		gantt        = flag.Bool("gantt", false, "print a per-worker timeline for each algorithm's last run")
 		parWidth     = flag.Int("parallel", 0, "worker-pool width for the run fan-out (0 = one per CPU; output is identical at every width)")
+		eventsPath   = flag.String("events", "", "write every run's scheduler event stream as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -73,12 +75,34 @@ func main() {
 		algs = []dls.Algorithm{a}
 	}
 
+	var eventsFile *os.File
+	var eventsJSONL *obs.JSONL
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		eventsFile = f
+		eventsJSONL = obs.NewJSONL(f)
+	}
+
 	fmt.Printf("platform %s (%d workers), app %s, r=%.1f, %d runs\n\n",
 		platform.Name, len(platform.Workers), app.Name, model.PlatformRatio(app, platform), *runs)
 	fmt.Printf("%-12s %12s %10s %8s %8s\n", "algorithm", "makespan", "±95%ci", "chunks", "overlap")
 
 	for ai := range algs {
 		reports := make([]trace.Report, *runs)
+		// Each run emits into its own buffer; the buffers are drained
+		// sequentially in run order below, so the JSONL bytes are
+		// identical at every -parallel width.
+		var buffers []*obs.Buffer
+		if eventsJSONL != nil {
+			buffers = make([]*obs.Buffer, *runs)
+			for i := range buffers {
+				buffers[i] = obs.NewBuffer()
+			}
+		}
 		var lastTrace *trace.Trace
 		err := parallel.ForEach(*runs, *parWidth, func(run int) error {
 			alg := freshAlgorithm(*algFlag, ai)
@@ -86,7 +110,11 @@ func main() {
 			if err != nil {
 				return err
 			}
-			tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: *probeLoad})
+			ecfg := engine.Config{ProbeLoad: *probeLoad}
+			if buffers != nil {
+				ecfg.Events = buffers[run]
+			}
+			tr, err := engine.Run(backend, alg, app, platform, ecfg)
 			if err != nil {
 				return err
 			}
@@ -98,6 +126,16 @@ func main() {
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if eventsJSONL != nil {
+			algName := algs[ai].Name()
+			for run, buf := range buffers {
+				for _, ev := range buf.Events() {
+					ev.Alg = algName
+					ev.Run = run
+					eventsJSONL.Emit(ev)
+				}
+			}
 		}
 		spans := make([]float64, 0, *runs)
 		var chunks int
@@ -125,6 +163,15 @@ func main() {
 		}
 		s := stats.Summarize(spans)
 		fmt.Printf("%-12s %11.0fs %9.0fs %8d %7.0f%%\n", algs[ai].Name(), s.Mean, s.CI95(), chunks, 100*overlap)
+	}
+	if eventsJSONL != nil {
+		if err := eventsJSONL.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nevents written to %s\n", *eventsPath)
 	}
 }
 

@@ -28,14 +28,23 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended")
-		runs     = flag.Int("runs", 10, "repetitions per (algorithm, γ) cell (paper: 10)")
-		seed     = flag.Uint64("seed", 0, "base seed override (0 = experiment default)")
-		csvDir   = flag.String("csvdir", "", "also write per-experiment plot data CSVs into this directory")
-		bars     = flag.Bool("bars", false, "also render each figure as bar charts (like the paper's figures)")
-		parWidth = flag.Int("parallel", 0, "worker-pool width for the run fan-out (0 = one per CPU; output is identical at every width)")
+		run       = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended")
+		runs      = flag.Int("runs", 10, "repetitions per (algorithm, γ) cell (paper: 10)")
+		seed      = flag.Uint64("seed", 0, "base seed override (0 = experiment default)")
+		csvDir    = flag.String("csvdir", "", "also write per-experiment plot data CSVs into this directory")
+		bars      = flag.Bool("bars", false, "also render each figure as bar charts (like the paper's figures)")
+		parWidth  = flag.Int("parallel", 0, "worker-pool width for the run fan-out (0 = one per CPU; output is identical at every width)")
+		eventsDir = flag.String("events-dir", "", "dump every run's scheduler event stream as JSONL into this directory")
+		derived   = flag.Bool("derived", false, "also print the derived-metrics table (uplink utilization, worker idle fraction, measured γ)")
 	)
 	flag.Parse()
+
+	if *eventsDir != "" {
+		if err := os.MkdirAll(*eventsDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	want := strings.ToLower(*run)
 	ran := false
@@ -52,6 +61,7 @@ func main() {
 		}
 		spec.Runs = *runs
 		spec.Parallelism = *parWidth
+		spec.EventsDir = *eventsDir
 		if *seed != 0 {
 			spec.Seed = *seed
 		}
@@ -61,6 +71,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(res.Table())
+		if *derived {
+			fmt.Println(res.Derived())
+		}
 		if *bars {
 			fmt.Println(res.Bars(50))
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"apstdv/internal/daemon"
+	"apstdv/internal/obs"
 )
 
 // Client talks to one daemon.
@@ -63,6 +64,40 @@ func (c *Client) Jobs() ([]daemon.Job, error) {
 	var reply daemon.ListJobsReply
 	err := c.rc.Call("APSTDV.ListJobs", daemon.ListJobsArgs{}, &reply)
 	return reply.Jobs, err
+}
+
+// Events fetches the tail of a job's event stream: retained events with
+// Seq > afterSeq, the job's current state, and whether the ring dropped
+// events the cursor missed.
+func (c *Client) Events(jobID int, afterSeq int64) ([]obs.Event, daemon.JobState, bool, error) {
+	var reply daemon.EventsReply
+	err := c.rc.Call("APSTDV.Events", daemon.EventsArgs{JobID: jobID, AfterSeq: afterSeq}, &reply)
+	return reply.Events, reply.State, reply.Dropped, err
+}
+
+// FollowEvents polls the job's event stream from the beginning, calling
+// fn for every event in (run, seq) order, until the job finishes and
+// the stream is drained or the timeout elapses.
+func (c *Client) FollowEvents(jobID int, timeout, poll time.Duration, fn func(obs.Event)) error {
+	deadline := time.Now().Add(timeout)
+	after := int64(-1)
+	for {
+		evs, state, _, err := c.Events(jobID, after)
+		if err != nil {
+			return err
+		}
+		for _, ev := range evs {
+			fn(ev)
+			after = ev.Seq
+		}
+		if state != daemon.JobRunning && len(evs) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: job %d events still streaming after %v", jobID, timeout)
+		}
+		time.Sleep(poll)
+	}
 }
 
 // WaitDone polls until the job leaves the running state or the timeout

@@ -27,6 +27,7 @@ import (
 	"apstdv/internal/grid"
 	"apstdv/internal/live"
 	"apstdv/internal/model"
+	"apstdv/internal/obs"
 	"apstdv/internal/spec"
 	"apstdv/internal/trace"
 	"apstdv/internal/units"
@@ -76,8 +77,13 @@ type Job struct {
 	Chunks    int
 	Err       string
 
-	tr *trace.Trace
+	tr     *trace.Trace
+	events *obs.Ring
 }
+
+// jobEventRing bounds each job's retained event tail: long jobs keep
+// the most recent events; pollers that fall behind skip ahead.
+const jobEventRing = 8192
 
 // Daemon is the RPC service state.
 type Daemon struct {
@@ -87,6 +93,16 @@ type Daemon struct {
 	jobs   map[int]*Job
 	nextID int
 	wg     sync.WaitGroup
+
+	// Telemetry: one registry aggregates daemon-level job accounting
+	// and the engine/grid metric sets across all jobs.
+	started                             time.Time
+	registry                            *obs.Registry
+	runMetrics                          *obs.RunMetrics
+	gridMetrics                         *obs.GridMetrics
+	jobsSubmitted, jobsDone, jobsFailed *obs.Counter
+	jobsRunning                         *obs.Gauge
+	jobSeconds                          *obs.Histogram
 }
 
 // New validates the configuration and returns a daemon.
@@ -106,8 +122,26 @@ func New(cfg Config) (*Daemon, error) {
 	default:
 		return nil, fmt.Errorf("daemon: unknown mode %q", cfg.Mode)
 	}
-	return &Daemon{cfg: cfg, jobs: make(map[int]*Job)}, nil
+	reg := obs.NewRegistry()
+	d := &Daemon{
+		cfg:           cfg,
+		jobs:          make(map[int]*Job),
+		started:       time.Now(),
+		registry:      reg,
+		runMetrics:    obs.NewRunMetrics(reg),
+		gridMetrics:   obs.NewGridMetrics(reg),
+		jobsSubmitted: reg.Counter("apstdv_jobs_submitted_total", "Jobs accepted by Submit."),
+		jobsDone:      reg.Counter("apstdv_jobs_done_total", "Jobs that finished successfully."),
+		jobsFailed:    reg.Counter("apstdv_jobs_failed_total", "Jobs that failed."),
+		jobsRunning:   reg.Gauge("apstdv_jobs_running", "Jobs currently executing."),
+		jobSeconds:    reg.Histogram("apstdv_job_makespan_seconds", "Per-job model makespan.", obs.DurationBuckets),
+	}
+	return d, nil
 }
+
+// Registry exposes the daemon's metric registry (telemetry handler,
+// tests).
+func (d *Daemon) Registry() *obs.Registry { return d.registry }
 
 // SubmitArgs is the Submit RPC request.
 type SubmitArgs struct {
@@ -171,28 +205,37 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 
 	d.mu.Lock()
 	d.nextID++
-	job := &Job{ID: d.nextID, Algorithm: algName, State: JobRunning, Submitted: time.Now()}
+	job := &Job{
+		ID: d.nextID, Algorithm: algName, State: JobRunning,
+		Submitted: time.Now(), events: obs.NewRing(jobEventRing),
+	}
 	d.jobs[job.ID] = job
 	d.mu.Unlock()
+	d.jobsSubmitted.Inc()
+	d.jobsRunning.Inc()
 
 	probeLoad := task.Divisibility.ProbeLoad
 
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		tr, err := d.execute(alg, app, divider, probeLoad)
+		tr, err := d.execute(alg, app, divider, probeLoad, job.events)
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		job.Finished = time.Now()
+		d.jobsRunning.Dec()
 		if err != nil {
 			job.State = JobFailed
 			job.Err = err.Error()
+			d.jobsFailed.Inc()
 			return
 		}
 		job.State = JobDone
 		job.tr = tr
 		job.Makespan = tr.Makespan()
 		job.Chunks = tr.Len()
+		d.jobsDone.Inc()
+		d.jobSeconds.Observe(job.Makespan)
 	}()
 
 	reply.JobID = job.ID
@@ -230,12 +273,16 @@ func (d *Daemon) buildApp(task *spec.Task, divider divide.Divider, sim *SimApp) 
 	return app, nil
 }
 
-// execute runs the job on the configured backend.
-func (d *Daemon) execute(alg dls.Algorithm, app *model.Application, divider divide.Divider, probeLoad float64) (*trace.Trace, error) {
-	ecfg := engine.Config{Divider: divider, ProbeLoad: probeLoad}
+// execute runs the job on the configured backend, streaming its events
+// into the job's ring and its metrics into the shared registry.
+func (d *Daemon) execute(alg dls.Algorithm, app *model.Application, divider divide.Divider, probeLoad float64, events obs.Sink) (*trace.Trace, error) {
+	ecfg := engine.Config{
+		Divider: divider, ProbeLoad: probeLoad,
+		Events: events, Metrics: d.runMetrics,
+	}
 	switch d.cfg.Mode {
 	case ModeSim:
-		backend, err := grid.New(d.cfg.Platform, app, grid.Config{Seed: d.cfg.Seed})
+		backend, err := grid.New(d.cfg.Platform, app, grid.Config{Seed: d.cfg.Seed, Metrics: d.gridMetrics})
 		if err != nil {
 			return nil, err
 		}
@@ -269,6 +316,7 @@ func (d *Daemon) Status(args StatusArgs, reply *StatusReply) error {
 	}
 	reply.Job = *job
 	reply.Job.tr = nil
+	reply.Job.events = nil
 	return nil
 }
 
@@ -344,6 +392,7 @@ func (d *Daemon) ListJobs(args ListJobsArgs, reply *ListJobsReply) error {
 		if j, ok := d.jobs[id]; ok {
 			cp := *j
 			cp.tr = nil
+			cp.events = nil
 			reply.Jobs = append(reply.Jobs, cp)
 		}
 	}

@@ -1,0 +1,101 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"apstdv/internal/obs"
+)
+
+// EventsArgs selects a job event tail: everything the job's ring still
+// holds with sequence number strictly greater than AfterSeq (pass -1
+// for the full retained tail).
+type EventsArgs struct {
+	JobID    int
+	AfterSeq int64
+}
+
+// EventsReply carries one poll of a job's event stream.
+type EventsReply struct {
+	Events []obs.Event
+	// State lets pollers stop: once the job leaves JobRunning and a
+	// RunFinished event has been delivered, the stream is complete.
+	State JobState
+	// Dropped reports ring overflow: the oldest retained event's Seq is
+	// higher than AfterSeq+1, so events in between were evicted.
+	Dropped bool
+}
+
+// Events implements the event-tail RPC: the live view of a running
+// job's scheduler decisions, and the postmortem tail of a finished one.
+func (d *Daemon) Events(args EventsArgs, reply *EventsReply) error {
+	d.mu.Lock()
+	job, ok := d.jobs[args.JobID]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("daemon: no job %d", args.JobID)
+	}
+	reply.Events = job.events.After(args.AfterSeq)
+	if len(reply.Events) > 0 && reply.Events[0].Seq > args.AfterSeq+1 {
+		reply.Dropped = true
+	}
+	d.mu.Lock()
+	reply.State = job.State
+	d.mu.Unlock()
+	return nil
+}
+
+// healthz is the /healthz response body.
+type healthz struct {
+	Status        string  `json:"status"`
+	Mode          string  `json:"mode"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	JobsRunning   int     `json:"jobs_running"`
+	JobsTotal     int     `json:"jobs_total"`
+}
+
+// TelemetryHandler returns the daemon's HTTP observability surface:
+//
+//	/metrics        Prometheus text exposition of the shared registry
+//	/healthz        liveness + job accounting as JSON
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// cmd/apstdvd mounts it when -telemetry is set; tests drive it through
+// httptest.
+func (d *Daemon) TelemetryHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := d.registry.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		running := 0
+		for _, j := range d.jobs {
+			if j.State == JobRunning {
+				running++
+			}
+		}
+		h := healthz{
+			Status:        "ok",
+			Mode:          string(d.cfg.Mode),
+			UptimeSeconds: time.Since(d.started).Seconds(),
+			JobsRunning:   running,
+			JobsTotal:     len(d.jobs),
+		}
+		d.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -127,6 +127,32 @@ type Recalibrator interface {
 	Recalibrate(worker int, commLatency, compLatency float64)
 }
 
+// SwitchDecision records one evaluation of a two-phase algorithm's
+// phase-switch condition — the quantity behind the paper's central
+// diagnostic (RUMR's switch firing too late, or never).
+type SwitchDecision struct {
+	// Gamma is the online γ estimate at evaluation time (-1 while too
+	// few observations have accumulated to trust it).
+	Gamma float64
+	// Want is the desired factoring-phase load (units); the switch can
+	// only fire while at least this much load is still undispatched.
+	Want float64
+	// Remaining is the undispatched load at evaluation time.
+	Remaining float64
+	// Switched reports whether the factoring phase started here.
+	Switched bool
+}
+
+// SwitchObservable is an optional interface for algorithms that log
+// phase-switch evaluations. The engine drains the log after each
+// planning and dispatch step and re-emits the entries as observability
+// events; algorithms that never accumulate entries cost nothing.
+type SwitchObservable interface {
+	// DrainSwitchDecisions returns the evaluations recorded since the
+	// last drain and clears the log. It returns nil when empty.
+	DrainSwitchDecisions() []SwitchDecision
+}
+
 // predictMakespan simulates a planned dispatch sequence against the
 // estimated cost model: a serialized master uplink and per-worker FIFO
 // compute, both affine. It is exact for the plan (no approximation), so

@@ -18,6 +18,7 @@ type FixedRUMR struct {
 	player    sequencePlayer
 	factoring *WeightedFactoring
 	inPhase2  bool
+	decisions []SwitchDecision
 }
 
 // NewFixedRUMR returns Fixed-RUMR with the paper's 80/20 split.
@@ -53,6 +54,7 @@ func (f *FixedRUMR) Plan(p Plan) error {
 	}
 	f.factoring = wf
 	f.inPhase2 = false
+	f.decisions = nil
 	return nil
 }
 
@@ -63,8 +65,23 @@ func (f *FixedRUMR) Next(st State) (Decision, bool) {
 			return d, true
 		}
 		f.inPhase2 = true
+		// The planned split fired: the factoring phase takes the rest.
+		// Gamma is -1 because Fixed-RUMR never estimates uncertainty.
+		f.decisions = append(f.decisions, SwitchDecision{
+			Gamma: -1, Want: st.Remaining, Remaining: st.Remaining, Switched: true,
+		})
 	}
 	return f.factoring.Next(st)
+}
+
+// DrainSwitchDecisions implements SwitchObservable.
+func (f *FixedRUMR) DrainSwitchDecisions() []SwitchDecision {
+	if len(f.decisions) == 0 {
+		return nil
+	}
+	out := f.decisions
+	f.decisions = nil
+	return out
 }
 
 // Dispatched implements Algorithm.

@@ -53,6 +53,11 @@ type RUMR struct {
 	// pooled dispersion of normalized observations.
 	perWorker []stats.RunningStats
 	ratios    stats.RunningStats
+
+	// decisions logs every switch-condition evaluation for the
+	// observability layer (SwitchObservable); bounded by the number of
+	// UMR round boundaries.
+	decisions []SwitchDecision
 }
 
 // NewRUMR returns the online-discovery RUMR the paper evaluates.
@@ -104,12 +109,16 @@ func (r *RUMR) Plan(p Plan) error {
 	r.factoring = nil
 	r.perWorker = make([]stats.RunningStats, len(p.Workers))
 	r.ratios = stats.RunningStats{}
+	r.decisions = nil
 
 	phase1 := p.TotalLoad
 	if r.KnownGamma >= 0 {
 		// Oracle: fix the split now, like the original algorithm.
 		phase1 = p.TotalLoad * (1 - Phase2Fraction(r.KnownGamma))
 		if phase1 <= 0 {
+			r.decisions = append(r.decisions, SwitchDecision{
+				Gamma: r.KnownGamma, Want: p.TotalLoad, Remaining: p.TotalLoad, Switched: true,
+			})
 			return r.switchToFactoring(p.TotalLoad)
 		}
 	}
@@ -167,24 +176,44 @@ func (r *RUMR) Next(st State) (Decision, bool) {
 	// possible if at least that much load is still undispatched — the
 	// rounds already sent are committed.
 	if _, atBoundary := r.boundary[r.player.pos]; atBoundary && r.KnownGamma < 0 {
-		if g := r.EstimatedGamma(); g >= 0 {
+		g := r.EstimatedGamma()
+		dec := SwitchDecision{Gamma: g, Remaining: st.Remaining}
+		if g >= 0 {
 			want := Phase2Fraction(g) * r.plan.TotalLoad
+			dec.Want = want
 			if want > 0 && st.Remaining <= want && st.Remaining > 0 {
 				if err := r.switchToFactoring(st.Remaining); err == nil {
+					dec.Switched = true
+					r.decisions = append(r.decisions, dec)
 					return r.factoring.Next(st)
 				}
 			}
 		}
+		r.decisions = append(r.decisions, dec)
 	}
 	d, ok := r.player.next(st)
 	if !ok && st.Remaining > 0 {
 		// UMR phase exhausted with load left (oracle split, or cut-point
 		// drift): the factoring phase takes over.
 		if err := r.switchToFactoring(st.Remaining); err == nil {
+			r.decisions = append(r.decisions, SwitchDecision{
+				Gamma: r.EstimatedGamma(), Want: st.Remaining,
+				Remaining: st.Remaining, Switched: true,
+			})
 			return r.factoring.Next(st)
 		}
 	}
 	return d, ok
+}
+
+// DrainSwitchDecisions implements SwitchObservable.
+func (r *RUMR) DrainSwitchDecisions() []SwitchDecision {
+	if len(r.decisions) == 0 {
+		return nil
+	}
+	out := r.decisions
+	r.decisions = nil
+	return out
 }
 
 // Dispatched implements Algorithm.

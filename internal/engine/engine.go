@@ -18,6 +18,7 @@ import (
 
 	"apstdv/internal/dls"
 	"apstdv/internal/model"
+	"apstdv/internal/obs"
 	"apstdv/internal/trace"
 )
 
@@ -92,6 +93,17 @@ type Config struct {
 	// for the ablation that quantifies how much that serialization is
 	// responsible for the algorithms' behaviour.
 	ParallelUplink bool
+	// Events receives the run's structured event stream (probing,
+	// planning, dispatches, completions, uplink occupancy, RUMR switch
+	// decisions). Events are timestamped with the backend clock and
+	// sequence-numbered in emission order, so simulated runs produce
+	// identical streams regardless of host concurrency. nil disables
+	// emission entirely.
+	Events obs.Sink
+	// Metrics, when non-nil, is updated live during the run — counters
+	// and histograms may be shared across runs (the daemon aggregates
+	// all jobs into one registry).
+	Metrics *obs.RunMetrics
 }
 
 // Run executes the application on the backend under the algorithm's
@@ -111,7 +123,10 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 		cfg:      cfg,
 		trace:    trace.New(alg.Name(), platformName(platform)),
 		total:    float64(app.TotalLoad),
+		sink:     cfg.Events,
+		met:      cfg.Metrics,
 	}
+	e.switchObs, _ = alg.(dls.SwitchObservable)
 	e.remaining = e.total
 	n := b.Workers()
 	e.pending = make([]float64, n)
@@ -133,6 +148,14 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	fin := obs.Event{
+		Type: obs.RunFinished, Worker: -1,
+		Makespan: e.trace.Makespan(), Chunks: e.trace.Len(),
+	}
+	if e.err != nil {
+		fin.Err = e.err.Error()
+	}
+	e.emit(fin)
 	if e.err != nil {
 		return e.trace, e.err
 	}
@@ -183,6 +206,42 @@ type execution struct {
 	planned      bool
 	err          error
 	stopNotified bool
+
+	// Observability: the event sink (nil = disabled), live metrics
+	// (nil = disabled), the emission sequence counter, and the cached
+	// switch-decision drain interface.
+	sink      obs.Sink
+	met       *obs.RunMetrics
+	eventSeq  int64
+	switchObs dls.SwitchObservable
+}
+
+// emit stamps and forwards one event: sequence numbers are dense in
+// emission order and the timestamp is the backend clock, which is what
+// keeps simulated streams byte-deterministic. Caller holds the mutex.
+func (e *execution) emit(ev obs.Event) {
+	if e.sink == nil {
+		return
+	}
+	ev.Seq = e.eventSeq
+	e.eventSeq++
+	ev.T = e.backend.Now()
+	e.sink.Emit(ev)
+}
+
+// drainSwitchDecisions re-emits any phase-switch evaluations the
+// algorithm logged since the last planning or dispatch step. Caller
+// holds the mutex.
+func (e *execution) drainSwitchDecisions() {
+	if e.switchObs == nil {
+		return
+	}
+	for _, d := range e.switchObs.DrainSwitchDecisions() {
+		e.emit(obs.Event{
+			Type: obs.RUMRSwitch, Worker: -1,
+			Gamma: d.Gamma, Want: d.Want, Remaining: d.Remaining, Switched: d.Switched,
+		})
+	}
 }
 
 type probeResult struct {
@@ -223,16 +282,22 @@ func (e *execution) startProbing() {
 	n := e.backend.Workers()
 	e.probes = make([]probeResult, n)
 	e.probesLeft = n
+	e.emit(obs.Event{
+		Type: obs.ProbeStart, Worker: -1, Workers: n,
+		Size: e.probeLoad, Bytes: e.probeLoad * e.probeBPU,
+	})
 	e.probeWorker(0)
 }
 
 // probeWorker issues worker w's empty transfer; the chain continues in
 // callbacks and moves to worker w+1 as soon as the uplink frees.
 func (e *execution) probeWorker(w int) {
+	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Probe: true})
 	e.backend.Transfer(w, 0, func(start, end float64) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		e.probes[w].emptyTransfer = end - start
+		e.uplinkFreed(w, 0, true, start, end)
 		// Launch the no-op job; its completion is independent of the
 		// uplink chain.
 		e.backend.Execute(w, 0, true, func(s2, e2 float64) {
@@ -242,10 +307,12 @@ func (e *execution) probeWorker(w int) {
 			e.probeExecDone(w)
 		})
 		// Send the probe chunk on the now-free uplink.
+		e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Probe: true, Bytes: e.probeLoad * e.probeBPU})
 		e.backend.Transfer(w, e.probeLoad*e.probeBPU, func(s3, e3 float64) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
 			e.probes[w].probeTransfer = e3 - s3
+			e.uplinkFreed(w, 0, true, s3, e3)
 			id := e.nextChunkID()
 			e.backend.Execute(w, e.probeLoad, true, func(s4, e4 float64) {
 				e.mu.Lock()
@@ -270,12 +337,29 @@ func (e *execution) probeWorker(w int) {
 	})
 }
 
+// uplinkFreed records one transfer's release of the serialized uplink:
+// the UplinkIdle event plus the busy-time metric. Caller holds the
+// mutex.
+func (e *execution) uplinkFreed(w, chunk int, probe bool, start, end float64) {
+	e.emit(obs.Event{
+		Type: obs.UplinkIdle, Worker: w, Chunk: chunk, Probe: probe, Dur: end - start,
+	})
+	e.met.TransferDone(end - start)
+}
+
 // probeExecDone accounts for one of worker w's two calibration
 // executions; when every worker has reported both, planning proceeds.
 func (e *execution) probeExecDone(w int) {
 	e.probes[w].execDone++
 	if e.probes[w].execDone == 2 {
 		e.probesLeft--
+		pr := e.probes[w]
+		e.emit(obs.Event{
+			Type: obs.ProbeResult, Worker: w, Size: e.probeLoad,
+			CommLatency: pr.emptyTransfer, CompLatency: pr.noopExec,
+			TransferDur: pr.probeTransfer, ComputeDur: pr.probeExec,
+		})
+		e.met.ProbeDone()
 	}
 	if e.probesLeft == 0 && !e.planned {
 		e.plan(e.estimatesFromProbes())
@@ -318,10 +402,14 @@ func (e *execution) plan(ests []model.Estimate) {
 	e.planned = true
 	minChunk := float64(e.app.MinChunk)
 	err := e.alg.Plan(dls.Plan{TotalLoad: e.total, MinChunk: minChunk, Workers: ests})
+	e.drainSwitchDecisions() // oracle variants may fix the split at plan time
 	if err != nil {
 		e.fail(err)
 		return
 	}
+	e.emit(obs.Event{
+		Type: obs.PlanDone, Worker: -1, Workers: len(ests), TotalLoad: e.total,
+	})
 	e.tryDispatch()
 }
 
@@ -349,6 +437,7 @@ func (e *execution) tryDispatch() {
 		return
 	}
 	d, ok := e.alg.Next(e.state())
+	e.drainSwitchDecisions()
 	if !ok {
 		if e.inflight == 0 && e.remaining > 1e-9 {
 			// Nothing in flight can retrigger dispatch: the algorithm
@@ -403,10 +492,18 @@ func (e *execution) tryDispatch() {
 
 	id := e.nextChunkID()
 	w := d.Worker
-	e.backend.Transfer(w, actual*float64(e.app.BytesPerUnit), func(sendStart, sendEnd float64) {
+	chunkBytes := actual * float64(e.app.BytesPerUnit)
+	e.emit(obs.Event{
+		Type: obs.Dispatch, Worker: w, Chunk: id,
+		Size: actual, Bytes: chunkBytes, Remaining: e.remaining,
+	})
+	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Chunk: id, Bytes: chunkBytes})
+	e.met.Dispatched(chunkBytes)
+	e.backend.Transfer(w, chunkBytes, func(sendStart, sendEnd float64) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		e.sending = false
+		e.uplinkFreed(w, id, false, sendStart, sendEnd)
 		e.backend.Execute(w, actual, false, func(compStart, compEnd float64) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
@@ -431,17 +528,24 @@ func (e *execution) recalibrate() {
 	e.calibrating = true
 	e.lastCal = e.backend.Now()
 	e.calCount++
+	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Probe: true})
 	e.backend.Transfer(w, 0, func(s1, e1 float64) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		commLat := e1 - s1
 		e.calibrating = false
+		e.uplinkFreed(w, 0, true, s1, e1)
 		e.backend.Execute(w, 0, true, func(s2, e2 float64) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
 			if rc, ok := e.alg.(dls.Recalibrator); ok {
 				rc.Recalibrate(w, commLat, e2-s2)
 			}
+			e.emit(obs.Event{
+				Type: obs.Recalibrate, Worker: w,
+				CommLatency: commLat, CompLatency: e2 - s2,
+			})
+			e.met.Recalibrated()
 			e.tryDispatch()
 		})
 		e.tryDispatch()
@@ -470,6 +574,13 @@ func (e *execution) finishChunk(id, w int, offset, size, sendStart, sendEnd, com
 			SendStart: sendStart, SendEnd: sendEnd,
 			CompStart: compStart, CompEnd: compEnd,
 		})
+		e.emit(obs.Event{
+			Type: obs.ChunkDone, Worker: w, Chunk: id, Size: size,
+			SendStart: sendStart, SendEnd: sendEnd,
+			CompStart: compStart, CompEnd: compEnd, OutputEnd: outputEnd,
+			Remaining: e.remaining,
+		})
+		e.met.ChunkFinished(size, compEnd-compStart)
 		e.tryDispatch()
 	}
 	if outBytes <= 0 {

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEventsParallelMatchesSequential is the event stream's determinism
+// guarantee: the JSONL dumps of Figure 2 at pool width 8 must be
+// byte-identical to the width-1 sequential run's — every file, every
+// byte. Events carry virtual-time stamps and per-run sequence numbers,
+// and each (γ, algorithm, run) triple owns its file exclusively, so
+// pool scheduling can never reorder or re-time anything.
+func TestEventsParallelMatchesSequential(t *testing.T) {
+	dumpAt := func(width int) string {
+		dir := t.TempDir()
+		s := Figure2()
+		s.Runs = 3
+		s.Parallelism = width
+		s.EventsDir = dir
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	seqDir := dumpAt(1)
+	parDir := dumpAt(8)
+
+	seqFiles, err := filepath.Glob(filepath.Join(seqDir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqFiles) == 0 {
+		t.Fatal("sequential run dumped no event files")
+	}
+	parFiles, _ := filepath.Glob(filepath.Join(parDir, "*.jsonl"))
+	if len(parFiles) != len(seqFiles) {
+		t.Fatalf("file counts differ: %d sequential vs %d parallel", len(seqFiles), len(parFiles))
+	}
+	for _, sf := range seqFiles {
+		name := filepath.Base(sf)
+		a, err := os.ReadFile(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(parDir, name))
+		if err != nil {
+			t.Fatalf("parallel run missing %s: %v", name, err)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s: empty event dump", name)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: bytes differ between width 1 and width 8", name)
+		}
+	}
+}

@@ -6,12 +6,15 @@ package experiment
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"apstdv/internal/dls"
 	"apstdv/internal/engine"
 	"apstdv/internal/grid"
 	"apstdv/internal/model"
+	"apstdv/internal/obs"
 	"apstdv/internal/parallel"
 	"apstdv/internal/stats"
 	"apstdv/internal/trace"
@@ -47,6 +50,11 @@ type Spec struct {
 	// are identical at every width: each run is an independently seeded
 	// simulation and aggregation happens in deterministic order.
 	Parallelism int
+	// EventsDir, when non-empty, makes every run dump its scheduler
+	// event stream as JSONL into this directory, one file per run named
+	// <ID>-g<γ>-<algorithm>-run<k>.jsonl. Each run writes only its own
+	// file, so the dumps are byte-identical at every Parallelism width.
+	EventsDir string
 }
 
 // Cell is the aggregated result for one (algorithm, γ) pair.
@@ -63,6 +71,12 @@ type Cell struct {
 	// RUMRSwitched counts runs in which RUMR entered its factoring phase
 	// (only meaningful for the rumr row) — the paper's key diagnostic.
 	RUMRSwitched int
+	// UplinkUtil is the mean fraction of the makespan the master uplink
+	// was busy; the single-port model makes it the contention ceiling.
+	UplinkUtil float64
+	// IdleFraction is the mean fraction of the makespan an average
+	// worker spent NOT computing (1 − mean worker utilization).
+	IdleFraction float64
 	// Makespans holds the per-run values behind Summary.
 	Makespans []float64
 }
@@ -80,6 +94,8 @@ type runResult struct {
 	makespan      float64
 	measuredGamma float64
 	rumrSwitched  bool
+	uplinkUtil    float64
+	idleFraction  float64
 }
 
 // Run executes the experiment: every (γ, algorithm, run) triple is an
@@ -119,16 +135,22 @@ func (s *Spec) Run() (*Result, error) {
 				Makespans: make([]float64, 0, s.Runs),
 			}
 			gammaStats := stats.RunningStats{}
+			uplinkStats := stats.RunningStats{}
+			idleStats := stats.RunningStats{}
 			for run := 0; run < s.Runs; run++ {
 				r := runs[(gi*nAlg+ai)*s.Runs+run]
 				cell.Makespans = append(cell.Makespans, r.makespan)
 				gammaStats.Add(r.measuredGamma)
+				uplinkStats.Add(r.uplinkUtil)
+				idleStats.Add(r.idleFraction)
 				if r.rumrSwitched {
 					cell.RUMRSwitched++
 				}
 			}
 			cell.Summary = stats.Summarize(cell.Makespans)
 			cell.MeasuredGamma = gammaStats.Mean()
+			cell.UplinkUtil = uplinkStats.Mean()
+			cell.IdleFraction = idleStats.Mean()
 			cells = append(cells, cell)
 		}
 		// Slowdowns are relative to the best mean at this γ.
@@ -169,6 +191,11 @@ func (s *Spec) runOnce(gamma float64, ai, run int, out *runResult) error {
 			ecfg.ProbeLoad = s.ProbeLoad
 		}
 	}
+	var buf *obs.Buffer
+	if s.EventsDir != "" {
+		buf = obs.NewBuffer()
+		ecfg.Events = buf
+	}
 	tr, err := engine.Run(backend, alg, app, s.Platform, ecfg)
 	if err != nil {
 		return fmt.Errorf("%s: %s γ=%g run %d: %w", s.ID, alg.Name(), gamma, run, err)
@@ -178,7 +205,41 @@ func (s *Spec) runOnce(gamma float64, ai, run int, out *runResult) error {
 	if r, ok := alg.(*dls.RUMR); ok && r.Switched() {
 		out.rumrSwitched = true
 	}
+	rep := tr.BuildReport(len(s.Platform.Workers))
+	if rep.Makespan > 0 {
+		out.uplinkUtil = rep.CommTime / rep.Makespan
+		util := stats.RunningStats{}
+		for _, u := range rep.WorkerUtil {
+			util.Add(u)
+		}
+		out.idleFraction = 1 - util.Mean()
+	}
+	if buf != nil {
+		if err := s.writeEvents(gamma, alg.Name(), run, buf.Events()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeEvents dumps one run's event stream into EventsDir. The file is
+// owned exclusively by this (γ, algorithm, run) triple, so concurrent
+// runs never share a writer and the bytes are pool-width independent.
+func (s *Spec) writeEvents(gamma float64, alg string, run int, events []obs.Event) error {
+	name := fmt.Sprintf("%s-g%g-%s-run%d.jsonl", s.ID, gamma, alg, run)
+	f, err := os.Create(filepath.Join(s.EventsDir, name))
+	if err != nil {
+		return fmt.Errorf("%s: events dump: %w", s.ID, err)
+	}
+	for i := range events {
+		events[i].Alg = alg
+		events[i].Run = run
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: events dump %s: %w", s.ID, name, err)
+	}
+	return f.Close()
 }
 
 // MeasureGamma estimates the paper's γ from one run's trace: the CV of
@@ -309,6 +370,28 @@ func (r *Result) Table() string {
 			}
 		}
 		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Derived renders the observability-derived metrics the paper's figures
+// do not show directly: how busy the single-port uplink was, how much
+// of the makespan an average worker sat idle, and whether the measured
+// per-unit compute CV reproduces the configured γ.
+func (r *Result) Derived() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — derived metrics (platform %s, %d runs)\n", r.Spec.ID, r.Spec.Platform.Name, r.Spec.Runs)
+	fmt.Fprintf(&b, "%-12s %8s | %10s %10s %12s %12s\n",
+		"algorithm", "γ(cfg)", "uplink", "idle", "γ(measured)", "makespan")
+	for _, g := range r.Spec.Gammas {
+		for _, name := range r.algorithmOrder() {
+			c, ok := r.Cell(name, g)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%-12s %7.0f%% | %9.1f%% %9.1f%% %11.1f%% %11.0fs\n",
+				name, g*100, 100*c.UplinkUtil, 100*c.IdleFraction, 100*c.MeasuredGamma, c.Summary.Mean)
+		}
 	}
 	return b.String()
 }

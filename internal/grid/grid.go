@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"apstdv/internal/model"
+	"apstdv/internal/obs"
 	"apstdv/internal/rng"
 	"apstdv/internal/sim"
 	"apstdv/internal/units"
@@ -35,6 +36,11 @@ type Config struct {
 	// §3.5 — a probe costing 1.2× the average biases every speed estimate
 	// by 20%). 0 means unbiased (1.0).
 	ProbeBias float64
+	// Metrics, when non-nil, records backend-level occupancy the engine
+	// cannot see: compute-queue depths, batch-scheduler hold times, and
+	// downlink busy time. Purely observational — never feeds back into
+	// the simulation, so instrumented runs stay bit-identical.
+	Metrics *obs.GridMetrics
 }
 
 // Backend simulates a Platform executing an Application.
@@ -129,6 +135,7 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64)) 
 // application's data-dependent cost variability.
 func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64)) {
 	wk := b.platform.Workers[w]
+	b.cfg.Metrics.EnqueueCompute(b.compute[w].QueueLength())
 	b.compute[w].Enqueue(func(start units.Seconds) units.Seconds {
 		base := size * float64(b.app.UnitCost) / wk.Speed
 		if probe {
@@ -139,6 +146,7 @@ func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end 
 		hold := 0.0
 		if b.batch[w] != nil {
 			hold = b.batch[w].startDelay(float64(start))
+			b.cfg.Metrics.BatchHold(hold)
 		}
 		stretched := base
 		if b.bg[w] != nil && base > 0 {
@@ -183,6 +191,7 @@ func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float6
 		}
 		return units.Seconds(d)
 	}, func(start, end units.Seconds) {
+		b.cfg.Metrics.DownlinkBusy(float64(end - start))
 		done(float64(start), float64(end))
 	})
 }

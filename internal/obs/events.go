@@ -1,0 +1,263 @@
+// Package obs is the observability layer: a structured scheduler event
+// stream and a metrics registry, shared by every execution layer — the
+// engine emits typed events through a pluggable Sink, the grid and live
+// backends record resource occupancy, and the daemon exposes both over
+// HTTP in Prometheus text format.
+//
+// Determinism rule: events are timestamped with the *backend clock*
+// (virtual seconds in the simulator, wall seconds in the live runtime)
+// and sequence-numbered by the emitter, never by arrival order at the
+// sink. A simulated run therefore produces a byte-identical JSONL stream
+// regardless of how many runs execute concurrently around it; multi-run
+// dumpers order streams by (run, seq), not by wall-clock completion.
+//
+// Performance rule: the no-sink path costs nothing (a nil check), and
+// metric updates are single atomic operations — no allocation, no locks
+// on the hot dispatch path.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventType names a scheduler event.
+type EventType string
+
+// The scheduler event taxonomy. Every event a run emits carries one of
+// these types; consumers must tolerate unknown types (the taxonomy
+// grows).
+const (
+	// ProbeStart opens the §3.5 probing round (one per run).
+	ProbeStart EventType = "probe_start"
+	// ProbeResult carries one worker's four probe measurements.
+	ProbeResult EventType = "probe_result"
+	// PlanDone marks the algorithm's planning step (estimates accepted).
+	PlanDone EventType = "plan"
+	// Dispatch is one chunk leaving the master.
+	Dispatch EventType = "dispatch"
+	// ChunkDone is one chunk's full timeline, emitted at output arrival.
+	ChunkDone EventType = "chunk_done"
+	// Recalibrate is one periodic start-up-cost re-measurement (§3.5).
+	Recalibrate EventType = "recalibrate"
+	// RUMRSwitch records one evaluation of RUMR's phase-switch
+	// condition at a round boundary — the paper's central diagnostic.
+	RUMRSwitch EventType = "rumr_switch_decision"
+	// UplinkBusy/UplinkIdle bracket one transfer's occupancy of the
+	// serialized master uplink.
+	UplinkBusy EventType = "uplink_busy"
+	UplinkIdle EventType = "uplink_idle"
+	// RunFinished closes the stream (success or failure).
+	RunFinished EventType = "run_finished"
+)
+
+// Event is one structured scheduler event. The field set is the union
+// over all event types; unused fields are omitted from the JSON encoding
+// (Worker is always present, -1 meaning "not worker-specific"). Field
+// order is fixed, so encoding the same events yields identical bytes.
+type Event struct {
+	// Seq is the emitter-assigned sequence number, dense from 0 within
+	// one run. Ordering is always by Seq, never by arrival.
+	Seq int64 `json:"seq"`
+	// T is the backend-clock timestamp in seconds from run start.
+	T    float64   `json:"t"`
+	Type EventType `json:"type"`
+	// Alg and Run identify the stream in multi-run dumps; single-run
+	// streams leave them empty.
+	Alg string `json:"alg,omitempty"`
+	Run int    `json:"run,omitempty"`
+
+	Worker int     `json:"worker"`
+	Chunk  int     `json:"chunk,omitempty"`
+	Size   float64 `json:"size,omitempty"`
+	Bytes  float64 `json:"bytes,omitempty"`
+	Probe  bool    `json:"probe,omitempty"`
+
+	// Chunk timeline (ChunkDone).
+	SendStart float64 `json:"send_start,omitempty"`
+	SendEnd   float64 `json:"send_end,omitempty"`
+	CompStart float64 `json:"comp_start,omitempty"`
+	CompEnd   float64 `json:"comp_end,omitempty"`
+	OutputEnd float64 `json:"output_end,omitempty"`
+
+	// Measurements (ProbeResult, Recalibrate, UplinkIdle).
+	CommLatency float64 `json:"comm_latency,omitempty"`
+	CompLatency float64 `json:"comp_latency,omitempty"`
+	TransferDur float64 `json:"transfer_dur,omitempty"`
+	ComputeDur  float64 `json:"compute_dur,omitempty"`
+	Dur         float64 `json:"dur,omitempty"`
+
+	// Run shape (ProbeStart, PlanDone, RunFinished).
+	Workers   int     `json:"workers,omitempty"`
+	TotalLoad float64 `json:"total_load,omitempty"`
+	Chunks    int     `json:"chunks,omitempty"`
+	Makespan  float64 `json:"makespan,omitempty"`
+	Err       string  `json:"err,omitempty"`
+
+	// RUMR switch diagnostics (RUMRSwitch): the online γ estimate (-1
+	// while untrusted), the desired factoring-phase load, the
+	// undispatched load at evaluation time, and the verdict.
+	Gamma     float64 `json:"gamma,omitempty"`
+	Want      float64 `json:"want,omitempty"`
+	Remaining float64 `json:"remaining,omitempty"`
+	Switched  bool    `json:"switched,omitempty"`
+}
+
+// Sink receives the event stream. Emit may be called from any goroutine
+// holding the engine's lock; implementations must be cheap and must not
+// call back into the engine.
+type Sink interface {
+	Emit(Event)
+}
+
+// Nop discards every event. It is the default sink; the engine's nil
+// check makes the disabled path free, and Nop exists for code that wants
+// a non-nil sink unconditionally.
+type Nop struct{}
+
+// Emit implements Sink.
+func (Nop) Emit(Event) {}
+
+// Buffer accumulates every event in memory, unbounded — the collection
+// sink for per-run streams that are dumped after the run completes.
+type Buffer struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// NewBuffer returns an empty buffer sink.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Emit implements Sink.
+func (b *Buffer) Emit(ev Event) {
+	b.mu.Lock()
+	b.evs = append(b.evs, ev)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events in emission order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.evs...)
+}
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.evs)
+}
+
+// Ring keeps the most recent events in a fixed-capacity circular buffer
+// — the daemon's per-job tail store: bounded memory however long the
+// job, with cursor-based reads for pollers.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int // index of the slot the next event lands in
+	full bool
+}
+
+// NewRing returns a ring holding the last n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events in emission order.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// After returns the retained events with Seq strictly greater than seq,
+// in emission order — the tail-follow read. Pass -1 for "from the
+// beginning of what the ring still holds".
+func (r *Ring) After(seq int64) []Event {
+	var out []Event
+	for _, ev := range r.Snapshot() {
+		if ev.Seq > seq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// JSONL streams events as JSON Lines to a writer. Writes are buffered;
+// call Flush (or Close) before reading the destination. The first write
+// error sticks and suppresses further output.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (s *JSONL) Emit(ev Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(ev)
+	}
+	s.mu.Unlock()
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *JSONL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Tee fans every event out to each sink in order.
+type Tee []Sink
+
+// Emit implements Sink.
+func (t Tee) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// WriteJSONL encodes events as JSON Lines to w — the batch form of the
+// JSONL sink, for dumping collected buffers in a deterministic order.
+func WriteJSONL(w io.Writer, events []Event) error {
+	s := NewJSONL(w)
+	for _, ev := range events {
+		s.Emit(ev)
+	}
+	return s.Flush()
+}

@@ -1,0 +1,118 @@
+package obs
+
+// RunMetrics is the engine's metric set: one atomic update per scheduler
+// action, shared across runs when several jobs feed one registry (the
+// daemon's /metrics totals). A nil *RunMetrics disables everything —
+// every method is nil-safe, so the engine carries no conditionals.
+type RunMetrics struct {
+	ChunksDispatched  *Counter
+	ChunksDone        *Counter
+	ProbesDone        *Counter
+	Recalibrations    *Counter
+	BytesSent         *Counter
+	LoadCompleted     *Counter
+	UplinkBusySeconds *Counter
+	TransferSeconds   *Histogram
+	ComputeSeconds    *Histogram
+}
+
+// NewRunMetrics registers the engine metric set under the apstdv_
+// namespace.
+func NewRunMetrics(r *Registry) *RunMetrics {
+	return &RunMetrics{
+		ChunksDispatched:  r.Counter("apstdv_chunks_dispatched_total", "Chunks handed to the uplink."),
+		ChunksDone:        r.Counter("apstdv_chunks_done_total", "Chunks whose output arrived back at the master."),
+		ProbesDone:        r.Counter("apstdv_probes_done_total", "Probing-round calibration chunks completed."),
+		Recalibrations:    r.Counter("apstdv_recalibrations_total", "Periodic start-up-cost re-measurements."),
+		BytesSent:         r.Counter("apstdv_bytes_sent_total", "Input bytes pushed over the master uplink."),
+		LoadCompleted:     r.Counter("apstdv_load_completed_total", "Load units computed (non-probe)."),
+		UplinkBusySeconds: r.Counter("apstdv_uplink_busy_seconds_total", "Seconds the serialized master uplink spent transferring."),
+		TransferSeconds:   r.Histogram("apstdv_chunk_transfer_seconds", "Per-chunk uplink transfer time.", DurationBuckets),
+		ComputeSeconds:    r.Histogram("apstdv_chunk_compute_seconds", "Per-chunk worker compute time.", DurationBuckets),
+	}
+}
+
+// Dispatched records one chunk leaving the master.
+func (m *RunMetrics) Dispatched(bytes float64) {
+	if m == nil {
+		return
+	}
+	m.ChunksDispatched.Inc()
+	m.BytesSent.Add(bytes)
+}
+
+// TransferDone records one uplink transfer completing.
+func (m *RunMetrics) TransferDone(dur float64) {
+	if m == nil {
+		return
+	}
+	m.UplinkBusySeconds.Add(dur)
+	m.TransferSeconds.Observe(dur)
+}
+
+// ChunkFinished records one real chunk's completion.
+func (m *RunMetrics) ChunkFinished(size, computeDur float64) {
+	if m == nil {
+		return
+	}
+	m.ChunksDone.Inc()
+	m.LoadCompleted.Add(size)
+	m.ComputeSeconds.Observe(computeDur)
+}
+
+// ProbeDone records one calibration chunk completing.
+func (m *RunMetrics) ProbeDone() {
+	if m == nil {
+		return
+	}
+	m.ProbesDone.Inc()
+}
+
+// Recalibrated records one periodic re-measurement.
+func (m *RunMetrics) Recalibrated() {
+	if m == nil {
+		return
+	}
+	m.Recalibrations.Inc()
+}
+
+// GridMetrics is the simulated backend's metric set: queue pressure and
+// platform-model costs invisible at the engine layer. Nil disables.
+type GridMetrics struct {
+	ComputeQueueDepth   *Histogram
+	BatchHoldSeconds    *Histogram
+	DownlinkBusySeconds *Counter
+}
+
+// NewGridMetrics registers the grid metric set.
+func NewGridMetrics(r *Registry) *GridMetrics {
+	return &GridMetrics{
+		ComputeQueueDepth:   r.Histogram("apstdv_grid_compute_queue_depth", "Waiting jobs at a worker CPU when a new one arrives.", DepthBuckets),
+		BatchHoldSeconds:    r.Histogram("apstdv_grid_batch_hold_seconds", "Batch-scheduler hold before a job starts.", DurationBuckets),
+		DownlinkBusySeconds: r.Counter("apstdv_grid_downlink_busy_seconds_total", "Seconds the output-return downlink spent transferring."),
+	}
+}
+
+// EnqueueCompute records the queue depth seen by an arriving job.
+func (m *GridMetrics) EnqueueCompute(depth int) {
+	if m == nil {
+		return
+	}
+	m.ComputeQueueDepth.Observe(float64(depth))
+}
+
+// BatchHold records one batch-queue start delay.
+func (m *GridMetrics) BatchHold(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.BatchHoldSeconds.Observe(seconds)
+}
+
+// DownlinkBusy records output-return occupancy.
+func (m *GridMetrics) DownlinkBusy(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.DownlinkBusySeconds.Add(seconds)
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestZeroChunkReport covers the degenerate trace an aborted or
+// zero-load run leaves behind: building a report from it must not
+// panic, and every derived quantity must come out zero rather than NaN.
+func TestZeroChunkReport(t *testing.T) {
+	tr := New("umr", "empty")
+	rep := tr.BuildReport(4)
+	if rep.Makespan != 0 || rep.Chunks != 0 || rep.Probes != 0 {
+		t.Errorf("empty trace report not zeroed: %+v", rep)
+	}
+	if rep.Overlap != 0 {
+		t.Errorf("overlap on empty trace = %g, want 0", rep.Overlap)
+	}
+	for i, u := range rep.WorkerUtil {
+		if u != 0 {
+			t.Errorf("worker %d util = %g on empty trace", i, u)
+		}
+	}
+	if len(rep.WorkerUtil) != 4 || len(rep.WorkerLoad) != 4 || len(rep.LastChunkSizes) != 4 {
+		t.Error("per-worker slices not sized to the platform")
+	}
+	if s := rep.String(); s == "" {
+		t.Error("empty-trace report does not render")
+	}
+}
+
+// TestZeroChunkReportZeroWorkers pushes both dimensions to zero.
+func TestZeroChunkReportZeroWorkers(t *testing.T) {
+	rep := New("wf", "none").BuildReport(0)
+	if rep.IdleFront != 0 || rep.Makespan != 0 {
+		t.Errorf("zero-worker report not zeroed: %+v", rep)
+	}
+}
+
+// TestGanttSingleWorker renders a one-worker, one-chunk timeline and
+// pins its shape: exactly one row plus the axis line, computation
+// glyphs inside the row, and stability across repeated renders.
+func TestGanttSingleWorker(t *testing.T) {
+	tr := New("simple-1", "solo")
+	tr.Add(Record{
+		Worker: 0, Chunk: 1, Size: 100,
+		SendStart: 0, SendEnd: 2,
+		CompStart: 2, CompEnd: 10,
+	})
+	render := func() string {
+		var b strings.Builder
+		if err := tr.Gantt(&b, 1, 20); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("single-worker gantt has %d lines, want row + axis:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "w00 |") || !strings.Contains(lines[0], "█") {
+		t.Errorf("worker row malformed: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "10s") {
+		t.Errorf("axis does not show the 10s makespan: %q", lines[1])
+	}
+	if again := render(); again != out {
+		t.Error("gantt output not stable across renders")
+	}
+}
+
+// TestGanttNegativeWorkerRecord asserts records pointing at workers
+// outside the platform (e.g. -1 markers) are skipped, not crashed on.
+func TestGanttNegativeWorkerRecord(t *testing.T) {
+	tr := New("umr", "odd")
+	tr.Add(Record{Worker: -1, Chunk: 1, Size: 10, SendStart: 0, SendEnd: 1, CompStart: 1, CompEnd: 5})
+	tr.Add(Record{Worker: 7, Chunk: 2, Size: 10, SendStart: 1, SendEnd: 2, CompStart: 2, CompEnd: 6})
+	var b strings.Builder
+	if err := tr.Gantt(&b, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "w01") {
+		t.Error("in-range workers not rendered when out-of-range records present")
+	}
+}

@@ -1,9 +1,12 @@
 #!/bin/sh
-# bench.sh — record the experiment runner's parallel speedup.
+# bench.sh — record the experiment runner's parallel speedup and the
+# observability layer's overhead.
 #
 # Runs BenchmarkRunnerParallelism (the same Figure 2 workload at pool
-# width 1 and at one worker per CPU) and writes BENCH_<n>.json at the
-# repository root, so the perf trajectory is tracked PR over PR:
+# width 1 and at one worker per CPU) plus BenchmarkObsOverhead (the
+# same simulated run with no sink, the no-op sink, and a ring sink with
+# full metrics) and writes BENCH_<n>.json at the repository root, so
+# the perf trajectory is tracked PR over PR:
 #
 #   scripts/bench.sh        # writes BENCH_1.json
 #   scripts/bench.sh 7      # writes BENCH_7.json
@@ -13,7 +16,8 @@ cd "$(dirname "$0")/.."
 n="${1:-1}"
 out="BENCH_${n}.json"
 
-raw=$(go test -run '^$' -bench '^BenchmarkRunnerParallelism$' -benchtime 3x .)
+raw=$(go test -run '^$' -bench '^BenchmarkRunnerParallelism$' -benchtime 3x .
+      go test -run '^$' -bench '^BenchmarkObsOverhead$' -benchtime 200x .)
 echo "$raw"
 
 echo "$raw" | awk -v out="$out" '
@@ -24,6 +28,13 @@ echo "$raw" | awk -v out="$out" '
     width = substr(parts[2], index(parts[2], "=") + 1)
     ns[width] = $3
     if (order == "") order = width; else order = order " " width
+}
+/^BenchmarkObsOverhead\// {
+    # e.g. BenchmarkObsOverhead/sink=ring-8   3   2095000 ns/op
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    sink = substr(parts[2], index(parts[2], "=") + 1)
+    obs[sink] = $3
 }
 /^cpu: / { sub(/^cpu: /, ""); cpu = $0 }
 END {
@@ -37,7 +48,16 @@ END {
     }
     printf "  ],\n" > out
     seq = ns[ws[1]]; par = ns[ws[length(ws)]]
-    printf "  \"speedup\": %.3f\n}\n", (par > 0 ? seq / par : 0) > out
+    printf "  \"speedup\": %.3f", (par > 0 ? seq / par : 0) > out
+    if ("none" in obs) {
+        printf ",\n  \"obs_overhead\": {\n" > out
+        printf "    \"none_ns_per_op\": %s,\n", obs["none"] > out
+        printf "    \"nop_ns_per_op\": %s,\n", obs["nop"] > out
+        printf "    \"ring_ns_per_op\": %s,\n", obs["ring"] > out
+        printf "    \"nop_overhead_pct\": %.1f,\n", (obs["none"] > 0 ? (obs["nop"] / obs["none"] - 1) * 100 : 0) > out
+        printf "    \"ring_overhead_pct\": %.1f\n  }", (obs["none"] > 0 ? (obs["ring"] / obs["none"] - 1) * 100 : 0) > out
+    }
+    printf "\n}\n" > out
 }
 '
 echo "wrote $out"
