@@ -5,7 +5,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint check bench
+# Fuzz targets in internal/divide; each gets a short smoke run in
+# `make check` (go test -fuzz accepts exactly one target per run).
+FUZZ_TARGETS = FuzzUniformCutAfter FuzzIndexCutAfter FuzzContinuousCutAfter \
+               FuzzWorkUnitsCutAfter FuzzScanSeparators
+
+.PHONY: all build vet test race race-fault fuzz-smoke lint check bench
 
 all: check
 
@@ -20,6 +25,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-fault drives the fault-injection and retry paths specifically
+# under the race detector: crashes, stalls, blacklisting, and chunk
+# re-dispatch exercise engine locking on code paths the fault-free
+# suite never enters.
+race-fault:
+	$(GO) test -race -run 'Fault|Retry|Blacklist|Lifecycle|Crash|Stall|Close|CallTimeout' \
+		./internal/engine ./internal/grid ./internal/live
+
+# fuzz-smoke gives every divider fuzz target a 2-second run: long
+# enough to catch a freshly broken invariant, short enough for every
+# `make check`.
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz-smoke: $$t"; \
+		$(GO) test ./internal/divide/ -run '^$$' -fuzz "^$$t$$" -fuzztime 2s || exit 1; \
+	done
 
 # lint runs go vet always, and staticcheck when a binary is available
 # (PATH or GOPATH/bin). It never downloads anything: offline
@@ -37,7 +59,7 @@ lint: vet
 		echo "lint: (install with: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-check: build vet race lint
+check: build vet race race-fault fuzz-smoke lint
 
 # bench records the runner's sequential-vs-parallel wall time and the
 # observability layer's overhead into BENCH_<n>.json (see

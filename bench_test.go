@@ -381,6 +381,37 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkFaultPathOverhead measures what the chunk-lifecycle retry
+// layer costs: the same simulated run with the layer disabled, armed
+// but idle (no faults — the zero-fault path is byte-identical, so any
+// delta is pure timer bookkeeping), and actually exercised by a
+// mid-run worker crash. scripts/bench.sh records all three in
+// BENCH_<n>.json.
+func BenchmarkFaultPathOverhead(b *testing.B) {
+	platform := workload.DAS2(16)
+	app := workload.Synthetic(0.10)
+	run := func(b *testing.B, retry *engine.RetryPolicy, plan *grid.FaultPlan) {
+		for i := 0; i < b.N; i++ {
+			backend, err := grid.New(platform, app, grid.Config{Seed: 11, Faults: plan})
+			if err != nil {
+				b.Fatal(err)
+			}
+			alg, _ := dls.New("fixed-rumr")
+			cfg := engine.Config{ProbeLoad: 200, Retry: retry}
+			if _, err := engine.Run(backend, alg, app, platform, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("retry=off", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("retry=idle", func(b *testing.B) { run(b, &engine.RetryPolicy{}, nil) })
+	b.Run("retry=crash", func(b *testing.B) {
+		run(b, &engine.RetryPolicy{}, &grid.FaultPlan{Faults: []grid.WorkerFault{
+			{Worker: 3, Kind: grid.FaultCrash, At: 2000},
+		}})
+	})
+}
+
 // --- Substrate micro-benchmarks ------------------------------------------
 
 // BenchmarkSimEngineEvents measures the discrete-event core's raw event

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDlsimEventsMatchGolden builds the dlsim binary and checks that
+// the CLI's event dump for a fixed invocation still hashes to the
+// capture taken before the chunk-lifecycle refactor, and that the
+// -parallel width cannot change a byte of it. This pins the end-to-end
+// zero-fault path — flag parsing, per-run buffering, drain order —
+// not just the library internals the experiment-package golden covers.
+func TestDlsimEventsMatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the dlsim binary")
+	}
+	manifest, err := os.ReadFile(filepath.Join("testdata", "events_golden.sha256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(string(manifest))
+	if len(fields) != 2 {
+		t.Fatalf("malformed golden manifest %q", string(manifest))
+	}
+	want := fields[0]
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dlsim")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	dump := func(parallel int) []byte {
+		events := filepath.Join(dir, fmt.Sprintf("events-p%d.jsonl", parallel))
+		cmd := exec.Command(bin,
+			"-platform", "das2:8", "-algorithm", "all", "-runs", "2",
+			"-seed", "1", "-parallel", fmt.Sprint(parallel), "-events", events)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("dlsim -parallel %d: %v\n%s", parallel, err, out)
+		}
+		data, err := os.ReadFile(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq := dump(1)
+	if got := fmt.Sprintf("%x", sha256.Sum256(seq)); got != want {
+		t.Errorf("event dump drifted from pre-refactor golden (got %s, want %s)", got, want)
+	}
+	if par := dump(8); !bytes.Equal(seq, par) {
+		t.Error("event dump differs between -parallel 1 and -parallel 8")
+	}
+}

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended")
+		run       = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures")
 		runs      = flag.Int("runs", 10, "repetitions per (algorithm, γ) cell (paper: 10)")
 		seed      = flag.Uint64("seed", 0, "base seed override (0 = experiment default)")
 		csvDir    = flag.String("csvdir", "", "also write per-experiment plot data CSVs into this directory")
@@ -133,8 +133,24 @@ func main() {
 		ran = true
 	}
 
+	if want == "failures" {
+		fs := experiment.DefaultFailureSweep()
+		fs.Runs = *runs
+		fs.Parallelism = *parWidth
+		if *seed != 0 {
+			fs.Seed = *seed
+		}
+		cells, err := fs.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiment.RenderFailures(cells))
+		ran = true
+	}
+
 	if !ran {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep)\n", *run)
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures)\n", *run)
 		os.Exit(2)
 	}
 }

@@ -82,6 +82,60 @@ func FuzzIndexCutAfter(f *testing.F) {
 	})
 }
 
+func FuzzContinuousCutAfter(f *testing.F) {
+	f.Add(100.0, 0.0, 42.0)
+	f.Add(1.0, 0.999999, 0.0)
+	f.Add(240000.0, 100.0, 1e300)
+	f.Fuzz(func(t *testing.T, total, from, want float64) {
+		for _, v := range []float64{total, from, want} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		if total <= 0 || from < 0 || from >= total {
+			t.Skip()
+		}
+		c := Continuous{Total: total}
+		cut := c.CutAfter(from, want)
+		if !(cut > from) {
+			t.Fatalf("no progress: CutAfter(%g, %g) = %g", from, want, cut)
+		}
+		if cut > total {
+			t.Fatalf("cut %g beyond total %g", cut, total)
+		}
+	})
+}
+
+func FuzzWorkUnitsCutAfter(f *testing.F) {
+	f.Add(1830, 0.0, 42.0)
+	f.Add(1, 0.5, 0.0)
+	f.Add(1000000, 999999.5, 3.0)
+	f.Fuzz(func(t *testing.T, units int, from, want float64) {
+		if math.IsNaN(from) || math.IsNaN(want) || math.IsInf(from, 0) || math.IsInf(want, 0) {
+			t.Skip()
+		}
+		w, err := NewWorkUnits(units)
+		if err != nil {
+			t.Skip()
+		}
+		total := float64(units)
+		if from < 0 || from >= total {
+			t.Skip()
+		}
+		cut := w.CutAfter(from, want)
+		if !(cut > from) {
+			t.Fatalf("no progress: CutAfter(%g, %g) = %g", from, want, cut)
+		}
+		if cut > total {
+			t.Fatalf("cut %g beyond total %g", cut, total)
+		}
+		// A cut is a whole unit count or the total.
+		if cut != total && cut != math.Round(cut) {
+			t.Fatalf("cut %g is not an integer unit boundary", cut)
+		}
+	})
+}
+
 func FuzzScanSeparators(f *testing.F) {
 	f.Add("a|bb|ccc|", byte('|'))
 	f.Add("", byte('\n'))

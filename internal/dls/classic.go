@@ -86,11 +86,21 @@ func (g *GSS) Dispatched(worker int, requested, actual float64) {}
 // Observe implements Algorithm: classical GSS does not adapt.
 func (g *GSS) Observe(Observation) {}
 
+// WorkerLost implements WorkerLossAware.
+func (g *GSS) WorkerLost(worker int, returnedLoad float64) {
+	if worker >= 0 && worker < len(g.ests) {
+		g.ests[worker].lost = true
+	}
+}
+
 // pickStarving returns the eligible worker (fewer than maxBuffered
 // outstanding chunks) whose buffered work drains soonest.
 func pickStarving(ests []workerSpeed, st State, maxBuffered int) (int, bool) {
 	best, bestDrain := -1, math.Inf(1)
 	for w := range ests {
+		if ests[w].lost {
+			continue
+		}
 		if len(st.PendingChunks) > w && st.PendingChunks[w] >= maxBuffered {
 			continue
 		}
@@ -189,6 +199,13 @@ func (pf *PlainFactoring) Dispatched(worker int, requested, actual float64) {
 // Observe implements Algorithm: plain factoring does not adapt.
 func (pf *PlainFactoring) Observe(Observation) {}
 
+// WorkerLost implements WorkerLossAware.
+func (pf *PlainFactoring) WorkerLost(worker int, returnedLoad float64) {
+	if worker >= 0 && worker < len(pf.ests) {
+		pf.ests[worker].lost = true
+	}
+}
+
 // MultiInstallment implements the fixed-round multi-installment
 // algorithm of [8] under its own assumptions: purely *linear* costs (no
 // start-up latencies in the plan) and a homogeneous platform (mean
@@ -270,6 +287,12 @@ func (mi *MultiInstallment) Dispatched(worker int, requested, actual float64) {
 
 // Observe implements Algorithm.
 func (mi *MultiInstallment) Observe(Observation) {}
+
+// WorkerLost implements WorkerLossAware: unserved installments for the
+// lost worker are retargeted onto the survivors.
+func (mi *MultiInstallment) WorkerLost(worker int, returnedLoad float64) {
+	mi.workerLost(worker)
+}
 
 // TSS implements Trapezoid Self-Scheduling (Tzen & Ni, 1993), the other
 // classical decreasing-chunk policy in the GSS/Factoring lineage: chunk
@@ -359,3 +382,10 @@ func (ts *TSS) Dispatched(worker int, requested, actual float64) {
 
 // Observe implements Algorithm: classical TSS does not adapt.
 func (ts *TSS) Observe(Observation) {}
+
+// WorkerLost implements WorkerLossAware.
+func (ts *TSS) WorkerLost(worker int, returnedLoad float64) {
+	if worker >= 0 && worker < len(ts.ests) {
+		ts.ests[worker].lost = true
+	}
+}

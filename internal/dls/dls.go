@@ -17,6 +17,7 @@ package dls
 
 import (
 	"fmt"
+	"sort"
 
 	"apstdv/internal/model"
 )
@@ -127,6 +128,23 @@ type Recalibrator interface {
 	Recalibrate(worker int, commLatency, compLatency float64)
 }
 
+// WorkerLossAware is an optional interface for algorithms that want to
+// stop planning over a worker the engine has removed from service
+// (blacklisted after repeated failures, or dead during probing).
+//
+// Contract: the engine owns the returned load — failed chunks re-enter
+// State.Remaining and are re-dispatched by the engine itself — so an
+// implementation must only stop *targeting* the lost worker in future
+// decisions. Algorithms that do not implement the interface still run
+// correctly: the engine redirects any decision aimed at a lost worker
+// to a surviving one.
+type WorkerLossAware interface {
+	// WorkerLost reports that worker is out of service and that
+	// returnedLoad units it held in flight went back into the
+	// undispatched pool (0 when it failed before receiving load).
+	WorkerLost(worker int, returnedLoad float64)
+}
+
 // SwitchDecision records one evaluation of a two-phase algorithm's
 // phase-switch condition — the quantity behind the paper's central
 // diagnostic (RUMR's switch firing too late, or never).
@@ -200,6 +218,9 @@ type sequencePlayer struct {
 	pos        int
 	planned    float64
 	dispatched float64
+	// dead marks workers removed from service; unserved decisions are
+	// retargeted away from them (see workerLost).
+	dead map[int]bool
 }
 
 // reset installs a new sequence.
@@ -208,6 +229,39 @@ func (s *sequencePlayer) reset(seq []Decision) {
 	s.pos = 0
 	s.planned = sumSizes(seq)
 	s.dispatched = 0
+	s.dead = nil
+}
+
+// workerLost retargets every unserved decision aimed at the lost worker
+// onto the surviving workers, rotating through them in index order so
+// the orphaned share spreads instead of piling onto one survivor. The
+// candidate set is every worker the plan ever targeted minus the dead;
+// if none survive the sequence is left alone and the engine's own
+// redirection (or its no-workers failure) takes over.
+func (s *sequencePlayer) workerLost(lost int) {
+	if s.dead == nil {
+		s.dead = make(map[int]bool)
+	}
+	s.dead[lost] = true
+	seen := make(map[int]bool)
+	var alive []int
+	for _, d := range s.seq {
+		if !s.dead[d.Worker] && !seen[d.Worker] {
+			seen[d.Worker] = true
+			alive = append(alive, d.Worker)
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	sort.Ints(alive)
+	k := 0
+	for i := s.pos; i < len(s.seq); i++ {
+		if s.dead[s.seq[i].Worker] {
+			s.seq[i].Worker = alive[k%len(alive)]
+			k++
+		}
+	}
 }
 
 func (s *sequencePlayer) next(st State) (Decision, bool) {

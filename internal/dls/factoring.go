@@ -54,6 +54,7 @@ type workerSpeed struct {
 	unitComp      float64 // current estimate, refined when Adaptive
 	compLatency   float64
 	observed      stats.RunningStats // observed per-unit compute times
+	lost          bool               // removed from service by the engine
 }
 
 // NewWeightedFactoring returns the paper's adaptive weighted factoring
@@ -134,11 +135,20 @@ func minFactoringChunk(p Plan) float64 {
 }
 
 // weight returns worker w's share of a batch: its speed relative to the
-// total speed.
+// total speed of the surviving workers.
 func (wf *WeightedFactoring) weight(w int) float64 {
+	if wf.ests[w].lost {
+		return 0
+	}
 	total := 0.0
 	for i := range wf.ests {
+		if wf.ests[i].lost {
+			continue
+		}
 		total += 1 / wf.ests[i].unitComp
+	}
+	if total == 0 {
+		return 0
 	}
 	return (1 / wf.ests[w].unitComp) / total
 }
@@ -188,6 +198,9 @@ func (wf *WeightedFactoring) Next(st State) (Decision, bool) {
 func (wf *WeightedFactoring) pickWorker(st State) (int, bool) {
 	best, bestDrain := -1, math.Inf(1)
 	for w := range wf.ests {
+		if wf.ests[w].lost {
+			continue
+		}
 		if len(st.PendingChunks) > w && st.PendingChunks[w] >= wf.MaxBuffered {
 			continue
 		}
@@ -207,6 +220,16 @@ func (wf *WeightedFactoring) Dispatched(worker int, requested, actual float64) {
 	wf.batchLeft -= actual
 	if wf.batchLeft < 0 {
 		wf.batchLeft = 0
+	}
+}
+
+// WorkerLost implements WorkerLossAware: the worker drops out of the
+// weight denominator and the eligibility scan, so subsequent batches
+// split over the survivors only. The returned load is already back in
+// State.Remaining and will fold into the next batch naturally.
+func (wf *WeightedFactoring) WorkerLost(worker int, returnedLoad float64) {
+	if worker >= 0 && worker < len(wf.ests) {
+		wf.ests[worker].lost = true
 	}
 }
 

@@ -104,3 +104,12 @@ func (f *FixedRUMR) Observe(o Observation) {
 
 // Switched reports whether the factoring phase has started.
 func (f *FixedRUMR) Switched() bool { return f.inPhase2 }
+
+// WorkerLost implements WorkerLossAware: both phases are planned up
+// front, so both stop targeting the worker.
+func (f *FixedRUMR) WorkerLost(worker int, returnedLoad float64) {
+	f.player.workerLost(worker)
+	if f.factoring != nil {
+		f.factoring.WorkerLost(worker, returnedLoad)
+	}
+}

@@ -109,3 +109,7 @@ func (o *OneRound) Dispatched(worker int, requested, actual float64) { o.advance
 
 // Observe implements Algorithm: one-round schedules are fully static.
 func (o *OneRound) Observe(Observation) {}
+
+// WorkerLost implements WorkerLossAware: the lost worker's unserved
+// share is retargeted onto the survivors.
+func (o *OneRound) WorkerLost(worker int, returnedLoad float64) { o.workerLost(worker) }

@@ -48,6 +48,9 @@ type RUMR struct {
 
 	switched  bool
 	factoring *WeightedFactoring
+	// lost remembers workers removed from service so a factoring phase
+	// planned after the loss still excludes them.
+	lost []int
 
 	// Online γ estimation: per-worker mean per-unit compute times and the
 	// pooled dispersion of normalized observations.
@@ -107,6 +110,7 @@ func (r *RUMR) Plan(p Plan) error {
 	r.plan = p
 	r.switched = false
 	r.factoring = nil
+	r.lost = nil
 	r.perWorker = make([]stats.RunningStats, len(p.Workers))
 	r.ratios = stats.RunningStats{}
 	r.decisions = nil
@@ -149,9 +153,24 @@ func (r *RUMR) switchToFactoring(load float64) error {
 	if err := wf.Plan(p); err != nil {
 		return err
 	}
+	for _, w := range r.lost {
+		wf.WorkerLost(w, 0)
+	}
 	r.factoring = wf
 	r.switched = true
 	return nil
+}
+
+// WorkerLost implements WorkerLossAware: the active phase stops
+// targeting the worker, and a factoring phase planned later excludes it
+// too.
+func (r *RUMR) WorkerLost(worker int, returnedLoad float64) {
+	r.lost = append(r.lost, worker)
+	if r.switched {
+		r.factoring.WorkerLost(worker, returnedLoad)
+		return
+	}
+	r.player.workerLost(worker)
 }
 
 // EstimatedGamma returns the current online γ estimate, or -1 while too

@@ -58,3 +58,7 @@ func (s *Simple) Dispatched(worker int, requested, actual float64) { s.advance(a
 
 // Observe implements Algorithm: SIMPLE-n does not adapt.
 func (s *Simple) Observe(Observation) {}
+
+// WorkerLost implements WorkerLossAware: unserved chunks for the lost
+// worker are retargeted onto the survivors.
+func (s *Simple) WorkerLost(worker int, returnedLoad float64) { s.workerLost(worker) }

@@ -79,6 +79,10 @@ func (u *UMR) Dispatched(worker int, requested, actual float64) { u.advance(actu
 // (per §3.6: "SIMPLE-n and UMR do not perform such adaptation").
 func (u *UMR) Observe(Observation) {}
 
+// WorkerLost implements WorkerLossAware: the lost worker's remaining
+// rounds are retargeted onto the survivors.
+func (u *UMR) WorkerLost(worker int, returnedLoad float64) { u.workerLost(worker) }
+
 // maxUMRRounds bounds the search for the optimal number of rounds. Round
 // start-up costs grow linearly in M, so the predicted-makespan minimum is
 // far below this for any sane platform.

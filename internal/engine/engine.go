@@ -23,26 +23,33 @@ import (
 )
 
 // Backend abstracts an execution platform.
+//
+// Every operation reports its outcome through done(start, end, err): a
+// nil err is a completed operation with its timeline, a non-nil err a
+// failed one (worker crash, stalled RPC, broken connection) whose
+// start/end bracket whatever portion ran before the failure. The engine
+// maps failures onto chunk-lifecycle retries; without a retry policy
+// configured, any failure aborts the run.
 type Backend interface {
 	// Now returns the backend's current time in seconds from start.
 	Now() float64
 	// Workers returns the number of compute resources.
 	Workers() int
 	// Transfer moves bytes to worker w over the master uplink and calls
-	// done(start, end) on completion. The engine issues at most one
+	// done(start, end, err) on completion. The engine issues at most one
 	// Transfer at a time — the uplink serialization the paper describes.
-	Transfer(w int, bytes float64, done func(start, end float64))
+	Transfer(w int, bytes float64, done func(start, end float64, err error))
 	// Execute runs size load units on worker w (FIFO behind earlier
-	// work) and calls done(start, end) on completion. size 0 is a no-op
-	// calibration job costing only the start-up latency. probe marks the
-	// probing round's calibration work: the probe file is a fixed,
-	// representative input, so its compute time carries the platform's
-	// noise (background load) but not the application's data-dependent
-	// variability γ.
-	Execute(w int, size float64, probe bool, done func(start, end float64))
+	// work) and calls done(start, end, err) on completion. size 0 is a
+	// no-op calibration job costing only the start-up latency. probe
+	// marks the probing round's calibration work: the probe file is a
+	// fixed, representative input, so its compute time carries the
+	// platform's noise (background load) but not the application's
+	// data-dependent variability γ.
+	Execute(w int, size float64, probe bool, done func(start, end float64, err error))
 	// ReturnOutput moves output bytes from worker w back to the master
 	// on a path parallel to the uplink.
-	ReturnOutput(w int, bytes float64, done func(start, end float64))
+	ReturnOutput(w int, bytes float64, done func(start, end float64, err error))
 	// Run processes work until the engine has finished (and, for
 	// backends implementing Stopper, Stop was called).
 	Run()
@@ -51,6 +58,18 @@ type Backend interface {
 // Stopper is implemented by backends whose Run blocks until told to stop
 // (the live runtime); the simulator simply drains its event queue.
 type Stopper interface{ Stop() }
+
+// Timer is an optional Backend interface giving the engine one-shot
+// timers on the backend clock, used to arm per-chunk stage deadlines.
+// The simulator implements it on the virtual clock (so deadlines are
+// deterministic), the live runtime on the wall clock. A backend without
+// Timer still runs under a retry policy — failures are then detected
+// only when the backend reports them, never by deadline.
+type Timer interface {
+	// AfterFunc calls fn once d seconds of backend time have elapsed and
+	// returns a cancel function. Cancelled timers never fire.
+	AfterFunc(d float64, fn func()) (cancel func())
+}
 
 // Divider aligns requested cut points to the application's valid ones.
 // Package divide provides the paper's three methods (uniform, index,
@@ -86,6 +105,13 @@ type Config struct {
 	// periodically". Calibration shares the serialized uplink politely:
 	// it runs only when the link is otherwise free.
 	RecalibrateInterval float64
+	// Retry enables the fault-tolerance layer: per-chunk stage deadlines,
+	// bounded retry with re-dispatch of lost load to surviving workers,
+	// and worker blacklisting after repeated failures. nil disables the
+	// layer entirely — backend failures then abort the run, no deadline
+	// timers are armed, and the scheduling path is byte-identical to an
+	// engine built without the layer.
+	Retry *RetryPolicy
 	// ParallelUplink lifts the one-outstanding-transfer rule, modelling
 	// an idealized master that can feed every worker concurrently at
 	// full per-link bandwidth. The paper's platforms serialize (§4.2:
@@ -131,6 +157,16 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 	n := b.Workers()
 	e.pending = make([]float64, n)
 	e.pendingChunks = make([]int, n)
+	e.chunks = make(map[int]*chunk)
+	e.dead = make([]bool, n)
+	e.consecFail = make([]int, n)
+	e.alive = n
+	if cfg.Retry != nil {
+		e.retryOn = true
+		e.retry = cfg.Retry.withDefaults()
+		e.timer, _ = b.(Timer)
+		e.lossAware, _ = alg.(dls.WorkerLossAware)
+	}
 	if cfg.ProbeLoad <= 0 {
 		e.probeLoad = e.total / 100
 	} else {
@@ -159,9 +195,9 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 	if e.err != nil {
 		return e.trace, e.err
 	}
-	if e.remaining > 1e-9 || e.inflight > 0 {
-		return e.trace, fmt.Errorf("engine: %s stalled with %.6g load undispatched and %d chunks in flight",
-			alg.Name(), e.remaining, e.inflight)
+	if e.remaining > 1e-9 || e.inflight > 0 || len(e.retryQ) > 0 {
+		return e.trace, fmt.Errorf("engine: %s stalled with %.6g load undispatched and %d chunks in flight%s",
+			alg.Name(), e.remaining, e.inflight, e.stallDetail())
 	}
 	return e.trace, nil
 }
@@ -192,6 +228,22 @@ type execution struct {
 	inflight      int
 	sending       bool
 	chunkID       int
+
+	// Chunk-lifecycle state: every in-flight attempt as a tracked record
+	// (keyed by chunk ID), the FIFO of failed attempts awaiting
+	// re-dispatch, and the per-worker health used for blacklisting. All
+	// of it stays empty/idle when cfg.Retry is nil.
+	chunks     map[int]*chunk
+	retryQ     []*chunk
+	dead       []bool
+	consecFail []int
+	alive      int
+	retryOn    bool
+	retry      RetryPolicy
+	timer      Timer
+	ests       []model.Estimate
+	dests      []model.Estimate // deadline estimates (see plan)
+	lossAware  dls.WorkerLossAware
 
 	probeLoad float64
 	probeBPU  float64
@@ -249,7 +301,8 @@ type probeResult struct {
 	noopExec      float64 // measured comp latency
 	probeTransfer float64
 	probeExec     float64
-	execDone      int // of 2 (no-op + probe)
+	execDone      int  // of 2 (no-op + probe)
+	failed        bool // worker lost during probing
 }
 
 // start seeds the first actions; the caller holds the mutex.
@@ -290,33 +343,56 @@ func (e *execution) startProbing() {
 }
 
 // probeWorker issues worker w's empty transfer; the chain continues in
-// callbacks and moves to worker w+1 as soon as the uplink frees.
+// callbacks and moves to worker w+1 as soon as the uplink frees. A
+// failure at any probe stage marks the worker lost (under a retry
+// policy) or aborts the run; a transfer-stage failure still advances
+// the chain so the remaining workers get probed.
 func (e *execution) probeWorker(w int) {
 	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Probe: true})
-	e.backend.Transfer(w, 0, func(start, end float64) {
+	e.backend.Transfer(w, 0, func(start, end float64, err error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		if err != nil {
+			e.uplinkFreed(w, 0, true, start, end)
+			e.probeFailed(w, err)
+			e.probeNext(w)
+			return
+		}
 		e.probes[w].emptyTransfer = end - start
 		e.uplinkFreed(w, 0, true, start, end)
 		// Launch the no-op job; its completion is independent of the
 		// uplink chain.
-		e.backend.Execute(w, 0, true, func(s2, e2 float64) {
+		e.backend.Execute(w, 0, true, func(s2, e2 float64, err error) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
+			if err != nil {
+				e.probeFailed(w, err)
+				return
+			}
 			e.probes[w].noopExec = e2 - s2
 			e.probeExecDone(w)
 		})
 		// Send the probe chunk on the now-free uplink.
 		e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Probe: true, Bytes: e.probeLoad * e.probeBPU})
-		e.backend.Transfer(w, e.probeLoad*e.probeBPU, func(s3, e3 float64) {
+		e.backend.Transfer(w, e.probeLoad*e.probeBPU, func(s3, e3 float64, err error) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
+			if err != nil {
+				e.uplinkFreed(w, 0, true, s3, e3)
+				e.probeFailed(w, err)
+				e.probeNext(w)
+				return
+			}
 			e.probes[w].probeTransfer = e3 - s3
 			e.uplinkFreed(w, 0, true, s3, e3)
 			id := e.nextChunkID()
-			e.backend.Execute(w, e.probeLoad, true, func(s4, e4 float64) {
+			e.backend.Execute(w, e.probeLoad, true, func(s4, e4 float64, err error) {
 				e.mu.Lock()
 				defer e.mu.Unlock()
+				if err != nil {
+					e.probeFailed(w, err)
+					return
+				}
 				e.probes[w].probeExec = e4 - s4
 				e.trace.Add(trace.Record{
 					Chunk: id, Worker: w, Offset: -1, Size: e.probeLoad,
@@ -330,11 +406,17 @@ func (e *execution) probeWorker(w int) {
 				e.probeExecDone(w)
 			})
 			// Uplink free: probe the next worker.
-			if w+1 < e.backend.Workers() {
-				e.probeWorker(w + 1)
-			}
+			e.probeNext(w)
 		})
 	})
+}
+
+// probeNext advances the probing chain past worker w. Caller holds the
+// mutex.
+func (e *execution) probeNext(w int) {
+	if e.err == nil && w+1 < e.backend.Workers() {
+		e.probeWorker(w + 1)
+	}
 }
 
 // uplinkFreed records one transfer's release of the serialized uplink:
@@ -350,6 +432,11 @@ func (e *execution) uplinkFreed(w, chunk int, probe bool, start, end float64) {
 // probeExecDone accounts for one of worker w's two calibration
 // executions; when every worker has reported both, planning proceeds.
 func (e *execution) probeExecDone(w int) {
+	if e.probes[w].failed {
+		// A late completion from a worker already lost mid-probing; its
+		// slot in probesLeft was released when it failed.
+		return
+	}
 	e.probes[w].execDone++
 	if e.probes[w].execDone == 2 {
 		e.probesLeft--
@@ -369,10 +456,15 @@ func (e *execution) probeExecDone(w int) {
 // estimatesFromProbes converts the probing measurements into per-worker
 // affine cost estimates, exactly as §3.5 describes: start-up costs from
 // the empty transfer and no-op job, rates from the probe chunk with the
-// start-up costs subtracted.
+// start-up costs subtracted. Workers lost during probing get the
+// slowest survivor's estimate as a placeholder — loss-aware algorithms
+// never target them, and the engine redirects any decision that does.
 func (e *execution) estimatesFromProbes() []model.Estimate {
 	ests := make([]model.Estimate, len(e.probes))
 	for w, pr := range e.probes {
+		if pr.failed {
+			continue
+		}
 		unitComm := (pr.probeTransfer - pr.emptyTransfer) / e.probeLoad
 		if unitComm < 0 {
 			unitComm = 0
@@ -394,18 +486,49 @@ func (e *execution) estimatesFromProbes() []model.Estimate {
 			CompLatency: pr.noopExec,
 		}
 	}
+	slowest := -1
+	for w, pr := range e.probes {
+		if !pr.failed && (slowest < 0 || ests[w].UnitComp > ests[slowest].UnitComp) {
+			slowest = w
+		}
+	}
+	for w, pr := range e.probes {
+		if pr.failed && slowest >= 0 {
+			ests[w] = ests[slowest]
+			ests[w].Worker = w
+		}
+	}
 	return ests
 }
 
 // plan invokes the algorithm's planning step and opens the dispatch loop.
 func (e *execution) plan(ests []model.Estimate) {
 	e.planned = true
+	e.ests = ests
+	e.dests = ests
+	if e.retryOn && len(e.probes) == 0 && !e.cfg.Oracle && e.platform != nil {
+		// Blind algorithms plan over stub estimates that carry no timing
+		// information; deriving their stage deadlines from those would
+		// make every healthy chunk look late. Deadlines are an engine
+		// safety net, not scheduling input, so take them from the
+		// declared platform model — the algorithm stays blind.
+		e.dests = model.TrueEstimates(e.app, e.platform)
+	}
 	minChunk := float64(e.app.MinChunk)
 	err := e.alg.Plan(dls.Plan{TotalLoad: e.total, MinChunk: minChunk, Workers: ests})
 	e.drainSwitchDecisions() // oracle variants may fix the split at plan time
 	if err != nil {
 		e.fail(err)
 		return
+	}
+	if e.lossAware != nil {
+		// Workers lost during probing: the plan was just built over the
+		// placeholder estimates, so tell the algorithm not to target them.
+		for w := range e.dead {
+			if e.dead[w] {
+				e.lossAware.WorkerLost(w, 0)
+			}
+		}
 	}
 	e.emit(obs.Event{
 		Type: obs.PlanDone, Worker: -1, Workers: len(ests), TotalLoad: e.total,
@@ -426,9 +549,36 @@ func (e *execution) state() dls.State {
 }
 
 // tryDispatch asks the algorithm for the next chunk whenever the uplink
-// is free; the caller holds the mutex.
+// is free; the caller holds the mutex. Failed attempts waiting in the
+// retry queue take priority over fresh load — their chunk IDs and
+// offsets are already assigned, they only need a surviving worker.
 func (e *execution) tryDispatch() {
-	if e.err != nil || (e.sending && !e.cfg.ParallelUplink) || e.calibrating || e.remaining <= 1e-9 {
+	if e.err != nil || (e.sending && !e.cfg.ParallelUplink) || e.calibrating {
+		e.maybeFinish()
+		return
+	}
+	if e.retryOn && len(e.retryQ) > 0 {
+		c := e.retryQ[0]
+		w, ok := e.pickAliveWorker()
+		if !ok {
+			e.failNoWorkers()
+			return
+		}
+		e.retryQ = e.retryQ[1:]
+		c.worker = w
+		c.attempt++
+		e.remaining -= c.size
+		e.pending[w] += c.size
+		e.pendingChunks[w]++
+		e.inflight++
+		e.sending = true
+		// The algorithm is not re-consulted: the engine owns re-dispatch
+		// (see dls.WorkerLossAware), so alg.Dispatched is not called and
+		// the load re-enters the accounting only through remaining.
+		e.launch(c)
+		return
+	}
+	if e.remaining <= 1e-9 {
 		e.maybeFinish()
 		return
 	}
@@ -457,6 +607,16 @@ func (e *execution) tryDispatch() {
 		e.fail(fmt.Errorf("engine: %s dispatched non-positive size %g", e.alg.Name(), d.Size))
 		return
 	}
+	if e.retryOn && e.dead[d.Worker] {
+		// The algorithm still targets a lost worker (it may not implement
+		// WorkerLossAware); redirect to a survivor.
+		w, ok := e.pickAliveWorker()
+		if !ok {
+			e.failNoWorkers()
+			return
+		}
+		d.Worker = w
+	}
 	requested := d.Size
 	if requested > e.remaining {
 		requested = e.remaining
@@ -481,7 +641,14 @@ func (e *execution) tryDispatch() {
 		actual = e.remaining
 	}
 
-	offset := e.offset
+	c := &chunk{
+		id:      e.nextChunkID(),
+		worker:  d.Worker,
+		offset:  e.offset,
+		size:    actual,
+		bytes:   actual * float64(e.app.BytesPerUnit),
+		attempt: 1,
+	}
 	e.offset += actual
 	e.remaining -= actual
 	e.pending[d.Worker] += actual
@@ -489,55 +656,49 @@ func (e *execution) tryDispatch() {
 	e.inflight++
 	e.sending = true
 	e.alg.Dispatched(d.Worker, d.Size, actual)
-
-	id := e.nextChunkID()
-	w := d.Worker
-	chunkBytes := actual * float64(e.app.BytesPerUnit)
-	e.emit(obs.Event{
-		Type: obs.Dispatch, Worker: w, Chunk: id,
-		Size: actual, Bytes: chunkBytes, Remaining: e.remaining,
-	})
-	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Chunk: id, Bytes: chunkBytes})
-	e.met.Dispatched(chunkBytes)
-	e.backend.Transfer(w, chunkBytes, func(sendStart, sendEnd float64) {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		e.sending = false
-		e.uplinkFreed(w, id, false, sendStart, sendEnd)
-		e.backend.Execute(w, actual, false, func(compStart, compEnd float64) {
-			e.mu.Lock()
-			defer e.mu.Unlock()
-			e.finishChunk(id, w, offset, actual, sendStart, sendEnd, compStart, compEnd)
-		})
-		e.tryDispatch()
-	})
-	if e.cfg.ParallelUplink {
-		// With the serialization rule lifted, keep dispatching while the
-		// algorithm offers work.
-		e.sending = false
-		e.tryDispatch()
-	}
+	e.launch(c)
 }
 
 // recalibrate runs one worker's empty-transfer + no-op measurement pair
-// on the otherwise-free uplink, then resumes dispatching. Caller holds
-// the mutex.
+// on the otherwise-free uplink, then resumes dispatching. Blacklisted
+// workers are skipped; a measurement failure counts against the worker's
+// failure streak like a chunk failure would. Caller holds the mutex.
 func (e *execution) recalibrate() {
 	w := e.calWorker
-	e.calWorker = (e.calWorker + 1) % e.backend.Workers()
+	if e.retryOn {
+		n := e.backend.Workers()
+		for i := 0; i < n && e.dead[w]; i++ {
+			w = (w + 1) % n
+		}
+		if e.dead[w] {
+			e.failNoWorkers()
+			return
+		}
+	}
+	e.calWorker = (w + 1) % e.backend.Workers()
 	e.calibrating = true
 	e.lastCal = e.backend.Now()
 	e.calCount++
 	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Probe: true})
-	e.backend.Transfer(w, 0, func(s1, e1 float64) {
+	e.backend.Transfer(w, 0, func(s1, e1 float64, err error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		commLat := e1 - s1
 		e.calibrating = false
 		e.uplinkFreed(w, 0, true, s1, e1)
-		e.backend.Execute(w, 0, true, func(s2, e2 float64) {
+		if err != nil {
+			e.calibrationFailed(w, err)
+			e.tryDispatch()
+			return
+		}
+		e.backend.Execute(w, 0, true, func(s2, e2 float64, err error) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
+			if err != nil {
+				e.calibrationFailed(w, err)
+				e.tryDispatch()
+				return
+			}
 			if rc, ok := e.alg.(dls.Recalibrator); ok {
 				rc.Recalibrate(w, commLat, e2-s2)
 			}
@@ -552,46 +713,18 @@ func (e *execution) recalibrate() {
 	})
 }
 
-// finishChunk handles a completed computation: return output if any, then
-// account, record, notify, and keep dispatching. Caller holds the mutex.
-func (e *execution) finishChunk(id, w int, offset, size, sendStart, sendEnd, compStart, compEnd float64) {
-	outBytes := size * float64(e.app.OutputBytesPerUnit)
-	complete := func(outputEnd float64) {
-		e.pending[w] -= size
-		if e.pending[w] < 0 {
-			e.pending[w] = 0
-		}
-		e.pendingChunks[w]--
-		e.inflight--
-		e.completed += size
-		e.trace.Add(trace.Record{
-			Chunk: id, Worker: w, Offset: offset, Size: size,
-			SendStart: sendStart, SendEnd: sendEnd,
-			CompStart: compStart, CompEnd: compEnd, OutputEnd: outputEnd,
-		})
-		e.alg.Observe(dls.Observation{
-			Worker: w, Size: size,
-			SendStart: sendStart, SendEnd: sendEnd,
-			CompStart: compStart, CompEnd: compEnd,
-		})
-		e.emit(obs.Event{
-			Type: obs.ChunkDone, Worker: w, Chunk: id, Size: size,
-			SendStart: sendStart, SendEnd: sendEnd,
-			CompStart: compStart, CompEnd: compEnd, OutputEnd: outputEnd,
-			Remaining: e.remaining,
-		})
-		e.met.ChunkFinished(size, compEnd-compStart)
-		e.tryDispatch()
-	}
-	if outBytes <= 0 {
-		complete(compEnd)
+// calibrationFailed handles a failed re-measurement: without a retry
+// policy it aborts the run; with one it counts against the worker's
+// failure streak. Caller holds the mutex.
+func (e *execution) calibrationFailed(w int, cause error) {
+	if !e.retryOn {
+		e.fail(fmt.Errorf("engine: recalibration on worker %d failed: %w", w, cause))
 		return
 	}
-	e.backend.ReturnOutput(w, outBytes, func(_, outEnd float64) {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		complete(outEnd)
-	})
+	e.consecFail[w]++
+	if !e.dead[w] && e.consecFail[w] >= e.retry.BlacklistAfter {
+		e.blacklistWorker(w)
+	}
 }
 
 func (e *execution) nextChunkID() int {
@@ -605,7 +738,7 @@ func (e *execution) maybeFinish() {
 	if e.stopNotified {
 		return
 	}
-	finished := e.remaining <= 1e-9 && e.inflight == 0
+	finished := e.remaining <= 1e-9 && e.inflight == 0 && len(e.retryQ) == 0
 	if finished || e.err != nil {
 		e.stopNotified = true
 		if s, ok := e.backend.(Stopper); ok {

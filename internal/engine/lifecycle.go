@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/obs"
+	"apstdv/internal/trace"
+)
+
+// chunkState is one stage of a chunk attempt's lifecycle:
+//
+//	Planned → Transferring → Computing → Returning → Done
+//	                 \______________\________\→ Failed (→ re-dispatch)
+//
+// Transitions happen under the engine mutex; backend callbacks and
+// deadline timers from an abandoned attempt are fenced off by the
+// chunk's epoch (see chunk.epoch), so a stale completion can never
+// advance a state it no longer owns.
+type chunkState int
+
+const (
+	statePlanned chunkState = iota
+	stateTransferring
+	stateComputing
+	stateReturning
+	stateDone
+	stateFailed
+)
+
+func (s chunkState) String() string {
+	switch s {
+	case statePlanned:
+		return "planned"
+	case stateTransferring:
+		return "transferring"
+	case stateComputing:
+		return "computing"
+	case stateReturning:
+		return "returning"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("chunkState(%d)", int(s))
+}
+
+// chunk is one tracked dispatch: a fixed slice of the load (id, offset,
+// size) plus the mutable lifecycle of its current attempt. The id and
+// offset survive retries; the timeline, worker assignment, and epoch
+// are per-attempt.
+type chunk struct {
+	id     int
+	worker int
+	// offset and size locate the chunk within the load (load units);
+	// bytes is its input volume on the uplink.
+	offset, size float64
+	bytes        float64
+	// attempt counts dispatches of this chunk, 1-based.
+	attempt int
+	state   chunkState
+	// Timeline of the current attempt, filled in as stages complete.
+	sendStart, sendEnd, compStart, compEnd float64
+	// stageStart is when the current stage began (backend clock), used
+	// for deadline bookkeeping and stall diagnostics.
+	stageStart float64
+	// epoch increments every time the attempt is (re)launched or
+	// abandoned; callbacks and timers capture it and no-op on mismatch.
+	epoch int
+	// cancelTimer stops the current stage's deadline, when armed.
+	cancelTimer func()
+}
+
+// launch starts (or restarts) a chunk attempt: the bookkeeping —
+// remaining, pending, inflight, sending — is already done by the
+// caller. Caller holds the mutex.
+func (e *execution) launch(c *chunk) {
+	c.state = stateTransferring
+	c.epoch++
+	c.stageStart = e.backend.Now()
+	c.sendStart, c.sendEnd, c.compStart, c.compEnd = 0, 0, 0, 0
+	e.chunks[c.id] = c
+	epoch := c.epoch
+
+	dispatch := obs.Event{
+		Type: obs.Dispatch, Worker: c.worker, Chunk: c.id,
+		Size: c.size, Bytes: c.bytes, Remaining: e.remaining,
+	}
+	if c.attempt > 1 {
+		dispatch.Attempt = c.attempt
+	}
+	e.emit(dispatch)
+	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: c.worker, Chunk: c.id, Bytes: c.bytes})
+	e.met.Dispatched(c.bytes)
+	e.armDeadline(c, e.sendEstimate(c))
+	e.backend.Transfer(c.worker, c.bytes, func(sendStart, sendEnd float64, err error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if c.epoch != epoch {
+			return
+		}
+		e.cancelDeadline(c)
+		e.sending = false
+		e.uplinkFreed(c.worker, c.id, false, sendStart, sendEnd)
+		if err != nil {
+			e.chunkFailed(c, err, false)
+			e.tryDispatch()
+			return
+		}
+		c.sendStart, c.sendEnd = sendStart, sendEnd
+		c.state = stateComputing
+		c.stageStart = e.backend.Now()
+		e.armDeadline(c, e.compEstimate(c))
+		e.backend.Execute(c.worker, c.size, false, func(compStart, compEnd float64, err error) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if c.epoch != epoch {
+				return
+			}
+			e.cancelDeadline(c)
+			if err != nil {
+				e.chunkFailed(c, err, false)
+				e.tryDispatch()
+				return
+			}
+			c.compStart, c.compEnd = compStart, compEnd
+			e.finishChunk(c, epoch)
+		})
+		e.tryDispatch()
+	})
+	if e.cfg.ParallelUplink {
+		// With the serialization rule lifted, keep dispatching while the
+		// algorithm offers work.
+		e.sending = false
+		e.tryDispatch()
+	}
+}
+
+// finishChunk handles a completed computation: return output if any,
+// then complete. Caller holds the mutex.
+func (e *execution) finishChunk(c *chunk, epoch int) {
+	outBytes := c.size * float64(e.app.OutputBytesPerUnit)
+	if outBytes <= 0 {
+		e.completeChunk(c, c.compEnd)
+		return
+	}
+	c.state = stateReturning
+	c.stageStart = e.backend.Now()
+	e.armDeadline(c, e.returnEstimate(c))
+	e.backend.ReturnOutput(c.worker, outBytes, func(_, outEnd float64, err error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if c.epoch != epoch {
+			return
+		}
+		e.cancelDeadline(c)
+		if err != nil {
+			e.chunkFailed(c, err, false)
+			e.tryDispatch()
+			return
+		}
+		e.completeChunk(c, outEnd)
+	})
+}
+
+// completeChunk retires a successful attempt: accounting, trace record,
+// algorithm notification, events, and the next dispatch. Caller holds
+// the mutex.
+func (e *execution) completeChunk(c *chunk, outputEnd float64) {
+	c.state = stateDone
+	delete(e.chunks, c.id)
+	w := c.worker
+	e.pending[w] -= c.size
+	if e.pending[w] < 0 {
+		e.pending[w] = 0
+	}
+	e.pendingChunks[w]--
+	e.inflight--
+	e.completed += c.size
+	e.consecFail[w] = 0
+	e.trace.Add(trace.Record{
+		Chunk: c.id, Worker: w, Offset: c.offset, Size: c.size,
+		SendStart: c.sendStart, SendEnd: c.sendEnd,
+		CompStart: c.compStart, CompEnd: c.compEnd, OutputEnd: outputEnd,
+		Attempt: c.attempt,
+	})
+	e.alg.Observe(dls.Observation{
+		Worker: w, Size: c.size,
+		SendStart: c.sendStart, SendEnd: c.sendEnd,
+		CompStart: c.compStart, CompEnd: c.compEnd,
+	})
+	done := obs.Event{
+		Type: obs.ChunkDone, Worker: w, Chunk: c.id, Size: c.size,
+		SendStart: c.sendStart, SendEnd: c.sendEnd,
+		CompStart: c.compStart, CompEnd: c.compEnd, OutputEnd: outputEnd,
+		Remaining: e.remaining,
+	}
+	if c.attempt > 1 {
+		done.Attempt = c.attempt
+	}
+	e.emit(done)
+	e.met.ChunkFinished(c.size, c.compEnd-c.compStart)
+	e.tryDispatch()
+}
+
+// stallDetail renders the in-flight chunks for the stall error: which
+// worker holds which chunk, in which lifecycle stage, for how long.
+func (e *execution) stallDetail() string {
+	if len(e.chunks) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(e.chunks))
+	for id := range e.chunks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	now := e.backend.Now()
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		c := e.chunks[id]
+		parts = append(parts, fmt.Sprintf("worker %d: chunk %d %s for %.1fs",
+			c.worker, c.id, c.state, now-c.stageStart))
+	}
+	return " (" + strings.Join(parts, "; ") + ")"
+}

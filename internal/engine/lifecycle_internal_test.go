@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"apstdv/internal/grid"
+	"apstdv/internal/model"
+)
+
+func stallBackend(t *testing.T) Backend {
+	t.Helper()
+	p := &model.Platform{Name: "t", Workers: []model.Worker{{
+		ID: 0, Name: "w", Cluster: "c", Speed: 1, CompLatency: 0.5,
+		Bandwidth: 1e6, CommLatency: 2,
+	}}}
+	a := &model.Application{Name: "a", TotalLoad: 10, BytesPerUnit: 1, UnitCost: 1, MinChunk: 1}
+	b, err := grid.New(p, a, grid.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestLifecycleStateNames(t *testing.T) {
+	want := map[chunkState]string{
+		statePlanned:      "planned",
+		stateTransferring: "transferring",
+		stateComputing:    "computing",
+		stateReturning:    "returning",
+		stateDone:         "done",
+		stateFailed:       "failed",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("state %d = %q, want %q", s, s.String(), name)
+		}
+	}
+}
+
+func TestLifecycleStallDetailListsInFlightChunks(t *testing.T) {
+	// The stall diagnostic must name each in-flight chunk with its
+	// worker, lifecycle stage, and age, ordered by chunk id, so a wedged
+	// run points straight at the chunk that never came back.
+	e := &execution{backend: stallBackend(t), chunks: map[int]*chunk{
+		7: {id: 7, worker: 2, state: stateComputing, stageStart: -12.25},
+		3: {id: 3, worker: 0, state: stateTransferring, stageStart: -3.5},
+	}}
+	got := e.stallDetail()
+	want := " (worker 0: chunk 3 transferring for 3.5s; worker 2: chunk 7 computing for 12.2s)"
+	if got != want {
+		t.Errorf("stallDetail() = %q, want %q", got, want)
+	}
+	if empty := (&execution{backend: e.backend}).stallDetail(); empty != "" {
+		t.Errorf("stallDetail with no chunks = %q, want empty", empty)
+	}
+}
+
+func TestLifecycleRetryDefaults(t *testing.T) {
+	p := (&RetryPolicy{}).withDefaults()
+	if p.MaxAttempts != 3 || p.BlacklistAfter != 2 || p.TimeoutFactor != 4 || p.MinTimeout != 30 {
+		t.Errorf("withDefaults() = %+v", p)
+	}
+	custom := (&RetryPolicy{MaxAttempts: 5, BlacklistAfter: 3, TimeoutFactor: 2, MinTimeout: 1}).withDefaults()
+	if custom.MaxAttempts != 5 || custom.BlacklistAfter != 3 || custom.TimeoutFactor != 2 || custom.MinTimeout != 1 {
+		t.Errorf("withDefaults() clobbered explicit values: %+v", custom)
+	}
+	if !strings.Contains(stateComputing.String(), "comput") {
+		t.Error("sanity: state naming")
+	}
+}

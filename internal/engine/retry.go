@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"fmt"
+
+	"apstdv/internal/obs"
+	"apstdv/internal/trace"
+)
+
+// RetryPolicy configures the engine's fault-tolerance layer. The zero
+// value of each field selects its default, so &RetryPolicy{} enables
+// the layer with the defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds how many times one chunk may be dispatched
+	// (first attempt included). Exhausting it fails the run with a
+	// partial-result error. Default 3.
+	MaxAttempts int
+	// BlacklistAfter removes a worker from service after this many
+	// consecutive failures (successes reset the streak). Default 2.
+	BlacklistAfter int
+	// TimeoutFactor and MinTimeout set per-chunk stage deadlines from
+	// the algorithm's cost estimates: deadline = TimeoutFactor×estimate
+	// + MinTimeout seconds. The slack absorbs the platform's modelled
+	// noise (background load, batch holds) so healthy chunks never trip
+	// a deadline. Defaults 4 and 30.
+	TimeoutFactor float64
+	MinTimeout    float64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BlacklistAfter <= 0 {
+		p.BlacklistAfter = 2
+	}
+	if p.TimeoutFactor <= 0 {
+		p.TimeoutFactor = 4
+	}
+	if p.MinTimeout <= 0 {
+		p.MinTimeout = 30
+	}
+	return p
+}
+
+// sendEstimate returns the expected transfer time of the chunk under
+// the deadline estimates (0 when none are available).
+func (e *execution) sendEstimate(c *chunk) float64 {
+	if c.worker >= len(e.dests) {
+		return 0
+	}
+	est := e.dests[c.worker]
+	return est.CommLatency + c.size*est.UnitComm
+}
+
+// compEstimate returns the expected time until the chunk's computation
+// completes. The worker's CPU is FIFO, so a multi-installment chunk
+// queues behind everything the worker already holds: the deadline must
+// cover the whole backlog, not just this chunk's own compute time.
+func (e *execution) compEstimate(c *chunk) float64 {
+	if c.worker >= len(e.dests) {
+		return 0
+	}
+	est := e.dests[c.worker]
+	backlog := e.pending[c.worker]
+	if backlog < c.size {
+		backlog = c.size
+	}
+	installments := float64(e.pendingChunks[c.worker])
+	if installments < 1 {
+		installments = 1
+	}
+	return installments*est.CompLatency + backlog*est.UnitComp
+}
+
+// returnEstimate returns the expected output-return time: the transfer
+// estimate scaled by the output/input data-density ratio.
+func (e *execution) returnEstimate(c *chunk) float64 {
+	if c.worker >= len(e.dests) {
+		return 0
+	}
+	est := e.dests[c.worker]
+	ratio := 1.0
+	if bpu := float64(e.app.BytesPerUnit); bpu > 0 {
+		ratio = float64(e.app.OutputBytesPerUnit) / bpu
+	}
+	return est.CommLatency + c.size*est.UnitComm*ratio
+}
+
+// armDeadline starts the current stage's deadline timer, derived from
+// the algorithm's cost estimate for the stage. No-op without a retry
+// policy or a Timer-capable backend. Caller holds the mutex.
+func (e *execution) armDeadline(c *chunk, estimate float64) {
+	if !e.retryOn || e.timer == nil {
+		return
+	}
+	deadline := e.retry.TimeoutFactor*estimate + e.retry.MinTimeout
+	epoch := c.epoch
+	c.cancelTimer = e.timer.AfterFunc(deadline, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if c.epoch != epoch || e.err != nil {
+			return
+		}
+		e.emit(obs.Event{
+			Type: obs.ChunkTimeout, Worker: c.worker, Chunk: c.id,
+			Size: c.size, Dur: deadline, Attempt: c.attempt,
+		})
+		e.met.ChunkTimedOut()
+		e.chunkFailed(c,
+			fmt.Errorf("stage %s exceeded its %.3gs deadline", c.state, deadline),
+			c.state == stateTransferring)
+		e.tryDispatch()
+	})
+}
+
+// cancelDeadline stops the armed stage deadline, if any. Caller holds
+// the mutex.
+func (e *execution) cancelDeadline(c *chunk) {
+	if c.cancelTimer != nil {
+		c.cancelTimer()
+		c.cancelTimer = nil
+	}
+}
+
+// chunkFailed abandons the chunk's current attempt: the load leaves the
+// worker's accounting and either re-enters the undispatched pool via
+// the retry queue or, past the attempt bound, fails the run with a
+// partial-result error. holdsUplink is true when the attempt still
+// occupies the serialized uplink (abandoned mid-transfer by a deadline
+// or a blacklist) and the engine must release it. Caller holds the
+// mutex.
+func (e *execution) chunkFailed(c *chunk, cause error, holdsUplink bool) {
+	c.epoch++
+	e.cancelDeadline(c)
+	delete(e.chunks, c.id)
+	w := c.worker
+	if holdsUplink {
+		if !e.cfg.ParallelUplink {
+			e.sending = false
+		}
+		e.uplinkFreed(w, c.id, false, c.stageStart, e.backend.Now())
+	}
+	e.pending[w] -= c.size
+	if e.pending[w] < 0 {
+		e.pending[w] = 0
+	}
+	e.pendingChunks[w]--
+	e.inflight--
+	e.trace.Add(trace.Record{
+		Chunk: c.id, Worker: w, Offset: c.offset, Size: c.size,
+		SendStart: c.sendStart, SendEnd: c.sendEnd,
+		CompStart: c.compStart, CompEnd: c.compEnd,
+		OutputEnd: e.backend.Now(),
+		Attempt:   c.attempt, Failed: true,
+	})
+	if !e.retryOn {
+		e.fail(fmt.Errorf("engine: chunk %d on worker %d failed: %w", c.id, w, cause))
+		return
+	}
+	e.consecFail[w]++
+	if c.attempt >= e.retry.MaxAttempts {
+		e.fail(fmt.Errorf("engine: chunk %d lost after %d attempts (%.6g of %.6g load completed): %w",
+			c.id, c.attempt, e.completed, e.total, cause))
+		return
+	}
+	c.state = stateFailed
+	e.remaining += c.size
+	e.retryQ = append(e.retryQ, c)
+	e.emit(obs.Event{
+		Type: obs.ChunkRetry, Worker: w, Chunk: c.id, Size: c.size,
+		Attempt: c.attempt, Err: cause.Error(), Remaining: e.remaining,
+	})
+	e.met.ChunkRetried(c.size)
+	if !e.dead[w] && e.consecFail[w] >= e.retry.BlacklistAfter {
+		e.blacklistWorker(w)
+	}
+	e.maybeFinish()
+}
+
+// blacklistWorker removes a worker from service: its in-flight chunks
+// are abandoned into the retry queue, the load it held is reported
+// lost, and the algorithm (when loss-aware) stops targeting it. Caller
+// holds the mutex.
+func (e *execution) blacklistWorker(w int) {
+	if e.dead[w] {
+		return
+	}
+	e.dead[w] = true
+	e.alive--
+	e.emit(obs.Event{Type: obs.WorkerBlacklisted, Worker: w, Workers: e.alive})
+	// Abandon the worker's in-flight chunks in id order (map iteration
+	// is randomized; the event stream must not be).
+	var victims []*chunk
+	for _, c := range e.chunks {
+		if c.worker == w {
+			victims = append(victims, c)
+		}
+	}
+	for i := range victims {
+		for j := i + 1; j < len(victims); j++ {
+			if victims[j].id < victims[i].id {
+				victims[i], victims[j] = victims[j], victims[i]
+			}
+		}
+	}
+	cause := fmt.Errorf("worker %d blacklisted after %d consecutive failures", w, e.consecFail[w])
+	for _, c := range victims {
+		e.chunkFailed(c, cause, c.state == stateTransferring)
+		if e.err != nil {
+			return
+		}
+	}
+	returned := 0.0
+	for _, c := range e.retryQ {
+		if c.worker == w {
+			returned += c.size
+		}
+	}
+	e.emit(obs.Event{Type: obs.WorkerLost, Worker: w, Size: returned, Workers: e.alive})
+	e.met.WorkerRemoved()
+	if e.lossAware != nil {
+		e.lossAware.WorkerLost(w, returned)
+		e.drainSwitchDecisions()
+	}
+	if e.alive == 0 {
+		e.failNoWorkers()
+	}
+}
+
+// probeFailed handles a worker lost during the probing round: it is
+// removed from service before planning, and its probesLeft slot is
+// released so planning proceeds over the survivors. Caller holds the
+// mutex.
+func (e *execution) probeFailed(w int, cause error) {
+	if !e.retryOn {
+		e.fail(fmt.Errorf("engine: probing worker %d failed: %w", w, cause))
+		return
+	}
+	pr := &e.probes[w]
+	if pr.failed {
+		return
+	}
+	pr.failed = true
+	e.probesLeft--
+	e.dead[w] = true
+	e.alive--
+	e.emit(obs.Event{Type: obs.WorkerLost, Worker: w, Workers: e.alive, Err: cause.Error()})
+	e.met.WorkerRemoved()
+	if e.alive == 0 {
+		e.failNoWorkers()
+		return
+	}
+	if e.probesLeft == 0 && !e.planned {
+		e.plan(e.estimatesFromProbes())
+	}
+}
+
+// pickAliveWorker returns the surviving worker with the least pending
+// load (lowest index on ties), the engine's redirect target for load
+// whose planned worker is gone.
+func (e *execution) pickAliveWorker() (int, bool) {
+	best := -1
+	for w := 0; w < e.backend.Workers(); w++ {
+		if e.dead[w] {
+			continue
+		}
+		if best < 0 || e.pending[w] < e.pending[best] {
+			best = w
+		}
+	}
+	return best, best >= 0
+}
+
+// failNoWorkers records the graceful-degradation terminal error: every
+// worker is out of service, so only a partial result is possible.
+// Caller holds the mutex.
+func (e *execution) failNoWorkers() {
+	e.fail(fmt.Errorf("engine: all %d workers lost; partial result: %.6g of %.6g load completed",
+		e.backend.Workers(), e.completed, e.total))
+}

@@ -2,8 +2,12 @@ package experiment
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -54,6 +58,70 @@ func TestEventsParallelMatchesSequential(t *testing.T) {
 		}
 		if !bytes.Equal(a, b) {
 			t.Errorf("%s: bytes differ between width 1 and width 8", name)
+		}
+	}
+}
+
+// TestEventsMatchGoldenManifest pins the zero-fault event streams to
+// the dumps captured before the chunk-lifecycle refactor: with no
+// retry policy and no fault injection, every Figure 2 event file must
+// hash to exactly what the pre-refactor engine produced, at sequential
+// and parallel pool widths alike. A mismatch means the fault-tolerance
+// layer leaked into the fault-free scheduling path.
+func TestEventsMatchGoldenManifest(t *testing.T) {
+	manifest, err := os.ReadFile(filepath.Join("testdata", "events_golden.sha256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(manifest)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed manifest line %q", line)
+		}
+		want[fields[1]] = fields[0]
+	}
+	if len(want) == 0 {
+		t.Fatal("empty golden manifest")
+	}
+
+	for _, width := range []int{1, 8} {
+		dir := t.TempDir()
+		s := Figure2()
+		s.Runs = 2
+		s.Parallelism = width
+		s.EventsDir = dir
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]string)
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[filepath.Base(f)] = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+		if len(got) != len(want) {
+			t.Errorf("width %d: %d event files, manifest has %d", width, len(got), len(want))
+		}
+		names := make([]string, 0, len(want))
+		for name := range want {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			switch {
+			case got[name] == "":
+				t.Errorf("width %d: missing event dump %s", width, name)
+			case got[name] != want[name]:
+				t.Errorf("width %d: %s drifted from pre-refactor golden (got %s, want %s)",
+					width, name, got[name], want[name])
+			}
 		}
 	}
 }

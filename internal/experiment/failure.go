@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/grid"
+	"apstdv/internal/model"
+	"apstdv/internal/obs"
+	"apstdv/internal/parallel"
+	"apstdv/internal/stats"
+	"apstdv/internal/workload"
+)
+
+// FailureSweep measures how each algorithm degrades when workers crash
+// mid-run. The paper's testbed was reliable, but its §6 future work
+// calls out fault-tolerance as the missing piece for production grids;
+// this sweep exercises the engine's chunk-lifecycle retry layer at
+// increasing crash probabilities and reports the makespan penalty paid
+// for surviving.
+//
+// The sweep runs in two passes. A crash-free baseline per algorithm
+// first establishes the mean makespan; crashes are then injected
+// uniformly inside [15%, 60%] of that baseline — late enough that load
+// is in flight, early enough that the survivors still have real work to
+// redistribute.
+type FailureSweep struct {
+	Platform   *model.Platform
+	App        func(gamma float64) *model.Application
+	Gamma      float64
+	CrashProbs []float64 // per-worker crash probability, 0 = baseline
+	Runs       int
+	Seed       uint64
+	// Parallelism bounds the worker pool fanning the (algorithm, prob,
+	// run) cells; <= 0 means one worker per CPU. Fault plans are seeded
+	// independently of the backend's stochastic streams, so results are
+	// identical at every width.
+	Parallelism int
+}
+
+// DefaultFailureSweep exercises the paper's DAS-2 testbed under light to
+// heavy crash rates.
+func DefaultFailureSweep() *FailureSweep {
+	return &FailureSweep{
+		Platform:   workload.DAS2(16),
+		App:        workload.Synthetic,
+		Gamma:      0.10,
+		CrashProbs: []float64{0, 0.125, 0.25, 0.5},
+		Runs:       3,
+		Seed:       17,
+	}
+}
+
+// FailureCell aggregates one (algorithm, crash probability) pair.
+type FailureCell struct {
+	Algorithm string
+	CrashProb float64
+	// Summary aggregates the makespans of the runs that completed.
+	Summary stats.Summary
+	// DegradationPct is the mean makespan penalty versus the same
+	// algorithm's crash-free baseline.
+	DegradationPct float64
+	// MeanWorkersLost, MeanRetries and MeanTimeouts average the fault
+	// events per run.
+	MeanWorkersLost float64
+	MeanRetries     float64
+	MeanTimeouts    float64
+	// Failed counts runs that could not complete (every worker lost).
+	Failed int
+}
+
+// failureRun is one simulation's outcome.
+type failureRun struct {
+	makespan    float64
+	workersLost float64
+	retries     float64
+	timeouts    float64
+	failed      bool
+}
+
+// Run executes the sweep: pass one measures crash-free baselines for
+// every algorithm, pass two injects crashes timed against them. Both
+// passes fan their independent runs across the worker pool and
+// aggregate in deterministic order.
+func (fs *FailureSweep) Run() ([]FailureCell, error) {
+	if fs.Runs <= 0 {
+		fs.Runs = 3
+	}
+	proto := dls.PaperSet()
+	nAlg := len(proto)
+
+	// Pass 1: crash-free baselines.
+	base := make([]failureRun, nAlg*fs.Runs)
+	err := parallel.ForEach(len(base), fs.Parallelism, func(idx int) error {
+		return fs.runOnce(idx/fs.Runs, idx%fs.Runs, nil, &base[idx])
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := make([]float64, nAlg)
+	for ai := 0; ai < nAlg; ai++ {
+		spans := make([]float64, 0, fs.Runs)
+		for run := 0; run < fs.Runs; run++ {
+			if r := base[ai*fs.Runs+run]; !r.failed {
+				spans = append(spans, r.makespan)
+			}
+		}
+		if len(spans) == 0 {
+			return nil, fmt.Errorf("failure sweep: %s baseline produced no completed runs", proto[ai].Name())
+		}
+		baseline[ai] = stats.Mean(spans)
+	}
+
+	// Pass 2: the crash grid, timed against each algorithm's baseline.
+	runs := make([]failureRun, len(fs.CrashProbs)*nAlg*fs.Runs)
+	err = parallel.ForEach(len(runs), fs.Parallelism, func(idx int) error {
+		pi := idx / (nAlg * fs.Runs)
+		ai := idx % (nAlg * fs.Runs) / fs.Runs
+		run := idx % fs.Runs
+		var plan *grid.FaultPlan
+		if prob := fs.CrashProbs[pi]; prob > 0 {
+			faultSeed := fs.Seed + uint64(pi)*999983 + uint64(run)*7919
+			plan = grid.RandomCrashPlan(faultSeed, len(fs.Platform.Workers), prob,
+				0.15*baseline[ai], 0.60*baseline[ai])
+		}
+		return fs.runOnce(ai, run, plan, &runs[idx])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []FailureCell
+	for pi, prob := range fs.CrashProbs {
+		for ai := range proto {
+			cell := FailureCell{Algorithm: proto[ai].Name(), CrashProb: prob}
+			spans := make([]float64, 0, fs.Runs)
+			var lost, retries, timeouts stats.RunningStats
+			for run := 0; run < fs.Runs; run++ {
+				r := runs[(pi*nAlg+ai)*fs.Runs+run]
+				lost.Add(r.workersLost)
+				retries.Add(r.retries)
+				timeouts.Add(r.timeouts)
+				if r.failed {
+					cell.Failed++
+					continue
+				}
+				spans = append(spans, r.makespan)
+			}
+			if len(spans) > 0 {
+				cell.Summary = stats.Summarize(spans)
+				cell.DegradationPct = stats.SlowdownPct(cell.Summary.Mean, baseline[ai])
+			}
+			cell.MeanWorkersLost = lost.Mean()
+			cell.MeanRetries = retries.Mean()
+			cell.MeanTimeouts = timeouts.Mean()
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// runOnce executes one independently seeded simulation with the retry
+// layer enabled and the given fault plan (nil = fault-free).
+func (fs *FailureSweep) runOnce(ai, run int, plan *grid.FaultPlan, out *failureRun) error {
+	alg := dls.PaperSet()[ai]
+	app := fs.App(fs.Gamma)
+	backend, err := grid.New(fs.Platform, app, grid.Config{
+		Seed:   fs.Seed + uint64(run)*1000003,
+		Faults: plan,
+	})
+	if err != nil {
+		return err
+	}
+	met := obs.NewRunMetrics(obs.NewRegistry())
+	tr, err := engine.Run(backend, alg, app, fs.Platform, engine.Config{
+		ProbeLoad: sectionFourProbeLoad,
+		Metrics:   met,
+		Retry:     &engine.RetryPolicy{},
+	})
+	out.workersLost = met.WorkersLost.Value()
+	out.retries = met.ChunkRetries.Value()
+	out.timeouts = met.ChunkTimeouts.Value()
+	if err != nil {
+		// A run that loses every worker (or a chunk past its attempt
+		// bound) is a data point, not a sweep abort.
+		out.failed = true
+		return nil
+	}
+	out.makespan = tr.Makespan()
+	return nil
+}
+
+// RenderFailures formats failure-sweep cells as a table.
+func RenderFailures(cells []FailureCell) string {
+	var b strings.Builder
+	b.WriteString("failure sweep — makespan degradation under worker crashes (retry layer on)\n")
+	fmt.Fprintf(&b, "%7s %-14s %12s %10s %8s %8s %9s %7s\n",
+		"crash", "algorithm", "makespan", "vs base", "lost", "retries", "timeouts", "failed")
+	for _, c := range cells {
+		span := "-"
+		degr := "-"
+		if c.Summary.N > 0 {
+			span = fmt.Sprintf("%.0fs", c.Summary.Mean)
+			degr = fmt.Sprintf("%+.1f%%", c.DegradationPct)
+		}
+		fmt.Fprintf(&b, "%6.1f%% %-14s %12s %10s %8.1f %8.1f %9.1f %7d\n",
+			c.CrashProb*100, c.Algorithm, span, degr,
+			c.MeanWorkersLost, c.MeanRetries, c.MeanTimeouts, c.Failed)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"apstdv/internal/workload"
+)
+
+func smallFailureSweep() *FailureSweep {
+	return &FailureSweep{
+		Platform:   workload.DAS2(8),
+		App:        workload.Synthetic,
+		Gamma:      0.10,
+		CrashProbs: []float64{0, 0.5},
+		Runs:       2,
+		Seed:       17,
+	}
+}
+
+func TestFailureSweepRunsAndDegradesGracefully(t *testing.T) {
+	cells, err := smallFailureSweep().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProb := map[float64][]FailureCell{}
+	for _, c := range cells {
+		byProb[c.CrashProb] = append(byProb[c.CrashProb], c)
+	}
+	for _, c := range byProb[0] {
+		// Crash probability 0 is the baseline: nothing may fail, retry,
+		// or be lost, and the degradation is zero by construction.
+		if c.Failed != 0 || c.MeanWorkersLost != 0 || c.MeanRetries != 0 || c.MeanTimeouts != 0 {
+			t.Errorf("%s at prob 0: fault activity on a crash-free run: %+v", c.Algorithm, c)
+		}
+		if c.DegradationPct != 0 {
+			t.Errorf("%s at prob 0: degradation %.2f%%, want 0", c.Algorithm, c.DegradationPct)
+		}
+	}
+	lostSomewhere := false
+	for _, c := range byProb[0.5] {
+		if c.MeanWorkersLost > 0 {
+			lostSomewhere = true
+		}
+		if c.Summary.N == 0 && c.Failed == 0 {
+			t.Errorf("%s at prob 0.5: no completed and no failed runs", c.Algorithm)
+		}
+	}
+	if !lostSomewhere {
+		t.Error("prob 0.5 over 8 workers lost no workers in any run")
+	}
+	out := RenderFailures(cells)
+	if !strings.Contains(out, "failure sweep") || !strings.Contains(out, "wf") {
+		t.Errorf("render missing expected content:\n%s", out)
+	}
+}
+
+func TestFailureSweepDeterministicAcrossWidths(t *testing.T) {
+	run := func(width int) []FailureCell {
+		fs := smallFailureSweep()
+		fs.Parallelism = width
+		cells, err := fs.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	seq, par := run(1), run(8)
+	if len(seq) != len(par) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if RenderFailures(seq[i:i+1]) != RenderFailures(par[i:i+1]) {
+			t.Errorf("cell %d differs across pool widths:\n%+v\n%+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -110,7 +110,7 @@ func TestBatchQueueEndToEndSlowsExecution(t *testing.T) {
 		}
 		var last float64
 		for i := 0; i < 12; i++ {
-			b.Execute(i%4, 50, false, func(s, e float64) {
+			b.Execute(i%4, 50, false, func(s, e float64, _ error) {
 				if e > last {
 					last = e
 				}

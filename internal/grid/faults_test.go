@@ -1,0 +1,146 @@
+package grid
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func faultBackend(t *testing.T, n int, plan *FaultPlan) *Backend {
+	t.Helper()
+	b, err := New(testPlatform(n), testApp(0), Config{Seed: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFaultCrashFailsTransferAtCrashInstant(t *testing.T) {
+	plan := &FaultPlan{Faults: []WorkerFault{{Worker: 0, Kind: FaultCrash, At: 1}}}
+	b := faultBackend(t, 1, plan)
+	var end float64
+	var opErr error
+	// 2 s latency + 0.5 s payload would finish at 2.5, but the worker
+	// dies at t=1: the transfer must fail then, not run to completion.
+	b.Transfer(0, 500000, func(s, e float64, err error) { end, opErr = e, err })
+	b.Run()
+	if !errors.Is(opErr, ErrWorkerDown) {
+		t.Fatalf("transfer error = %v, want ErrWorkerDown", opErr)
+	}
+	if math.Abs(end-1) > 1e-12 {
+		t.Errorf("transfer failed at t=%g, want the crash instant t=1", end)
+	}
+}
+
+func TestFaultCrashFailsOpsOnDeadWorkerImmediately(t *testing.T) {
+	plan := &FaultPlan{Faults: []WorkerFault{{Worker: 0, Kind: FaultCrash, At: 0}}}
+	b := faultBackend(t, 1, plan)
+	errs := make([]error, 3)
+	b.Transfer(0, 1000, func(_, _ float64, err error) { errs[0] = err })
+	b.Execute(0, 10, false, func(_, _ float64, err error) { errs[1] = err })
+	b.ReturnOutput(0, 1000, func(_, _ float64, err error) { errs[2] = err })
+	b.Run()
+	for i, err := range errs {
+		if !errors.Is(err, ErrWorkerDown) {
+			t.Errorf("op %d on dead worker: error = %v, want ErrWorkerDown", i, err)
+		}
+	}
+}
+
+func TestFaultStallDelaysComputeWithoutError(t *testing.T) {
+	// 10 units × 0.1 s + 0.5 s latency = 1.5 s normally. A 100 s stall
+	// starting at t=1 freezes the job mid-flight: it completes 100 s
+	// late, with no error — only a deadline can catch this.
+	plan := &FaultPlan{Faults: []WorkerFault{{Worker: 0, Kind: FaultStall, At: 1, Duration: 100}}}
+	b := faultBackend(t, 1, plan)
+	var end float64
+	var opErr error
+	b.Execute(0, 10, false, func(_, e float64, err error) { end, opErr = e, err })
+	b.Run()
+	if opErr != nil {
+		t.Fatalf("stalled compute returned error %v; stalls must look like slowness", opErr)
+	}
+	if math.Abs(end-101.5) > 1e-9 {
+		t.Errorf("stalled compute finished at t=%g, want 101.5", end)
+	}
+}
+
+func TestFaultSlowdownStretchesCompute(t *testing.T) {
+	// Factor 2 over the whole job: the 1 s of work past the 0.5 s
+	// latency runs at half speed within the window.
+	plan := &FaultPlan{Faults: []WorkerFault{{Worker: 0, Kind: FaultSlowdown, At: 0, Duration: 1000, Factor: 2}}}
+	b := faultBackend(t, 1, plan)
+	var end float64
+	b.Execute(0, 10, false, func(_, e float64, _ error) { end = e })
+	b.Run()
+	if math.Abs(end-2.5) > 1e-9 {
+		t.Errorf("slowed compute finished at t=%g, want 2.5 (0.5 latency + 2×1)", end)
+	}
+}
+
+func TestFaultFreeWorkerUnaffectedByOtherWorkersFaults(t *testing.T) {
+	plan := &FaultPlan{Faults: []WorkerFault{{Worker: 0, Kind: FaultCrash, At: 0}}}
+	b := faultBackend(t, 2, plan)
+	var end float64
+	var opErr error
+	b.Execute(1, 10, false, func(_, e float64, err error) { end, opErr = e, err })
+	b.Run()
+	if opErr != nil || math.Abs(end-1.5) > 1e-9 {
+		t.Errorf("healthy worker: end=%g err=%v, want 1.5 and nil", end, opErr)
+	}
+}
+
+func TestRandomCrashPlanDeterministicAndBounded(t *testing.T) {
+	a := RandomCrashPlan(7, 16, 0.5, 100, 200)
+	b := RandomCrashPlan(7, 16, 0.5, 100, 200)
+	if a == nil || len(a.Faults) == 0 {
+		t.Fatal("prob 0.5 over 16 workers drew no crashes")
+	}
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatalf("same seed drew %d vs %d crashes", len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Errorf("fault %d differs across identical seeds: %+v vs %+v", i, a.Faults[i], b.Faults[i])
+		}
+		if at := a.Faults[i].At; at < 100 || at > 200 {
+			t.Errorf("crash time %g outside [100, 200]", at)
+		}
+	}
+	if RandomCrashPlan(7, 16, 0, 100, 200) != nil {
+		t.Error("prob 0 must produce no plan")
+	}
+}
+
+func TestRandomCrashPlanSparesOneWorker(t *testing.T) {
+	// Even at probability 1, one worker must survive so the run can
+	// degrade instead of trivially failing every experiment cell.
+	plan := RandomCrashPlan(3, 4, 1, 10, 20)
+	if plan == nil {
+		t.Fatal("prob 1 produced no plan")
+	}
+	if len(plan.Faults) != 3 {
+		t.Errorf("prob 1 over 4 workers kept %d crashes, want 3 (one survivor)", len(plan.Faults))
+	}
+}
+
+func TestFaultPlanConsumesNoSharedRandomness(t *testing.T) {
+	// Fault compilation must not touch the comm/comp rng streams: the
+	// same seed with and without a (never-hit) fault plan produces
+	// identical jittered transfer times.
+	run := func(plan *FaultPlan) float64 {
+		b, err := New(testPlatform(1), testApp(0), Config{Seed: 9, CommJitter: 0.2, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end float64
+		b.Transfer(0, 500000, func(_, e float64, _ error) { end = e })
+		b.Run()
+		return end
+	}
+	plain := run(nil)
+	faulty := run(&FaultPlan{Faults: []WorkerFault{{Worker: 0, Kind: FaultCrash, At: 1e9}}})
+	if plain != faulty {
+		t.Errorf("transfer end drifted with an unused fault plan: %g vs %g", plain, faulty)
+	}
+}

@@ -41,6 +41,9 @@ type Config struct {
 	// downlink busy time. Purely observational — never feeds back into
 	// the simulation, so instrumented runs stay bit-identical.
 	Metrics *obs.GridMetrics
+	// Faults injects deterministic worker failures (see FaultPlan). nil
+	// disables injection with zero overhead and no rng consumption.
+	Faults *FaultPlan
 }
 
 // Backend simulates a Platform executing an Application.
@@ -57,6 +60,7 @@ type Backend struct {
 	commRNG *rng.Source
 	bg      []*bgProcess
 	batch   []*batchState
+	faults  []faultState // nil when no faults are injected
 }
 
 // New validates the models and returns a backend positioned at time zero.
@@ -100,6 +104,7 @@ func New(p *model.Platform, a *model.Application, cfg Config) (*Backend, error) 
 			b.batch = append(b.batch, nil)
 		}
 	}
+	b.faults = compileFaults(cfg.Faults, len(p.Workers))
 	return b, nil
 }
 
@@ -112,18 +117,44 @@ func (b *Backend) Workers() int { return len(b.platform.Workers) }
 // Run implements engine.Backend: process events until quiescent.
 func (b *Backend) Run() { b.eng.Run() }
 
+// AfterFunc implements engine.Timer on the virtual clock, so engine
+// stage deadlines are as deterministic as everything else in the
+// simulation. Cancelled timers leave no trace in the event stream.
+func (b *Backend) AfterFunc(d float64, fn func()) (cancel func()) {
+	h := b.eng.After(units.Seconds(d), fn)
+	return h.Cancel
+}
+
 // Transfer implements engine.Backend: move bytes to worker w over the
 // master uplink. The engine guarantees at most one outstanding Transfer,
-// which is how the model realizes the serialized uplink.
-func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64)) {
+// which is how the model realizes the serialized uplink. A transfer to
+// a crashed worker fails — immediately when the worker is already down,
+// at the crash instant when it dies mid-transfer.
+func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, err error)) {
 	wk := b.platform.Workers[w]
 	d := float64(wk.CommLatency) + bytes/float64(wk.Bandwidth)
 	if b.cfg.CommJitter > 0 {
 		d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
 	}
 	start := b.eng.Now()
+	if b.faults != nil {
+		crashAt := b.faults[w].crashAt
+		if float64(start) >= crashAt {
+			b.eng.After(0, func() {
+				now := float64(b.eng.Now())
+				done(now, now, crashErr(w, crashAt))
+			})
+			return
+		}
+		if float64(start)+d > crashAt {
+			b.eng.After(units.Seconds(crashAt-float64(start)), func() {
+				done(float64(start), float64(b.eng.Now()), crashErr(w, crashAt))
+			})
+			return
+		}
+	}
 	b.eng.After(units.Seconds(d), func() {
-		done(float64(start), float64(b.eng.Now()))
+		done(float64(start), float64(b.eng.Now()), nil)
 	})
 }
 
@@ -133,9 +164,10 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64)) 
 // Probe work computes a fixed, representative input (the user's probe
 // file), so it sees the host's time-varying background load but not the
 // application's data-dependent cost variability.
-func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64)) {
+func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64, err error)) {
 	wk := b.platform.Workers[w]
 	b.cfg.Metrics.EnqueueCompute(b.compute[w].QueueLength())
+	var opErr error
 	b.compute[w].Enqueue(func(start units.Seconds) units.Seconds {
 		base := size * float64(b.app.UnitCost) / wk.Speed
 		if probe {
@@ -152,9 +184,24 @@ func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end 
 		if b.bg[w] != nil && base > 0 {
 			stretched = b.bg[w].finish(float64(start)+hold, base)
 		}
-		return units.Seconds(hold + float64(wk.CompLatency) + stretched)
+		dur := hold + float64(wk.CompLatency) + stretched
+		if b.faults != nil {
+			fs := &b.faults[w]
+			if fs.crashAt <= float64(start) {
+				opErr = crashErr(w, fs.crashAt)
+				return 0
+			}
+			// Stall/slowdown windows stretch the computation; a crash
+			// mid-job truncates it into a failure at the crash instant.
+			dur = hold + float64(wk.CompLatency) + fs.stretch(float64(start)+hold+float64(wk.CompLatency), stretched)
+			if float64(start)+dur > fs.crashAt {
+				opErr = crashErr(w, fs.crashAt)
+				return units.Seconds(fs.crashAt - float64(start))
+			}
+		}
+		return units.Seconds(dur)
 	}, func(start, end units.Seconds) {
-		done(float64(start), float64(end))
+		done(float64(start), float64(end), opErr)
 	})
 }
 
@@ -177,22 +224,34 @@ func (b *Backend) noise(w int, size float64) float64 {
 // ReturnOutput implements engine.Backend: move output bytes from worker w
 // back to the master over the downlink (FIFO, parallel to the uplink).
 // Zero bytes complete immediately without occupying the downlink.
-func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float64)) {
+func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float64, err error)) {
 	if bytes <= 0 {
 		now := float64(b.eng.Now())
-		b.eng.After(0, func() { done(now, now) })
+		b.eng.After(0, func() { done(now, now, nil) })
 		return
 	}
 	wk := b.platform.Workers[w]
-	b.downlink.Enqueue(func(units.Seconds) units.Seconds {
+	var opErr error
+	b.downlink.Enqueue(func(start units.Seconds) units.Seconds {
 		d := float64(wk.CommLatency) + bytes/float64(wk.Bandwidth)
 		if b.cfg.CommJitter > 0 {
 			d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
 		}
+		if b.faults != nil {
+			fs := &b.faults[w]
+			if fs.crashAt <= float64(start) {
+				opErr = crashErr(w, fs.crashAt)
+				return 0
+			}
+			if float64(start)+d > fs.crashAt {
+				opErr = crashErr(w, fs.crashAt)
+				return units.Seconds(fs.crashAt - float64(start))
+			}
+		}
 		return units.Seconds(d)
 	}, func(start, end units.Seconds) {
 		b.cfg.Metrics.DownlinkBusy(float64(end - start))
-		done(float64(start), float64(end))
+		done(float64(start), float64(end), opErr)
 	})
 }
 

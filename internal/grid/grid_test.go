@@ -51,7 +51,7 @@ func TestTransferDurationExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	var start, end float64
-	b.Transfer(0, 500000, func(s, e float64) { start, end = s, e })
+	b.Transfer(0, 500000, func(s, e float64, _ error) { start, end = s, e })
 	b.Run()
 	// 2 s latency + 500000/1e6 = 0.5 s.
 	if start != 0 || math.Abs(end-2.5) > 1e-12 {
@@ -62,7 +62,7 @@ func TestTransferDurationExact(t *testing.T) {
 func TestEmptyTransferMeasuresLatency(t *testing.T) {
 	b, _ := New(testPlatform(1), testApp(0), Config{Seed: 1})
 	var dur float64
-	b.Transfer(0, 0, func(s, e float64) { dur = e - s })
+	b.Transfer(0, 0, func(s, e float64, _ error) { dur = e - s })
 	b.Run()
 	if math.Abs(dur-2) > 1e-12 {
 		t.Errorf("empty transfer = %g, want the 2 s latency", dur)
@@ -72,7 +72,7 @@ func TestEmptyTransferMeasuresLatency(t *testing.T) {
 func TestExecuteDurationExact(t *testing.T) {
 	b, _ := New(testPlatform(1), testApp(0), Config{Seed: 1})
 	var dur float64
-	b.Execute(0, 100, false, func(s, e float64) { dur = e - s })
+	b.Execute(0, 100, false, func(s, e float64, _ error) { dur = e - s })
 	b.Run()
 	// 0.5 s latency + 100 × 0.1 s = 10.5 s, no noise at γ=0.
 	if math.Abs(dur-10.5) > 1e-12 {
@@ -83,7 +83,7 @@ func TestExecuteDurationExact(t *testing.T) {
 func TestNoopExecuteMeasuresLatency(t *testing.T) {
 	b, _ := New(testPlatform(1), testApp(0.5), Config{Seed: 1})
 	var dur float64
-	b.Execute(0, 0, true, func(s, e float64) { dur = e - s })
+	b.Execute(0, 0, true, func(s, e float64, _ error) { dur = e - s })
 	b.Run()
 	if math.Abs(dur-0.5) > 1e-12 {
 		t.Errorf("no-op = %g, want the 0.5 s latency", dur)
@@ -95,8 +95,8 @@ func TestSpeedScalesCompute(t *testing.T) {
 	p.Workers[1].Speed = 2
 	b, _ := New(p, testApp(0), Config{Seed: 1})
 	var d0, d1 float64
-	b.Execute(0, 100, false, func(s, e float64) { d0 = e - s })
-	b.Execute(1, 100, false, func(s, e float64) { d1 = e - s })
+	b.Execute(0, 100, false, func(s, e float64, _ error) { d0 = e - s })
+	b.Execute(1, 100, false, func(s, e float64, _ error) { d1 = e - s })
 	b.Run()
 	if math.Abs((d0-0.5)/(d1-0.5)-2) > 1e-9 {
 		t.Errorf("2x speed worker: durations %g vs %g", d0, d1)
@@ -107,7 +107,7 @@ func TestWorkerQueueFIFO(t *testing.T) {
 	b, _ := New(testPlatform(1), testApp(0), Config{Seed: 1})
 	var ends []float64
 	for i := 0; i < 3; i++ {
-		b.Execute(0, 100, false, func(s, e float64) { ends = append(ends, e) })
+		b.Execute(0, 100, false, func(s, e float64, _ error) { ends = append(ends, e) })
 	}
 	b.Run()
 	want := []float64{10.5, 21, 31.5}
@@ -123,7 +123,7 @@ func TestComputeNoiseStatistics(t *testing.T) {
 	b, _ := New(testPlatform(1), app, Config{Seed: 7})
 	var durs []float64
 	for i := 0; i < 2000; i++ {
-		b.Execute(0, 100, false, func(s, e float64) { durs = append(durs, e-s-0.5) })
+		b.Execute(0, 100, false, func(s, e float64, _ error) { durs = append(durs, e-s-0.5) })
 	}
 	b.Run()
 	cv := stats.CV(durs)
@@ -142,7 +142,7 @@ func TestPerUnitUncertaintyShrinksWithChunkSize(t *testing.T) {
 	b, _ := New(testPlatform(1), app, Config{Seed: 8})
 	var durs []float64
 	for i := 0; i < 1000; i++ {
-		b.Execute(0, 100, false, func(s, e float64) { durs = append(durs, e-s-0.5) })
+		b.Execute(0, 100, false, func(s, e float64, _ error) { durs = append(durs, e-s-0.5) })
 	}
 	b.Run()
 	cv := stats.CV(durs)
@@ -157,7 +157,7 @@ func TestProbeExecutionsAreNoiseFree(t *testing.T) {
 	b, _ := New(testPlatform(1), app, Config{Seed: 9})
 	var durs []float64
 	for i := 0; i < 50; i++ {
-		b.Execute(0, 100, true, func(s, e float64) { durs = append(durs, e-s) })
+		b.Execute(0, 100, true, func(s, e float64, _ error) { durs = append(durs, e-s) })
 	}
 	b.Run()
 	for _, d := range durs {
@@ -171,8 +171,8 @@ func TestProbeBias(t *testing.T) {
 	app := testApp(0)
 	b, _ := New(testPlatform(1), app, Config{Seed: 1, ProbeBias: 1.2})
 	var probe, real float64
-	b.Execute(0, 100, true, func(s, e float64) { probe = e - s })
-	b.Execute(0, 100, false, func(s, e float64) { real = e - s })
+	b.Execute(0, 100, true, func(s, e float64, _ error) { probe = e - s })
+	b.Execute(0, 100, false, func(s, e float64, _ error) { real = e - s })
 	b.Run()
 	if math.Abs((probe-0.5)/(real-0.5)-1.2) > 1e-9 {
 		t.Errorf("probe bias not applied: probe %g vs real %g", probe, real)
@@ -183,7 +183,7 @@ func TestCommJitter(t *testing.T) {
 	b, _ := New(testPlatform(1), testApp(0), Config{Seed: 3, CommJitter: 0.2})
 	var durs []float64
 	for i := 0; i < 1000; i++ {
-		b.Transfer(0, 1e6, func(s, e float64) { durs = append(durs, e-s) })
+		b.Transfer(0, 1e6, func(s, e float64, _ error) { durs = append(durs, e-s) })
 	}
 	b.Run()
 	if cv := stats.CV(durs); math.Abs(cv-0.2) > 0.03 {
@@ -196,7 +196,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		b, _ := New(testPlatform(2), testApp(0.15), Config{Seed: 42})
 		var out []float64
 		for i := 0; i < 20; i++ {
-			b.Execute(i%2, 50, false, func(s, e float64) { out = append(out, e) })
+			b.Execute(i%2, 50, false, func(s, e float64, _ error) { out = append(out, e) })
 		}
 		b.Run()
 		return out
@@ -213,7 +213,7 @@ func TestSeedChangesNoise(t *testing.T) {
 	run := func(seed uint64) float64 {
 		b, _ := New(testPlatform(1), testApp(0.15), Config{Seed: seed})
 		var end float64
-		b.Execute(0, 50, false, func(s, e float64) { end = e })
+		b.Execute(0, 50, false, func(s, e float64, _ error) { end = e })
 		b.Run()
 		return end
 	}
@@ -225,7 +225,7 @@ func TestSeedChangesNoise(t *testing.T) {
 func TestReturnOutputZeroBytesImmediate(t *testing.T) {
 	b, _ := New(testPlatform(1), testApp(0), Config{Seed: 1})
 	var called bool
-	b.ReturnOutput(0, 0, func(s, e float64) {
+	b.ReturnOutput(0, 0, func(s, e float64, _ error) {
 		called = true
 		if s != e {
 			t.Errorf("zero output took [%g, %g]", s, e)
@@ -240,8 +240,8 @@ func TestReturnOutputZeroBytesImmediate(t *testing.T) {
 func TestReturnOutputSerializesOnDownlink(t *testing.T) {
 	b, _ := New(testPlatform(2), testApp(0), Config{Seed: 1})
 	var ends []float64
-	b.ReturnOutput(0, 1e6, func(s, e float64) { ends = append(ends, e) })
-	b.ReturnOutput(1, 1e6, func(s, e float64) { ends = append(ends, e) })
+	b.ReturnOutput(0, 1e6, func(s, e float64, _ error) { ends = append(ends, e) })
+	b.ReturnOutput(1, 1e6, func(s, e float64, _ error) { ends = append(ends, e) })
 	b.Run()
 	// Each output: 2 s latency + 1 s transfer; serialized: 3 then 6.
 	if len(ends) != 2 || math.Abs(ends[0]-3) > 1e-9 || math.Abs(ends[1]-6) > 1e-9 {
@@ -257,7 +257,7 @@ func TestBackgroundLoadStretchesCompute(t *testing.T) {
 	n := 200
 	done := 0
 	for i := 0; i < n; i++ {
-		b.Execute(0, 100, false, func(s, e float64) {
+		b.Execute(0, 100, false, func(s, e float64, _ error) {
 			total += e - s - 0.5
 			done++
 		})
@@ -280,7 +280,7 @@ func TestBackgroundLoadConservesWork(t *testing.T) {
 	p.Workers[0].Background = &model.BackgroundLoad{MeanOn: 10, MeanOff: 30, Share: 0.9}
 	b, _ := New(p, testApp(0), Config{Seed: 12})
 	for i := 0; i < 100; i++ {
-		b.Execute(0, 100, false, func(s, e float64) {
+		b.Execute(0, 100, false, func(s, e float64, _ error) {
 			if e-s < 10.5-1e-9 {
 				t.Errorf("stretched duration %g below base 10.5", e-s)
 			}
@@ -310,7 +310,7 @@ func TestWorkersAndNow(t *testing.T) {
 	if b.Now() != 0 {
 		t.Errorf("initial Now = %g", b.Now())
 	}
-	b.Transfer(0, 1e6, func(s, e float64) {})
+	b.Transfer(0, 1e6, func(s, e float64, _ error) {})
 	b.Run()
 	if b.Now() <= 0 {
 		t.Error("clock did not advance")

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"net/rpc"
 	"sync"
@@ -23,13 +24,20 @@ type WorkerConn struct {
 }
 
 // Backend is the live engine.Backend: real RPC, real bytes, real CPU.
+//
+// Operation failures (broken connection, worker crash, RPC timeout) are
+// reported per-operation through the done callbacks, so the engine's
+// retry layer can re-dispatch the chunk to a surviving worker instead
+// of the whole run dying with the first worker. The first error is
+// also retained for Err().
 type Backend struct {
-	clients []*rpc.Client
-	nets    []NetModel
-	t0      time.Time
+	t0 time.Time
 
 	mu      sync.Mutex
+	clients []*rpc.Client
+	nets    []NetModel
 	stopped bool
+	closed  bool
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
 	err     error
@@ -39,6 +47,11 @@ type Backend struct {
 
 	// FragmentSize is the Store fragment granularity (default 256 KiB).
 	FragmentSize int
+	// CallTimeout bounds each RPC round-trip; a call that exceeds it
+	// fails with a deadline error (the connection is closed so the
+	// abandoned call cannot complete later and confuse the worker's
+	// FIFO). 0 disables the bound.
+	CallTimeout time.Duration
 }
 
 // Dial connects to the given workers.
@@ -51,13 +64,15 @@ func Dial(workers []WorkerConn) (*Backend, error) {
 	for _, w := range workers {
 		c, err := rpc.Dial("tcp", w.Addr)
 		if err != nil {
-			b.closeAll()
+			b.Close()
 			return nil, fmt.Errorf("live: dial %s: %w", w.Addr, err)
 		}
+		b.mu.Lock()
 		b.clients = append(b.clients, c)
 		b.nets = append(b.nets, w.Net)
+		b.mu.Unlock()
 	}
-	if len(b.clients) == 0 {
+	if b.Workers() == 0 {
 		return nil, fmt.Errorf("live: no workers")
 	}
 	return b, nil
@@ -91,23 +106,62 @@ func Cluster(n, workPerUnit int, netModel NetModel) (*Backend, []*WorkerService,
 		cleanup()
 		return nil, nil, nil, err
 	}
-	all := func() { b.closeAll(); cleanup() }
+	all := func() { b.Close(); cleanup() }
 	return b, services, all, nil
 }
 
-func (b *Backend) closeAll() {
-	for _, c := range b.clients {
-		if c != nil {
-			c.Close()
-		}
+// Close shuts every worker connection down and reports the joined close
+// errors. It is idempotent and safe to race with in-flight operations:
+// connection teardown happens under the backend mutex, and calls racing
+// a Close observe RPC errors through their own done callbacks.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closeAllLocked()
+}
+
+// closeAllLocked closes every live connection, joining the per-
+// connection close errors instead of discarding them (a lost FIN on a
+// wedged connection used to vanish silently here). Caller holds the
+// mutex.
+func (b *Backend) closeAllLocked() error {
+	if b.closed {
+		return nil
 	}
+	b.closed = true
+	var errs []error
+	for i, c := range b.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && !errors.Is(err, rpc.ErrShutdown) {
+			errs = append(errs, fmt.Errorf("live: close worker %d: %w", i, err))
+		}
+		b.clients[i] = nil
+	}
+	return errors.Join(errs...)
+}
+
+// client returns worker w's connection, or an error once the backend is
+// closed.
+func (b *Backend) client(w int) (*rpc.Client, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.clients[w] == nil {
+		return nil, fmt.Errorf("live: worker %d connection closed", w)
+	}
+	return b.clients[w], nil
 }
 
 // Now implements engine.Backend: seconds since the backend started.
 func (b *Backend) Now() float64 { return time.Since(b.t0).Seconds() }
 
 // Workers implements engine.Backend.
-func (b *Backend) Workers() int { return len(b.clients) }
+func (b *Backend) Workers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.clients)
+}
 
 // Run implements engine.Backend: block until Stop, then drain callbacks.
 func (b *Backend) Run() {
@@ -125,6 +179,12 @@ func (b *Backend) Stop() {
 	}
 }
 
+// AfterFunc implements engine.Timer on the wall clock.
+func (b *Backend) AfterFunc(d float64, fn func()) (cancel func()) {
+	t := time.AfterFunc(time.Duration(d*float64(time.Second)), fn)
+	return func() { t.Stop() }
+}
+
 // Err returns the first transport error observed.
 func (b *Backend) Err() error {
 	b.mu.Lock()
@@ -132,13 +192,39 @@ func (b *Backend) Err() error {
 	return b.err
 }
 
-func (b *Backend) fail(err error) {
+// opFailed records an operation error for Err() and returns it for the
+// done callback. Unlike the pre-retry backend it does NOT stop the run:
+// the engine decides whether a failure is fatal.
+func (b *Backend) opFailed(err error) error {
 	b.mu.Lock()
 	if b.err == nil {
 		b.err = err
 	}
 	b.mu.Unlock()
-	b.Stop()
+	return err
+}
+
+// call performs one RPC bounded by CallTimeout.
+func (b *Backend) call(w int, method string, args, reply interface{}) error {
+	c, err := b.client(w)
+	if err != nil {
+		return err
+	}
+	if b.CallTimeout <= 0 {
+		return c.Call(method, args, reply)
+	}
+	done := c.Go(method, args, reply, make(chan *rpc.Call, 1)).Done
+	timer := time.NewTimer(b.CallTimeout)
+	defer timer.Stop()
+	select {
+	case call := <-done:
+		return call.Error
+	case <-timer.C:
+		// Abandon the call: close the connection so the stale reply can
+		// never be mistaken for a later call's.
+		c.Close()
+		return fmt.Errorf("live: %s on worker %d exceeded %v deadline", method, w, b.CallTimeout)
+	}
 }
 
 func (b *Backend) nextChunk() int64 {
@@ -151,7 +237,7 @@ func (b *Backend) nextChunk() int64 {
 // Transfer implements engine.Backend: move `bytes` of real data to the
 // worker over RPC, paced by the worker's network model. The engine
 // guarantees serialization (one outstanding Transfer).
-func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64)) {
+func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, err error)) {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
@@ -175,8 +261,8 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64)) 
 			}
 			args := StoreArgs{Chunk: int(chunk), Data: buf[:n], Last: n == remaining}
 			var reply StoreReply
-			if err := b.clients[w].Call("Worker.Store", args, &reply); err != nil {
-				b.fail(fmt.Errorf("live: store on worker %d: %w", w, err))
+			if err := b.call(w, "Worker.Store", args, &reply); err != nil {
+				done(start, b.Now(), b.opFailed(fmt.Errorf("live: store on worker %d: %w", w, err)))
 				return
 			}
 			remaining -= n
@@ -188,38 +274,38 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64)) 
 				break
 			}
 		}
-		done(start, b.Now())
+		done(start, b.Now(), nil)
 	}()
 }
 
 // Execute implements engine.Backend: RPC the worker's compute loop.
 // FIFO ordering comes from the worker's internal mutex.
-func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64)) {
+func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64, err error)) {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
 		start := b.Now()
 		args := ComputeArgs{Chunk: int(b.nextChunk()), Units: size, Probe: probe}
 		var reply ComputeReply
-		if err := b.clients[w].Call("Worker.Compute", args, &reply); err != nil {
-			b.fail(fmt.Errorf("live: compute on worker %d: %w", w, err))
+		if err := b.call(w, "Worker.Compute", args, &reply); err != nil {
+			done(start, b.Now(), b.opFailed(fmt.Errorf("live: compute on worker %d: %w", w, err)))
 			return
 		}
-		done(start, b.Now())
+		done(start, b.Now(), nil)
 	}()
 }
 
 // ReturnOutput implements engine.Backend: fetch output bytes back.
-func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float64)) {
+func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float64, err error)) {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
 		start := b.Now()
 		var reply FetchReply
-		if err := b.clients[w].Call("Worker.Fetch", FetchArgs{Bytes: int(bytes)}, &reply); err != nil {
-			b.fail(fmt.Errorf("live: fetch from worker %d: %w", w, err))
+		if err := b.call(w, "Worker.Fetch", FetchArgs{Bytes: int(bytes)}, &reply); err != nil {
+			done(start, b.Now(), b.opFailed(fmt.Errorf("live: fetch from worker %d: %w", w, err)))
 			return
 		}
-		done(start, b.Now())
+		done(start, b.Now(), nil)
 	}()
 }

@@ -81,7 +81,7 @@ func TestServeAndDial(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(1)
-	b.Execute(0, 5, false, func(s, e float64) {
+	b.Execute(0, 5, false, func(s, e float64, _ error) {
 		if e < s {
 			t.Errorf("timeline [%g, %g]", s, e)
 		}
@@ -113,7 +113,7 @@ func TestTransferMovesRealBytes(t *testing.T) {
 	defer cleanup()
 	var wg sync.WaitGroup
 	wg.Add(1)
-	b.Transfer(0, 1<<20, func(s, e float64) { wg.Done() })
+	b.Transfer(0, 1<<20, func(s, e float64, _ error) { wg.Done() })
 	wg.Wait()
 	if got := services[0].BytesReceived(); got != 1<<20 {
 		t.Errorf("worker received %d bytes, want %d", got, 1<<20)
@@ -129,7 +129,7 @@ func TestNetModelPacesTransfers(t *testing.T) {
 	var dur float64
 	var wg sync.WaitGroup
 	wg.Add(1)
-	b.Transfer(0, 1<<20, func(s, e float64) { dur = e - s; wg.Done() })
+	b.Transfer(0, 1<<20, func(s, e float64, _ error) { dur = e - s; wg.Done() })
 	wg.Wait()
 	// 30 ms latency + 1 MiB at 10 MiB/s = 100 ms → at least 120 ms.
 	if dur < 0.12 {

@@ -1,0 +1,114 @@
+package live
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCloseIsIdempotentAndJoinsErrors(t *testing.T) {
+	svc := NewWorkerService(1, 1)
+	addr, stop, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	b, err := Dial([]WorkerConn{{Addr: addr}, {Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("clean close of healthy connections: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("second Close must be a no-op, got: %v", err)
+	}
+	// After close, operations fail through their callbacks instead of
+	// panicking on a nil connection.
+	done := make(chan error, 1)
+	b.Transfer(0, 100, func(_, _ float64, err error) { done <- err })
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("transfer after Close: err = %v, want connection-closed error", err)
+	}
+}
+
+func TestCloseRacesInFlightOperations(t *testing.T) {
+	// Close while transfers/computes are in flight: nothing may panic or
+	// deadlock, and every callback must fire exactly once (wg balance is
+	// checked by Run returning). Run under -race this also exercises the
+	// clients-slice locking.
+	svc := NewWorkerService(1, 1)
+	addr, stop, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	b, err := Dial([]WorkerConn{{Addr: addr}, {Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 20
+	var fired sync.WaitGroup
+	fired.Add(3 * ops)
+	cb := func(_, _ float64, _ error) { fired.Done() }
+	for i := 0; i < ops; i++ {
+		b.Transfer(i%2, 4096, cb)
+		b.Execute(i%2, 1, false, cb)
+		b.ReturnOutput(i%2, 64, cb)
+	}
+	go b.Close()
+	waitDone := make(chan struct{})
+	go func() { fired.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("callbacks did not all fire after racing Close")
+	}
+	b.Stop()
+	b.Run() // drains the op goroutines; hangs if wg is unbalanced
+}
+
+func TestDialFailureClosesPartialConnections(t *testing.T) {
+	svc := NewWorkerService(1, 1)
+	addr, stop, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// Second address refuses connections: Dial must fail and release the
+	// first connection rather than leaking it.
+	if _, err := Dial([]WorkerConn{{Addr: addr}, {Addr: "127.0.0.1:1"}}); err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	}
+}
+
+func TestCallTimeoutFailsSlowRPC(t *testing.T) {
+	// A worker that takes longer than CallTimeout must surface a
+	// deadline error through the done callback instead of wedging the
+	// run forever.
+	svc := NewWorkerService(200000, 1) // heavy per-unit work
+	addr, stop, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	b, err := Dial([]WorkerConn{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.CallTimeout = 10 * time.Millisecond
+	done := make(chan error, 1)
+	b.Execute(0, 1e7, false, func(_, _ float64, err error) { done <- err })
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "deadline") {
+			t.Errorf("slow compute: err = %v, want deadline error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow RPC never timed out")
+	}
+	b.Stop()
+	b.Run()
+}

@@ -49,6 +49,20 @@ const (
 	// serialized master uplink.
 	UplinkBusy EventType = "uplink_busy"
 	UplinkIdle EventType = "uplink_idle"
+	// ChunkTimeout records a chunk attempt whose stage deadline (derived
+	// from the algorithm's own cost estimates) expired before the
+	// backend reported completion. Dur carries the expired deadline.
+	ChunkTimeout EventType = "chunk_timeout"
+	// ChunkRetry records a failed chunk attempt whose load was returned
+	// to the pool for re-dispatch to a surviving worker. Attempt is the
+	// attempt that failed; Err the cause.
+	ChunkRetry EventType = "chunk_retry"
+	// WorkerBlacklisted marks a worker removed from service after
+	// repeated consecutive failures (the retry policy's BlacklistAfter).
+	WorkerBlacklisted EventType = "worker_blacklisted"
+	// WorkerLost summarizes one worker's removal: Size is the total load
+	// pulled back from its in-flight chunks, Workers the surviving count.
+	WorkerLost EventType = "worker_lost"
 	// RunFinished closes the stream (success or failure).
 	RunFinished EventType = "run_finished"
 )
@@ -74,6 +88,11 @@ type Event struct {
 	Size   float64 `json:"size,omitempty"`
 	Bytes  float64 `json:"bytes,omitempty"`
 	Probe  bool    `json:"probe,omitempty"`
+	// Attempt is the dispatch attempt for retried chunks (set only when
+	// ≥ 2 on Dispatch/ChunkDone, always on ChunkRetry). First attempts
+	// omit it, so zero-fault streams are byte-identical to streams from
+	// engines that predate the retry layer.
+	Attempt int `json:"attempt,omitempty"`
 
 	// Chunk timeline (ChunkDone).
 	SendStart float64 `json:"send_start,omitempty"`

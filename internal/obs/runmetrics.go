@@ -14,6 +14,13 @@ type RunMetrics struct {
 	UplinkBusySeconds *Counter
 	TransferSeconds   *Histogram
 	ComputeSeconds    *Histogram
+	// Fault-path counters: stage-deadline expiries, chunk attempts
+	// returned for re-dispatch (with the load they carried), and workers
+	// removed from service.
+	ChunkTimeouts *Counter
+	ChunkRetries  *Counter
+	LoadRetried   *Counter
+	WorkersLost   *Counter
 }
 
 // NewRunMetrics registers the engine metric set under the apstdv_
@@ -29,6 +36,10 @@ func NewRunMetrics(r *Registry) *RunMetrics {
 		UplinkBusySeconds: r.Counter("apstdv_uplink_busy_seconds_total", "Seconds the serialized master uplink spent transferring."),
 		TransferSeconds:   r.Histogram("apstdv_chunk_transfer_seconds", "Per-chunk uplink transfer time.", DurationBuckets),
 		ComputeSeconds:    r.Histogram("apstdv_chunk_compute_seconds", "Per-chunk worker compute time.", DurationBuckets),
+		ChunkTimeouts:     r.Counter("apstdv_chunk_timeouts_total", "Chunk attempts abandoned after a stage deadline expired."),
+		ChunkRetries:      r.Counter("apstdv_chunk_retries_total", "Failed chunk attempts returned for re-dispatch."),
+		LoadRetried:       r.Counter("apstdv_load_retried_total", "Load units pulled back from failed attempts."),
+		WorkersLost:       r.Counter("apstdv_workers_lost_total", "Workers removed from service by the retry policy."),
 	}
 }
 
@@ -74,6 +85,31 @@ func (m *RunMetrics) Recalibrated() {
 		return
 	}
 	m.Recalibrations.Inc()
+}
+
+// ChunkTimedOut records one stage-deadline expiry.
+func (m *RunMetrics) ChunkTimedOut() {
+	if m == nil {
+		return
+	}
+	m.ChunkTimeouts.Inc()
+}
+
+// ChunkRetried records one failed attempt queued for re-dispatch.
+func (m *RunMetrics) ChunkRetried(size float64) {
+	if m == nil {
+		return
+	}
+	m.ChunkRetries.Inc()
+	m.LoadRetried.Add(size)
+}
+
+// WorkerRemoved records one worker leaving service.
+func (m *RunMetrics) WorkerRemoved() {
+	if m == nil {
+		return
+	}
+	m.WorkersLost.Inc()
 }
 
 // GridMetrics is the simulated backend's metric set: queue pressure and

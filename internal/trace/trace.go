@@ -27,6 +27,14 @@ type Record struct {
 	// OutputEnd is when the chunk's output arrived back at the master
 	// (equal to CompEnd when the application returns no output).
 	OutputEnd float64
+	// Attempt is the dispatch attempt this record describes (1-based; 0
+	// in records predating the retry layer, which means "first").
+	Attempt int
+	// Failed marks an abandoned attempt: the timeline holds whatever
+	// stages completed before the failure, and OutputEnd the failure
+	// time. Failed records are excluded from load/utilization
+	// aggregates; the chunk's completing attempt appears separately.
+	Failed bool
 }
 
 // TransferTime returns the chunk's time on the uplink.
@@ -95,6 +103,10 @@ type Report struct {
 	// IdleFront is the mean per-worker idle time before the first real
 	// chunk starts computing (the serialized-distribution stagger).
 	IdleFront float64
+	// FailedAttempts counts abandoned chunk attempts (retries and
+	// permanent losses); RetriedLoad is the load those attempts carried.
+	FailedAttempts int
+	RetriedLoad    float64
 	// ProbeEnd is when the probing round finished (0 for non-probing
 	// algorithms); AppMakespan is the makespan net of probing — §3.5's
 	// probing is in-band, so both views matter when comparing probing
@@ -126,6 +138,13 @@ func (t *Trace) BuildReport(workers int) Report {
 	var comm []interval
 	var comp []interval
 	for _, r := range t.recs {
+		if r.Failed {
+			// Abandoned attempts never delivered output; counting them
+			// would double the chunk's load once the retry completes.
+			rep.FailedAttempts++
+			rep.RetriedLoad += r.Size
+			continue
+		}
 		if r.Probe {
 			rep.Probes++
 			if r.CompEnd > rep.ProbeEnd {
@@ -243,6 +262,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"chunk", "worker", "offset", "size", "probe",
 		"send_start", "send_end", "comp_start", "comp_end", "output_end",
+		"attempt", "failed",
 	}); err != nil {
 		return err
 	}
@@ -252,6 +272,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Chunk), strconv.Itoa(r.Worker),
 			f(r.Offset), f(r.Size), strconv.FormatBool(r.Probe),
 			f(r.SendStart), f(r.SendEnd), f(r.CompStart), f(r.CompEnd), f(r.OutputEnd),
+			strconv.Itoa(r.Attempt), strconv.FormatBool(r.Failed),
 		})
 		if err != nil {
 			return err

@@ -3,10 +3,12 @@
 # observability layer's overhead.
 #
 # Runs BenchmarkRunnerParallelism (the same Figure 2 workload at pool
-# width 1 and at one worker per CPU) plus BenchmarkObsOverhead (the
-# same simulated run with no sink, the no-op sink, and a ring sink with
-# full metrics) and writes BENCH_<n>.json at the repository root, so
-# the perf trajectory is tracked PR over PR:
+# width 1 and at one worker per CPU), BenchmarkObsOverhead (the same
+# simulated run with no sink, the no-op sink, and a ring sink with full
+# metrics), and BenchmarkFaultPathOverhead (the chunk-lifecycle retry
+# layer disabled, armed-but-idle, and exercised by a crash) and writes
+# BENCH_<n>.json at the repository root, so the perf trajectory is
+# tracked PR over PR:
 #
 #   scripts/bench.sh        # writes BENCH_1.json
 #   scripts/bench.sh 7      # writes BENCH_7.json
@@ -17,7 +19,8 @@ n="${1:-1}"
 out="BENCH_${n}.json"
 
 raw=$(go test -run '^$' -bench '^BenchmarkRunnerParallelism$' -benchtime 3x .
-      go test -run '^$' -bench '^BenchmarkObsOverhead$' -benchtime 200x .)
+      go test -run '^$' -bench '^BenchmarkObsOverhead$' -benchtime 200x .
+      go test -run '^$' -bench '^BenchmarkFaultPathOverhead$' -benchtime 200x .)
 echo "$raw"
 
 echo "$raw" | awk -v out="$out" '
@@ -35,6 +38,13 @@ echo "$raw" | awk -v out="$out" '
     sub(/-[0-9]+$/, "", parts[2])
     sink = substr(parts[2], index(parts[2], "=") + 1)
     obs[sink] = $3
+}
+/^BenchmarkFaultPathOverhead\// {
+    # e.g. BenchmarkFaultPathOverhead/retry=idle-8   3   1520295 ns/op
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    mode = substr(parts[2], index(parts[2], "=") + 1)
+    fault[mode] = $3
 }
 /^cpu: / { sub(/^cpu: /, ""); cpu = $0 }
 END {
@@ -56,6 +66,14 @@ END {
         printf "    \"ring_ns_per_op\": %s,\n", obs["ring"] > out
         printf "    \"nop_overhead_pct\": %.1f,\n", (obs["none"] > 0 ? (obs["nop"] / obs["none"] - 1) * 100 : 0) > out
         printf "    \"ring_overhead_pct\": %.1f\n  }", (obs["none"] > 0 ? (obs["ring"] / obs["none"] - 1) * 100 : 0) > out
+    }
+    if ("off" in fault) {
+        printf ",\n  \"fault_path\": {\n" > out
+        printf "    \"retry_off_ns_per_op\": %s,\n", fault["off"] > out
+        printf "    \"retry_idle_ns_per_op\": %s,\n", fault["idle"] > out
+        printf "    \"retry_crash_ns_per_op\": %s,\n", fault["crash"] > out
+        printf "    \"idle_overhead_pct\": %.1f,\n", (fault["off"] > 0 ? (fault["idle"] / fault["off"] - 1) * 100 : 0) > out
+        printf "    \"crash_overhead_pct\": %.1f\n  }", (fault["off"] > 0 ? (fault["crash"] / fault["off"] - 1) * 100 : 0) > out
     }
     printf "\n}\n" > out
 }
