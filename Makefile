@@ -5,12 +5,13 @@
 
 GO ?= go
 
-# Fuzz targets in internal/divide; each gets a short smoke run in
-# `make check` (go test -fuzz accepts exactly one target per run).
-FUZZ_TARGETS = FuzzUniformCutAfter FuzzIndexCutAfter FuzzContinuousCutAfter \
-               FuzzWorkUnitsCutAfter FuzzScanSeparators
+# Fuzz targets, written as package:Target; each gets a short smoke run
+# in `make check` (go test -fuzz accepts exactly one target per run).
+FUZZ_TARGETS = divide:FuzzUniformCutAfter divide:FuzzIndexCutAfter \
+               divide:FuzzContinuousCutAfter divide:FuzzWorkUnitsCutAfter \
+               divide:FuzzScanSeparators sim:FuzzHeapInvariant
 
-.PHONY: all build vet test race race-fault fuzz-smoke lint check bench
+.PHONY: all build vet test race race-fault fuzz-smoke bench-smoke lint check bench
 
 all: check
 
@@ -34,14 +35,23 @@ race-fault:
 	$(GO) test -race -run 'Fault|Retry|Blacklist|Lifecycle|Crash|Stall|Close|CallTimeout' \
 		./internal/engine ./internal/grid ./internal/live
 
-# fuzz-smoke gives every divider fuzz target a 2-second run: long
-# enough to catch a freshly broken invariant, short enough for every
-# `make check`.
+# fuzz-smoke gives every fuzz target a 2-second run: long enough to
+# catch a freshly broken invariant, short enough for every `make check`.
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz-smoke: $$t"; \
-		$(GO) test ./internal/divide/ -run '^$$' -fuzz "^$$t$$" -fuzztime 2s || exit 1; \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "fuzz-smoke: $$pkg/$$target"; \
+		$(GO) test ./internal/$$pkg/ -run '^$$' -fuzz "^$$target$$" -fuzztime 2s || exit 1; \
 	done
+
+# bench-smoke compiles and briefly executes the hot-path benchmarks,
+# including the paired-overhead ones bench.sh records (100 fixed
+# iterations, no race detector — the point is that they still run, not
+# their timings), so a refactor that breaks the perf harness fails
+# `make check` instead of the next bench run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^(BenchmarkSimEngineEvents|BenchmarkObsOverhead(Paired)?|BenchmarkFaultPathOverhead(Paired)?)$$' \
+		-benchtime 100x .
 
 # lint runs go vet always, and staticcheck when a binary is available
 # (PATH or GOPATH/bin). It never downloads anything: offline
@@ -59,7 +69,7 @@ lint: vet
 		echo "lint: (install with: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-check: build vet race race-fault fuzz-smoke lint
+check: build vet race race-fault fuzz-smoke bench-smoke lint
 
 # bench records the runner's sequential-vs-parallel wall time and the
 # observability layer's overhead into BENCH_<n>.json (see

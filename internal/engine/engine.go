@@ -59,16 +59,31 @@ type Backend interface {
 // (the live runtime); the simulator simply drains its event queue.
 type Stopper interface{ Stop() }
 
+// TimerID identifies a timer armed through a Timer backend; 0 means "no
+// timer". It is an alias for uint64 so backends can implement Timer
+// without importing this package (the engine's own tests depend on the
+// backends, so the reverse import would cycle).
+type TimerID = uint64
+
 // Timer is an optional Backend interface giving the engine one-shot
 // timers on the backend clock, used to arm per-chunk stage deadlines.
-// The simulator implements it on the virtual clock (so deadlines are
-// deterministic), the live runtime on the wall clock. A backend without
-// Timer still runs under a retry policy — failures are then detected
-// only when the backend reports them, never by deadline.
+// The simulator implements it on the virtual clock over a timer wheel
+// (so deadlines are deterministic and the armed-then-cancelled common
+// case is O(1) with no allocation), the live runtime on the wall clock.
+// A backend without Timer still runs under a retry policy — failures
+// are then detected only when the backend reports them, never by
+// deadline.
 type Timer interface {
-	// AfterFunc calls fn once d seconds of backend time have elapsed and
-	// returns a cancel function. Cancelled timers never fire.
-	AfterFunc(d float64, fn func()) (cancel func())
+	// AfterFunc arms fn to run once d seconds of backend time have
+	// elapsed and returns an id for CancelTimer. fn receives that same
+	// id, so one long-lived handler can serve every timer the caller
+	// arms and fence stale firings by id comparison — on the simulated
+	// clock a cancelled timer never fires, but wall-clock backends may
+	// race a concurrent firing, and ids are never reused.
+	AfterFunc(d float64, fn func(id TimerID)) TimerID
+	// CancelTimer disarms an armed timer. Cancelling a zero, fired, or
+	// stale id is a no-op.
+	CancelTimer(id TimerID)
 }
 
 // Divider aligns requested cut points to the application's valid ones.
@@ -153,6 +168,7 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 		met:      cfg.Metrics,
 	}
 	e.switchObs, _ = alg.(dls.SwitchObservable)
+	e.sinkPtr, _ = cfg.Events.(obs.PtrSink)
 	e.remaining = e.total
 	n := b.Workers()
 	e.pending = make([]float64, n)
@@ -165,6 +181,11 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 		e.retryOn = true
 		e.retry = cfg.Retry.withDefaults()
 		e.timer, _ = b.(Timer)
+		if e.timer != nil {
+			// One handler serves every deadline (see onDeadline), so
+			// arming a timer never builds a closure.
+			e.timeoutFn = e.onDeadline
+		}
 		e.lossAware, _ = alg.(dls.WorkerLossAware)
 	}
 	if cfg.ProbeLoad <= 0 {
@@ -241,6 +262,7 @@ type execution struct {
 	retryOn    bool
 	retry      RetryPolicy
 	timer      Timer
+	timeoutFn  func(TimerID) // onDeadline as a method value, built once
 	ests       []model.Estimate
 	dests      []model.Estimate // deadline estimates (see plan)
 	lossAware  dls.WorkerLossAware
@@ -259,10 +281,14 @@ type execution struct {
 	err          error
 	stopNotified bool
 
-	// Observability: the event sink (nil = disabled), live metrics
-	// (nil = disabled), the emission sequence counter, and the cached
-	// switch-decision drain interface.
+	// Observability: the event sink (nil = disabled), its optional
+	// pointer fast path (checked once at setup), the scratch event that
+	// path emits through (guarded by mu, so one per execution suffices),
+	// live metrics (nil = disabled), the emission sequence counter, and
+	// the cached switch-decision drain interface.
 	sink      obs.Sink
+	sinkPtr   obs.PtrSink
+	scratch   obs.Event
 	met       *obs.RunMetrics
 	eventSeq  int64
 	switchObs dls.SwitchObservable
@@ -270,7 +296,12 @@ type execution struct {
 
 // emit stamps and forwards one event: sequence numbers are dense in
 // emission order and the timestamp is the backend clock, which is what
-// keeps simulated streams byte-deterministic. Caller holds the mutex.
+// keeps simulated streams byte-deterministic. Sinks with a pointer fast
+// path receive the execution's scratch event instead of a fresh ~300-
+// byte value on the interface boundary, which keeps the hot path
+// allocation-free; delivery stays per-event so live tails see each
+// event as it happens. Caller holds the mutex, which is also what
+// guards the scratch.
 func (e *execution) emit(ev obs.Event) {
 	if e.sink == nil {
 		return
@@ -278,6 +309,11 @@ func (e *execution) emit(ev obs.Event) {
 	ev.Seq = e.eventSeq
 	e.eventSeq++
 	ev.T = e.backend.Now()
+	if e.sinkPtr != nil {
+		e.scratch = ev
+		e.sinkPtr.EmitPtr(&e.scratch)
+		return
+	}
 	e.sink.Emit(ev)
 }
 

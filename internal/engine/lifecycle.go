@@ -70,8 +70,14 @@ type chunk struct {
 	// epoch increments every time the attempt is (re)launched or
 	// abandoned; callbacks and timers capture it and no-op on mismatch.
 	epoch int
-	// cancelTimer stops the current stage's deadline, when armed.
-	cancelTimer func()
+	// Deadline state for the current stage: the backend timer id, the
+	// armed duration (for the timeout event/error), and whether a
+	// deadline is currently armed. The handler itself is shared by the
+	// whole execution (see onDeadline) and matches firings to chunks by
+	// id, so arming a deadline allocates nothing.
+	deadline      TimerID
+	deadlineDur   float64
+	deadlineArmed bool
 }
 
 // launch starts (or restarts) a chunk attempt: the bookkeeping —

@@ -88,6 +88,45 @@ func (e *execution) returnEstimate(c *chunk) float64 {
 	return est.CommLatency + c.size*est.UnitComm*ratio
 }
 
+// onDeadline is the execution's single stage-timeout handler: every
+// deadline armed by armDeadline fires through this one method value,
+// identified by the timer id the backend hands back. The firing is
+// matched to the in-flight chunk whose armed deadline carries that id;
+// ids are never reused, so a firing from a cancelled or re-armed
+// deadline matches nothing and no-ops — on the simulated clock a
+// cancelled timer never fires at all, and on the wall clock a racing
+// firing is fenced here. Timeouts are rare (faults, stalls), so the
+// O(in-flight) scan is off the hot path.
+func (e *execution) onDeadline(id TimerID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	var c *chunk
+	for _, cand := range e.chunks {
+		if cand.deadlineArmed && cand.deadline == id {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		return // stale firing: the deadline was cancelled or re-armed
+	}
+	c.deadlineArmed = false
+	c.deadline = 0
+	d := c.deadlineDur
+	e.emit(obs.Event{
+		Type: obs.ChunkTimeout, Worker: c.worker, Chunk: c.id,
+		Size: c.size, Dur: d, Attempt: c.attempt,
+	})
+	e.met.ChunkTimedOut()
+	e.chunkFailed(c,
+		fmt.Errorf("stage %s exceeded its %.3gs deadline", c.state, d),
+		c.state == stateTransferring)
+	e.tryDispatch()
+}
+
 // armDeadline starts the current stage's deadline timer, derived from
 // the algorithm's cost estimate for the stage. No-op without a retry
 // policy or a Timer-capable backend. Caller holds the mutex.
@@ -95,32 +134,19 @@ func (e *execution) armDeadline(c *chunk, estimate float64) {
 	if !e.retryOn || e.timer == nil {
 		return
 	}
-	deadline := e.retry.TimeoutFactor*estimate + e.retry.MinTimeout
-	epoch := c.epoch
-	c.cancelTimer = e.timer.AfterFunc(deadline, func() {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		if c.epoch != epoch || e.err != nil {
-			return
-		}
-		e.emit(obs.Event{
-			Type: obs.ChunkTimeout, Worker: c.worker, Chunk: c.id,
-			Size: c.size, Dur: deadline, Attempt: c.attempt,
-		})
-		e.met.ChunkTimedOut()
-		e.chunkFailed(c,
-			fmt.Errorf("stage %s exceeded its %.3gs deadline", c.state, deadline),
-			c.state == stateTransferring)
-		e.tryDispatch()
-	})
+	d := e.retry.TimeoutFactor*estimate + e.retry.MinTimeout
+	c.deadlineDur = d
+	c.deadlineArmed = true
+	c.deadline = e.timer.AfterFunc(d, e.timeoutFn)
 }
 
 // cancelDeadline stops the armed stage deadline, if any. Caller holds
 // the mutex.
 func (e *execution) cancelDeadline(c *chunk) {
-	if c.cancelTimer != nil {
-		c.cancelTimer()
-		c.cancelTimer = nil
+	if c.deadlineArmed {
+		c.deadlineArmed = false
+		e.timer.CancelTimer(c.deadline)
+		c.deadline = 0
 	}
 }
 

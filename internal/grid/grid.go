@@ -49,6 +49,7 @@ type Config struct {
 // Backend simulates a Platform executing an Application.
 type Backend struct {
 	eng      *sim.Engine
+	timers   *sim.Timers
 	platform *model.Platform
 	app      *model.Application
 	cfg      Config
@@ -83,6 +84,7 @@ func New(p *model.Platform, a *model.Application, cfg Config) (*Backend, error) 
 	eng := sim.New()
 	b := &Backend{
 		eng:      eng,
+		timers:   sim.NewTimers(eng, 0),
 		platform: p,
 		app:      a,
 		cfg:      cfg,
@@ -119,10 +121,18 @@ func (b *Backend) Run() { b.eng.Run() }
 
 // AfterFunc implements engine.Timer on the virtual clock, so engine
 // stage deadlines are as deterministic as everything else in the
-// simulation. Cancelled timers leave no trace in the event stream.
-func (b *Backend) AfterFunc(d float64, fn func()) (cancel func()) {
-	h := b.eng.After(units.Seconds(d), fn)
-	return h.Cancel
+// simulation. Timers go through the hierarchical timer wheel
+// (sim.Timers): a deadline armed and then cancelled on normal stage
+// completion — the overwhelmingly common case — costs O(1) and
+// allocates nothing, instead of churning the event heap.
+func (b *Backend) AfterFunc(d float64, fn func(uint64)) uint64 {
+	return b.timers.After(units.Seconds(d), fn)
+}
+
+// CancelTimer implements engine.Timer. Cancelled timers leave no trace
+// in the event stream.
+func (b *Backend) CancelTimer(id uint64) {
+	b.timers.Cancel(id)
 }
 
 // Transfer implements engine.Backend: move bytes to worker w over the

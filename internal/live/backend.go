@@ -45,6 +45,12 @@ type Backend struct {
 	chunkSeq int64
 	seqMu    sync.Mutex
 
+	// Wall-clock deadline timers armed through the engine.Timer
+	// interface, keyed by the ids AfterFunc hands out.
+	timerMu  sync.Mutex
+	timerSeq uint64
+	timers   map[uint64]*time.Timer
+
 	// FragmentSize is the Store fragment granularity (default 256 KiB).
 	FragmentSize int
 	// CallTimeout bounds each RPC round-trip; a call that exceeds it
@@ -179,10 +185,38 @@ func (b *Backend) Stop() {
 	}
 }
 
-// AfterFunc implements engine.Timer on the wall clock.
-func (b *Backend) AfterFunc(d float64, fn func()) (cancel func()) {
-	t := time.AfterFunc(time.Duration(d*float64(time.Second)), fn)
-	return func() { t.Stop() }
+// AfterFunc implements engine.Timer on the wall clock. The returned id
+// is valid for CancelTimer until the timer fires; a firing and a
+// concurrent cancel may race, which the engine tolerates (ids are
+// never reused, and its timeout handler matches firings to armed
+// deadlines by id under its own lock).
+func (b *Backend) AfterFunc(d float64, fn func(uint64)) uint64 {
+	b.timerMu.Lock()
+	b.timerSeq++
+	id := b.timerSeq
+	if b.timers == nil {
+		b.timers = make(map[uint64]*time.Timer)
+	}
+	t := time.AfterFunc(time.Duration(d*float64(time.Second)), func() {
+		b.timerMu.Lock()
+		delete(b.timers, id)
+		b.timerMu.Unlock()
+		fn(id)
+	})
+	b.timers[id] = t
+	b.timerMu.Unlock()
+	return id
+}
+
+// CancelTimer implements engine.Timer: it stops the timer and drops its
+// table entry. Zero, fired, or stale ids are no-ops.
+func (b *Backend) CancelTimer(id uint64) {
+	b.timerMu.Lock()
+	if t, ok := b.timers[id]; ok {
+		t.Stop()
+		delete(b.timers, id)
+	}
+	b.timerMu.Unlock()
 }
 
 // Err returns the first transport error observed.
@@ -205,7 +239,7 @@ func (b *Backend) opFailed(err error) error {
 }
 
 // call performs one RPC bounded by CallTimeout.
-func (b *Backend) call(w int, method string, args, reply interface{}) error {
+func (b *Backend) call(w int, method string, args, reply any) error {
 	c, err := b.client(w)
 	if err != nil {
 		return err

@@ -131,6 +131,16 @@ type Sink interface {
 	Emit(Event)
 }
 
+// PtrSink is the copy-free fast path: emitters that already hold the
+// event in a stable scratch location pass a pointer instead of a ~300-
+// byte value. The pointee is only valid for the duration of the call —
+// implementations must copy whatever they retain and must not hold the
+// pointer. Every sink in this package implements it; emitters check
+// once with a type assertion and fall back to Emit.
+type PtrSink interface {
+	EmitPtr(*Event)
+}
+
 // Nop discards every event. It is the default sink; the engine's nil
 // check makes the disabled path free, and Nop exists for code that wants
 // a non-nil sink unconditionally.
@@ -138,6 +148,9 @@ type Nop struct{}
 
 // Emit implements Sink.
 func (Nop) Emit(Event) {}
+
+// EmitPtr implements PtrSink.
+func (Nop) EmitPtr(*Event) {}
 
 // Buffer accumulates every event in memory, unbounded — the collection
 // sink for per-run streams that are dumped after the run completes.
@@ -156,6 +169,9 @@ func (b *Buffer) Emit(ev Event) {
 	b.mu.Unlock()
 }
 
+// EmitPtr implements PtrSink.
+func (b *Buffer) EmitPtr(ev *Event) { b.Emit(*ev) }
+
 // Events returns a copy of the buffered events in emission order.
 func (b *Buffer) Events() []Event {
 	b.mu.Lock()
@@ -173,11 +189,21 @@ func (b *Buffer) Len() int {
 // Ring keeps the most recent events in a fixed-capacity circular buffer
 // — the daemon's per-job tail store: bounded memory however long the
 // job, with cursor-based reads for pollers.
+//
+// The storage is pointer-free: events are stored as eventCore records
+// whose string fields are interned indexes, so Emit performs no
+// allocation and the garbage collector never scans the (potentially
+// multi-megabyte) buffer. Error texts — arbitrary strings, but present
+// on almost no events — live in a small parallel slice that is the only
+// scannable part. Events are reconstructed on the cold read paths.
 type Ring struct {
-	mu   sync.Mutex
-	buf  []Event
-	next int // index of the slot the next event lands in
-	full bool
+	mu    sync.Mutex
+	core  []eventCore
+	errs  []string // parallel to core; "" for almost every event
+	next  int      // index of the slot the next event lands in
+	full  bool
+	types intern // EventType values (a dozen distinct)
+	algs  intern // algorithm names (a handful distinct)
 }
 
 // NewRing returns a ring holding the last n events (n ≥ 1).
@@ -185,15 +211,20 @@ func NewRing(n int) *Ring {
 	if n < 1 {
 		n = 1
 	}
-	return &Ring{buf: make([]Event, n)}
+	return &Ring{core: make([]eventCore, n), errs: make([]string, n)}
 }
 
 // Emit implements Sink.
-func (r *Ring) Emit(ev Event) {
+func (r *Ring) Emit(ev Event) { r.EmitPtr(&ev) }
+
+// EmitPtr implements PtrSink: one mutex hold and one pointer-free
+// record write — no allocation, no write barriers on the hot buffer.
+func (r *Ring) EmitPtr(ev *Event) {
 	r.mu.Lock()
-	r.buf[r.next] = ev
+	r.core[r.next].pack(ev, &r.types, &r.algs)
+	r.errs[r.next] = ev.Err
 	r.next++
-	if r.next == len(r.buf) {
+	if r.next == len(r.core) {
 		r.next = 0
 		r.full = true
 	}
@@ -204,12 +235,22 @@ func (r *Ring) Emit(ev Event) {
 func (r *Ring) Snapshot() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !r.full {
-		return append([]Event(nil), r.buf[:r.next]...)
+	var n int
+	if r.full {
+		n = len(r.core)
+	} else {
+		n = r.next
 	}
-	out := make([]Event, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	return append(out, r.buf[:r.next]...)
+	out := make([]Event, 0, n)
+	if r.full {
+		for i := r.next; i < len(r.core); i++ {
+			out = append(out, r.core[i].unpack(r.errs[i], &r.types, &r.algs))
+		}
+	}
+	for i := 0; i < r.next; i++ {
+		out = append(out, r.core[i].unpack(r.errs[i], &r.types, &r.algs))
+	}
+	return out
 }
 
 // After returns the retained events with Seq strictly greater than seq,
@@ -225,14 +266,30 @@ func (r *Ring) After(seq int64) []Event {
 	return out
 }
 
-// JSONL streams events as JSON Lines to a writer. Writes are buffered;
-// call Flush (or Close) before reading the destination. The first write
-// error sticks and suppresses further output.
+// jsonlBatch is the JSONL pending-buffer capacity: emits cost one event
+// copy until the batch fills, and encoding (reflection, buffer writes)
+// happens once per batch instead of once per event.
+const jsonlBatch = 64
+
+// jsonlPool recycles pending-event batches across JSONL sinks — the
+// parallel experiment runner creates one short-lived sink per dumped
+// run, and pooling keeps that churn out of the allocator.
+var jsonlPool = sync.Pool{New: func() any {
+	b := make([]Event, 0, jsonlBatch)
+	return &b
+}}
+
+// JSONL streams events as JSON Lines to a writer. Emits are batched:
+// events accumulate in a pooled scratch buffer and are encoded when the
+// batch fills or Flush is called, so the per-emit cost is one copy.
+// Call Flush before reading the destination. The first write error
+// sticks and suppresses further output.
 type JSONL struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	pending *[]Event
+	err     error
 }
 
 // NewJSONL returns a JSONL sink over w.
@@ -242,18 +299,45 @@ func NewJSONL(w io.Writer) *JSONL {
 }
 
 // Emit implements Sink.
-func (s *JSONL) Emit(ev Event) {
+func (s *JSONL) Emit(ev Event) { s.EmitPtr(&ev) }
+
+// EmitPtr implements PtrSink.
+func (s *JSONL) EmitPtr(ev *Event) {
 	s.mu.Lock()
 	if s.err == nil {
-		s.err = s.enc.Encode(ev)
+		if s.pending == nil {
+			s.pending = jsonlPool.Get().(*[]Event)
+		}
+		*s.pending = append(*s.pending, *ev)
+		if len(*s.pending) == cap(*s.pending) {
+			s.encodePending()
+		}
 	}
 	s.mu.Unlock()
 }
 
-// Flush drains the buffer and returns the first error seen.
+// encodePending encodes and clears the batch. Caller holds the mutex.
+func (s *JSONL) encodePending() {
+	for i := range *s.pending {
+		if s.err != nil {
+			break
+		}
+		s.err = s.enc.Encode((*s.pending)[i])
+	}
+	*s.pending = (*s.pending)[:0]
+}
+
+// Flush encodes any pending events, drains the buffer, and returns the
+// first error seen. The scratch batch goes back to the pool, so a sink
+// flushed after its run holds no event memory.
 func (s *JSONL) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pending != nil {
+		s.encodePending()
+		jsonlPool.Put(s.pending)
+		s.pending = nil
+	}
 	if s.err != nil {
 		return s.err
 	}
@@ -268,6 +352,18 @@ type Tee []Sink
 func (t Tee) Emit(ev Event) {
 	for _, s := range t {
 		s.Emit(ev)
+	}
+}
+
+// EmitPtr implements PtrSink, forwarding the pointer to sinks that take
+// one and copying for those that do not.
+func (t Tee) EmitPtr(ev *Event) {
+	for _, s := range t {
+		if ps, ok := s.(PtrSink); ok {
+			ps.EmitPtr(ev)
+		} else {
+			s.Emit(*ev)
+		}
 	}
 }
 

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fillEvent sets every field of an Event to a distinct non-zero value
+// via reflection, so a field added to Event but forgotten in
+// eventCore.pack/unpack shows up as a round-trip mismatch instead of a
+// silently dropped column.
+func fillEvent(t *testing.T, n int) Event {
+	t.Helper()
+	var ev Event
+	v := reflect.ValueOf(&ev).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString(fmt.Sprintf("%s-%d", v.Type().Field(i).Name, n))
+		case reflect.Int, reflect.Int64:
+			f.SetInt(int64(n*100 + i + 1))
+		case reflect.Float64:
+			f.SetFloat(float64(n*100+i) + 0.5)
+		case reflect.Bool:
+			f.SetBool(true)
+		default:
+			t.Fatalf("Event field %s has kind %v — teach fillEvent and eventCore about it",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return ev
+}
+
+// Every Event field must survive the pack/unpack through the
+// pointer-free ring storage.
+func TestRingRoundTripsEveryField(t *testing.T) {
+	r := NewRing(8)
+	want := []Event{fillEvent(t, 1), fillEvent(t, 2), fillEvent(t, 3)}
+	for _, ev := range want {
+		r.Emit(ev)
+	}
+	got := r.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// EmitPtr must copy: mutating the event after the call cannot change
+// what the ring stored.
+func TestRingEmitPtrCopies(t *testing.T) {
+	r := NewRing(4)
+	ev := fillEvent(t, 1)
+	r.EmitPtr(&ev)
+	ev = fillEvent(t, 2)
+	want := fillEvent(t, 1)
+	if got := r.Snapshot(); len(got) != 1 || !reflect.DeepEqual(got[0], want) {
+		t.Fatalf("stored event changed after EmitPtr returned: %+v", got)
+	}
+}
+
+// Wrapping must keep the newest n events in emission order.
+func TestRingWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Seq: int64(i), Alg: fmt.Sprintf("alg%d", i%3), Err: fmt.Sprintf("e%d", i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("Snapshot returned %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		wantSeq := int64(6 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("alg%d", wantSeq%3); ev.Alg != want {
+			t.Errorf("event %d: Alg = %q, want %q", i, ev.Alg, want)
+		}
+		if want := fmt.Sprintf("e%d", wantSeq); ev.Err != want {
+			t.Errorf("event %d: Err = %q, want %q", i, ev.Err, want)
+		}
+	}
+}
+
+// The steady state — emitting events whose Type/Alg strings are already
+// interned and whose Err is empty — must not allocate; that is the whole
+// point of the pointer-free core.
+func TestRingEmitSteadyStateAllocFree(t *testing.T) {
+	r := NewRing(64)
+	ev := Event{Type: ChunkDone, Alg: "fixed-rumr", Worker: 3, Size: 12.5}
+	r.EmitPtr(&ev) // warm the intern tables
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev.Seq++
+		r.EmitPtr(&ev)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state EmitPtr allocated %.1f objects per event, want 0", allocs)
+	}
+}

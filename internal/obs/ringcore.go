@@ -1,0 +1,127 @@
+package obs
+
+// eventCore is Event with its string fields lifted out: Type and Alg
+// become indexes into per-ring intern tables, Err lives in a parallel
+// slice. The struct therefore contains no pointers, which is what lets
+// the Ring keep thousands of slots without the garbage collector ever
+// scanning them. pack/unpack must mirror Event field-for-field; the
+// round-trip test in events_ring_test.go fills every Event field by
+// reflection to catch a field added to one side only.
+type eventCore struct {
+	seq      int64
+	t        float64
+	typ, alg int32
+	run      int
+
+	worker, chunk int
+	size, bytes   float64
+	probe         bool
+	attempt       int
+
+	sendStart, sendEnd, compStart, compEnd, outputEnd float64
+
+	commLatency, compLatency, transferDur, computeDur, dur float64
+
+	workers   int
+	totalLoad float64
+	chunks    int
+	makespan  float64
+
+	gamma, want, remaining float64
+	switched               bool
+}
+
+// pack stores ev into c, interning its Type and Alg strings.
+func (c *eventCore) pack(ev *Event, types, algs *intern) {
+	c.seq = ev.Seq
+	c.t = ev.T
+	c.typ = types.index(string(ev.Type))
+	c.alg = algs.index(ev.Alg)
+	c.run = ev.Run
+	c.worker = ev.Worker
+	c.chunk = ev.Chunk
+	c.size = ev.Size
+	c.bytes = ev.Bytes
+	c.probe = ev.Probe
+	c.attempt = ev.Attempt
+	c.sendStart = ev.SendStart
+	c.sendEnd = ev.SendEnd
+	c.compStart = ev.CompStart
+	c.compEnd = ev.CompEnd
+	c.outputEnd = ev.OutputEnd
+	c.commLatency = ev.CommLatency
+	c.compLatency = ev.CompLatency
+	c.transferDur = ev.TransferDur
+	c.computeDur = ev.ComputeDur
+	c.dur = ev.Dur
+	c.workers = ev.Workers
+	c.totalLoad = ev.TotalLoad
+	c.chunks = ev.Chunks
+	c.makespan = ev.Makespan
+	c.gamma = ev.Gamma
+	c.want = ev.Want
+	c.remaining = ev.Remaining
+	c.switched = ev.Switched
+}
+
+// unpack reconstructs the Event, resolving the interned strings.
+func (c *eventCore) unpack(err string, types, algs *intern) Event {
+	return Event{
+		Seq:         c.seq,
+		T:           c.t,
+		Type:        EventType(types.vals[c.typ]),
+		Alg:         algs.vals[c.alg],
+		Run:         c.run,
+		Worker:      c.worker,
+		Chunk:       c.chunk,
+		Size:        c.size,
+		Bytes:       c.bytes,
+		Probe:       c.probe,
+		Attempt:     c.attempt,
+		SendStart:   c.sendStart,
+		SendEnd:     c.sendEnd,
+		CompStart:   c.compStart,
+		CompEnd:     c.compEnd,
+		OutputEnd:   c.outputEnd,
+		CommLatency: c.commLatency,
+		CompLatency: c.compLatency,
+		TransferDur: c.transferDur,
+		ComputeDur:  c.computeDur,
+		Dur:         c.dur,
+		Workers:     c.workers,
+		TotalLoad:   c.totalLoad,
+		Chunks:      c.chunks,
+		Makespan:    c.makespan,
+		Err:         err,
+		Gamma:       c.gamma,
+		Want:        c.want,
+		Remaining:   c.remaining,
+		Switched:    c.switched,
+	}
+}
+
+// intern maps a small set of recurring strings (the event taxonomy,
+// algorithm names) to dense indexes. Lookups are a linear scan whose
+// comparisons hit the pointer-equality fast path — emitters pass the
+// same string constants every time — so interning a known string costs
+// a few nanoseconds and allocates nothing. Index 0 is always "".
+type intern struct {
+	vals []string
+}
+
+// index returns the string's index, adding it on first sight.
+func (in *intern) index(s string) int32 {
+	if in.vals == nil {
+		in.vals = make([]string, 1, 16) // vals[0] = ""
+	}
+	if s == "" {
+		return 0
+	}
+	for i, v := range in.vals {
+		if v == s {
+			return int32(i)
+		}
+	}
+	in.vals = append(in.vals, s)
+	return int32(len(in.vals) - 1)
+}

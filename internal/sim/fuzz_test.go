@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"apstdv/internal/units"
+)
+
+// FuzzHeapInvariant interprets the input as a script of schedule /
+// cancel / step operations and checks the arena-heap invariant (heap
+// order, pos back-references, free-list consistency) after every one.
+// Two bytes per op: the first picks the operation, the second its
+// operand (a delay for schedule, a handle index for cancel).
+func FuzzHeapInvariant(f *testing.F) {
+	f.Add([]byte{0, 3, 0, 3, 2, 0, 1, 0})             // ties then step then cancel
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 1, 1, 1, 0, 2, 0}) // cancel-heavy
+	f.Add([]byte{0, 5, 1, 0, 0, 5, 1, 0})             // slot reuse
+	f.Fuzz(func(t *testing.T, script []byte) {
+		e := New()
+		fn := func() {}
+		var live []Handle
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i], script[i+1]
+			switch op % 4 {
+			case 0: // schedule; small delays force timestamp collisions
+				live = append(live, e.After(units.Seconds(arg%8), fn))
+			case 1: // cancel a handle (possibly stale — must stay a no-op)
+				if len(live) > 0 {
+					j := int(arg) % len(live)
+					live[j].Cancel()
+					if arg%2 == 0 { // sometimes keep it around to cancel again
+						live[j] = live[len(live)-1]
+						live = live[:len(live)-1]
+					}
+				}
+			case 2:
+				e.Step()
+			case 3: // double-cancel the same handle
+				if len(live) > 0 {
+					j := int(arg) % len(live)
+					live[j].Cancel()
+					live[j].Cancel()
+				}
+			}
+			e.checkInvariant()
+		}
+		e.Run()
+		e.checkInvariant()
+		if e.Pending() != 0 {
+			t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+		}
+	})
+}

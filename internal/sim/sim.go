@@ -6,61 +6,72 @@
 // Determinism: events at equal timestamps fire in scheduling order (a
 // monotonically increasing sequence number breaks ties), so a simulation
 // is a pure function of its inputs and seeds.
+//
+// Performance: the schedule is an index-based 4-ary min-heap over a flat
+// event arena with a free list. At reuses arena slots instead of
+// allocating, handles are {slot, generation} pairs so Cancel removes the
+// event eagerly (no tombstones to skip at pop time), and the steady
+// state performs no per-call heap allocation — the only allocations are
+// the amortized growth of the arena itself.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
 	"apstdv/internal/units"
 )
 
-// Event is a scheduled callback.
+// event is one arena slot: a scheduled callback plus the bookkeeping
+// that lets handles outlive it safely. Slots are reused through a free
+// list; gen distinguishes incarnations, so a Handle from a previous
+// occupant of the slot can never cancel its successor.
 type event struct {
-	at   units.Seconds
-	seq  uint64
-	fn   func()
-	dead bool
+	at  units.Seconds
+	seq uint64
+	fn  func()
+	// fnArg/arg is the closure-free form used by sim-internal subsystems
+	// (the timer wheel): one long-lived callback shared by many events,
+	// told which one fired. Exactly one of fn and fnArg is set.
+	fnArg func(uint64)
+	arg   uint64
+	gen   uint32
+	pos   int32 // index in Engine.order, -1 while the slot is free
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and cancels nothing.
+type Handle struct {
+	e    *Engine
+	slot int32
+	gen  uint32
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes the event from the schedule eagerly: the heap entry is
+// deleted and the order fixed in place, so cancelled events cost nothing
+// at pop time and Pending stays exact. Cancelling an already-fired,
+// already-cancelled, or stale (slot since reused) handle is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	e := h.e
+	if e == nil || int(h.slot) >= len(e.arena) {
+		return
 	}
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	ev := &e.arena[h.slot]
+	if ev.gen != h.gen || ev.pos < 0 {
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	e.removeAt(int(ev.pos))
+	e.release(h.slot)
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; call New.
 type Engine struct {
-	now  units.Seconds
-	seq  uint64
-	heap eventHeap
+	now   units.Seconds
+	seq   uint64
+	arena []event
+	free  []int32 // arena slots available for reuse
+	order []int32 // 4-ary min-heap of arena slots, keyed by (at, seq)
 }
 
 // New returns an engine with the clock at zero and no pending events.
@@ -73,16 +84,44 @@ func (e *Engine) Now() units.Seconds { return e.now }
 // panics: it always indicates a modelling bug, and silently clamping
 // would corrupt causality.
 func (e *Engine) At(t units.Seconds, fn func()) Handle {
+	h := e.schedule(t)
+	e.arena[h.slot].fn = fn
+	return h
+}
+
+// atArg schedules fnArg(arg) at time t: the closure-free internal form,
+// for callers that schedule many events through one shared callback.
+func (e *Engine) atArg(t units.Seconds, fnArg func(uint64), arg uint64) Handle {
+	h := e.schedule(t)
+	ev := &e.arena[h.slot]
+	ev.fnArg = fnArg
+	ev.arg = arg
+	return h
+}
+
+// schedule allocates and files a slot at time t with no callback yet.
+func (e *Engine) schedule(t units.Seconds) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(t)))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		slot = int32(len(e.arena))
+		e.arena = append(e.arena, event{})
+	}
+	ev := &e.arena[slot]
+	ev.at = t
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.heap, ev)
-	return Handle{ev}
+	e.order = append(e.order, slot)
+	e.siftUp(len(e.order) - 1)
+	return Handle{e, slot, ev.gen}
 }
 
 // After schedules fn d seconds from now. Negative d panics.
@@ -90,30 +129,30 @@ func (e *Engine) After(d units.Seconds, fn func()) Handle {
 	return e.At(e.now+d, fn)
 }
 
-// Pending returns the number of live scheduled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of live scheduled events. Cancellation is
+// eager, so this is the heap length — O(1), never a scan.
+func (e *Engine) Pending() int { return len(e.order) }
 
 // Step fires the earliest event and advances the clock to it. It returns
 // false when no live events remain.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
+	if len(e.order) == 0 {
+		return false
 	}
-	return false
+	slot := e.order[0]
+	ev := &e.arena[slot]
+	at, fn, fnArg, arg := ev.at, ev.fn, ev.fnArg, ev.arg
+	e.removeAt(0)
+	// Release before firing so the callback may reuse the slot (and a
+	// stale cancel of this handle is already a no-op).
+	e.release(slot)
+	e.now = at
+	if fn != nil {
+		fn()
+	} else {
+		fnArg(arg)
+	}
+	return true
 }
 
 // Run fires events until none remain.
@@ -125,12 +164,121 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps ≤ t, then advances the clock to
 // exactly t (even if no event lies there).
 func (e *Engine) RunUntil(t units.Seconds) {
-	for len(e.heap) > 0 && e.heap[0].at <= t {
+	for len(e.order) > 0 && e.arena[e.order[0]].at <= t {
 		if !e.Step() {
 			break
 		}
 	}
 	if t > e.now {
 		e.now = t
+	}
+}
+
+// release returns an arena slot to the free list, bumping its generation
+// so outstanding handles to the old occupant go stale.
+func (e *Engine) release(slot int32) {
+	ev := &e.arena[slot]
+	ev.fn = nil // let the closure be collected while the slot waits
+	ev.fnArg = nil
+	ev.arg = 0
+	ev.pos = -1
+	ev.gen++
+	e.free = append(e.free, slot)
+}
+
+// less orders heap entries by (at, seq); seq is unique, so the order is
+// total and equal-timestamp events keep their scheduling order.
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp moves the entry at heap position i toward the root until its
+// parent is no larger.
+func (e *Engine) siftUp(i int) {
+	slot := e.order[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(slot, e.order[p]) {
+			break
+		}
+		e.order[i] = e.order[p]
+		e.arena[e.order[i]].pos = int32(i)
+		i = p
+	}
+	e.order[i] = slot
+	e.arena[slot].pos = int32(i)
+}
+
+// siftDown moves the entry at heap position i toward the leaves until no
+// child is smaller.
+func (e *Engine) siftDown(i int) {
+	n := len(e.order)
+	slot := e.order[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(e.order[j], e.order[m]) {
+				m = j
+			}
+		}
+		if !e.less(e.order[m], slot) {
+			break
+		}
+		e.order[i] = e.order[m]
+		e.arena[e.order[i]].pos = int32(i)
+		i = m
+	}
+	e.order[i] = slot
+	e.arena[slot].pos = int32(i)
+}
+
+// removeAt deletes the heap entry at position i, fixing the order in
+// place: the last entry replaces it and sifts whichever direction
+// restores the invariant.
+func (e *Engine) removeAt(i int) {
+	n := len(e.order) - 1
+	last := e.order[n]
+	e.order = e.order[:n]
+	if i == n {
+		return
+	}
+	e.order[i] = last
+	e.arena[last].pos = int32(i)
+	e.siftDown(i)
+	if e.arena[last].pos == int32(i) {
+		e.siftUp(i)
+	}
+}
+
+// checkInvariant panics if the heap order or the arena back-references
+// are inconsistent. Test hook (see sim fuzz/differential tests).
+func (e *Engine) checkInvariant() {
+	for i, slot := range e.order {
+		if got := e.arena[slot].pos; got != int32(i) {
+			panic(fmt.Sprintf("sim: slot %d at heap position %d has pos %d", slot, i, got))
+		}
+		if i > 0 {
+			p := (i - 1) / 4
+			if e.less(slot, e.order[p]) {
+				panic(fmt.Sprintf("sim: heap order violated at position %d (parent %d)", i, p))
+			}
+		}
+	}
+	for i := range e.arena {
+		if e.arena[i].pos >= 0 && int(e.arena[i].pos) >= len(e.order) {
+			panic(fmt.Sprintf("sim: slot %d points past heap end", i))
+		}
 	}
 }
