@@ -11,7 +11,7 @@ FUZZ_TARGETS = divide:FuzzUniformCutAfter divide:FuzzIndexCutAfter \
                divide:FuzzContinuousCutAfter divide:FuzzWorkUnitsCutAfter \
                divide:FuzzScanSeparators sim:FuzzHeapInvariant
 
-.PHONY: all build vet test race race-fault fuzz-smoke bench-smoke lint check bench
+.PHONY: all build vet test race race-fault race-daemon fuzz-smoke bench-smoke lint check bench
 
 all: check
 
@@ -34,6 +34,13 @@ race:
 race-fault:
 	$(GO) test -race -run 'Fault|Retry|Blacklist|Lifecycle|Crash|Stall|Close|CallTimeout' \
 		./internal/engine ./internal/grid ./internal/live
+
+# race-daemon drives the job scheduler's concurrency surface under the
+# race detector: admission, priority dispatch, cancellation (including
+# the live worker-abort path), drain, worker leasing, and the client's
+# polling loops all cross goroutines and RPC boundaries.
+race-daemon:
+	$(GO) test -race ./internal/daemon ./internal/live ./internal/client
 
 # fuzz-smoke gives every fuzz target a 2-second run: long enough to
 # catch a freshly broken invariant, short enough for every `make check`.
@@ -69,7 +76,7 @@ lint: vet
 		echo "lint: (install with: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-check: build vet race race-fault fuzz-smoke bench-smoke lint
+check: build vet race race-fault race-daemon fuzz-smoke bench-smoke lint
 
 # bench records the runner's sequential-vs-parallel wall time and the
 # observability layer's overhead into BENCH_<n>.json (see

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -118,7 +119,9 @@ func ablationRun(b *testing.B, platform *model.Platform, app *model.Application,
 		if err != nil {
 			return err
 		}
-		tr, err := engine.Run(backend, mk(), app, platform, ecfg)
+		tr, err := engine.Execute(context.Background(), engine.Request{
+			Backend: backend, Algorithm: mk(), App: app, Platform: platform, Config: ecfg,
+		})
 		if err != nil {
 			return err
 		}
@@ -363,7 +366,9 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 			alg, _ := dls.New("fixed-rumr")
 			cfg.ProbeLoad = 200
-			if _, err := engine.Run(backend, alg, app, platform, cfg); err != nil {
+			if _, err := engine.Execute(context.Background(), engine.Request{
+				Backend: backend, Algorithm: alg, App: app, Platform: platform, Config: cfg,
+			}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -394,7 +399,9 @@ func BenchmarkFaultPathOverhead(b *testing.B) {
 			}
 			alg, _ := dls.New("fixed-rumr")
 			cfg := engine.Config{ProbeLoad: 200, Retry: retry}
-			if _, err := engine.Run(backend, alg, app, platform, cfg); err != nil {
+			if _, err := engine.Execute(context.Background(), engine.Request{
+				Backend: backend, Algorithm: alg, App: app, Platform: platform, Config: cfg,
+			}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -446,7 +453,9 @@ func BenchmarkObsOverheadPaired(b *testing.B) {
 		}
 		alg, _ := dls.New("fixed-rumr")
 		cfg.ProbeLoad = 200
-		if _, err := engine.Run(backend, alg, app, platform, cfg); err != nil {
+		if _, err := engine.Execute(context.Background(), engine.Request{
+			Backend: backend, Algorithm: alg, App: app, Platform: platform, Config: cfg,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -470,7 +479,9 @@ func BenchmarkFaultPathOverheadPaired(b *testing.B) {
 		}
 		alg, _ := dls.New("fixed-rumr")
 		cfg := engine.Config{ProbeLoad: 200, Retry: retry}
-		if _, err := engine.Run(backend, alg, app, platform, cfg); err != nil {
+		if _, err := engine.Execute(context.Background(), engine.Request{
+			Backend: backend, Algorithm: alg, App: app, Platform: platform, Config: cfg,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -525,7 +536,10 @@ func BenchmarkFullSimulatedRun(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := engine.Run(backend, dls.NewUMR(), app, platform, engine.Config{ProbeLoad: 200}); err != nil {
+		if _, err := engine.Execute(context.Background(), engine.Request{
+			Backend: backend, Algorithm: dls.NewUMR(), App: app, Platform: platform,
+			Config: engine.Config{ProbeLoad: 200},
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,8 +2,9 @@
 // load applications to a running apstdvd daemon and inspects them.
 //
 //	apstdv -daemon 127.0.0.1:4321 algorithms
-//	apstdv -daemon 127.0.0.1:4321 submit -spec app.xml [-algorithm rumr]
+//	apstdv -daemon 127.0.0.1:4321 submit -spec app.xml [-algorithm rumr] [-priority high]
 //	apstdv -daemon 127.0.0.1:4321 status -job 1
+//	apstdv -daemon 127.0.0.1:4321 cancel -job 1
 //	apstdv -daemon 127.0.0.1:4321 report -job 1 [-csv trace.csv]
 //	apstdv -daemon 127.0.0.1:4321 run -spec app.xml   # submit + wait + report
 //	apstdv -daemon 127.0.0.1:4321 jobs
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +40,7 @@ func main() {
 	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
 	specPath := sub.String("spec", "", "task specification XML file")
 	algorithm := sub.String("algorithm", "", "override the spec's algorithm")
+	priority := sub.String("priority", "", "admission class: high, normal or low (default normal)")
 	jobID := sub.Int("job", 0, "job ID")
 	csvPath := sub.String("csv", "", "write the execution trace CSV here")
 	gantt := sub.Bool("gantt", false, "print the per-worker execution timeline")
@@ -72,13 +75,15 @@ func main() {
 		if *unitCost > 0 || *bytesPerUnit > 0 || *gamma > 0 {
 			simApp = &daemon.SimApp{UnitCost: *unitCost, BytesPerUnit: *bytesPerUnit, Gamma: *gamma}
 		}
-		reply, err := c.Submit(string(xmlBytes), *algorithm, simApp)
+		reply, err := c.Submit(string(xmlBytes), *algorithm, *priority, simApp)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("job %d submitted (algorithm %s, load %.0f units)\n", reply.JobID, reply.Algorithm, reply.TotalLoad)
+		fmt.Printf("job %d %s (algorithm %s, load %.0f units)\n", reply.JobID, reply.State, reply.Algorithm, reply.TotalLoad)
 		if cmd == "run" {
-			job, err := c.WaitDone(reply.JobID, *wait, 100*time.Millisecond)
+			ctx, cancel := context.WithTimeout(context.Background(), *wait)
+			job, err := c.WaitDone(ctx, reply.JobID, 100*time.Millisecond)
+			cancel()
 			if err != nil {
 				fatal(err)
 			}
@@ -86,6 +91,16 @@ func main() {
 			if job.State == daemon.JobDone {
 				showReport(c, job.ID, *csvPath, *gantt)
 			}
+		}
+	case "cancel":
+		state, err := c.Cancel(*jobID)
+		if err != nil {
+			fatal(err)
+		}
+		if state == daemon.JobCancelled {
+			fmt.Printf("job %d cancelled\n", *jobID)
+		} else {
+			fmt.Printf("job %d %s (cancellation requested; poll status for the terminal state)\n", *jobID, state)
 		}
 	case "status":
 		job, err := c.Status(*jobID)
@@ -106,7 +121,9 @@ func main() {
 	case "events":
 		sink := obs.NewJSONL(os.Stdout)
 		if *follow {
-			err := c.FollowEvents(*jobID, *wait, 100*time.Millisecond, sink.Emit)
+			ctx, cancel := context.WithTimeout(context.Background(), *wait)
+			err := c.FollowEvents(ctx, *jobID, 100*time.Millisecond, sink.Emit)
+			cancel()
 			if ferr := sink.Flush(); err == nil {
 				err = ferr
 			}
@@ -134,13 +151,19 @@ func main() {
 }
 
 func printJob(j daemon.Job) {
+	prio := j.Priority
+	if prio == "" {
+		prio = "normal"
+	}
 	switch j.State {
 	case daemon.JobDone:
-		fmt.Printf("job %d [%s] %s: makespan %.1fs, %d chunks\n", j.ID, j.Algorithm, j.State, j.Makespan, j.Chunks)
-	case daemon.JobFailed:
-		fmt.Printf("job %d [%s] %s: %s\n", j.ID, j.Algorithm, j.State, j.Err)
+		fmt.Printf("job %d [%s/%s] %s: makespan %.1fs, %d chunks\n", j.ID, j.Algorithm, prio, j.State, j.Makespan, j.Chunks)
+	case daemon.JobFailed, daemon.JobCancelled, daemon.JobRejected:
+		fmt.Printf("job %d [%s/%s] %s: %s\n", j.ID, j.Algorithm, prio, j.State, j.Err)
+	case daemon.JobQueued:
+		fmt.Printf("job %d [%s/%s] %s at position %d (submitted %s ago)\n", j.ID, j.Algorithm, prio, j.State, j.QueuePos, time.Since(j.Submitted).Round(time.Millisecond))
 	default:
-		fmt.Printf("job %d [%s] %s (submitted %s ago)\n", j.ID, j.Algorithm, j.State, time.Since(j.Submitted).Round(time.Millisecond))
+		fmt.Printf("job %d [%s/%s] %s (submitted %s ago)\n", j.ID, j.Algorithm, prio, j.State, time.Since(j.Submitted).Round(time.Millisecond))
 	}
 }
 
@@ -162,7 +185,7 @@ func showReport(c *client.Client, jobID int, csvPath string, gantt bool) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apstdv [-daemon addr] <algorithms|submit|run|status|report|jobs|events> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: apstdv [-daemon addr] <algorithms|submit|run|status|cancel|report|jobs|events> [flags]")
 	os.Exit(2)
 }
 

@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"apstdv/internal/daemon"
@@ -39,10 +43,16 @@ func main() {
 		workPerUnit = flag.Int("workperunit", 1_000_000, "live mode: compute iterations per load unit")
 		workerAddrs = flag.String("workeraddrs", "", "live mode: comma-separated external worker addresses (overrides -workers)")
 		telemetry   = flag.String("telemetry", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty disables)")
+		maxJobs     = flag.Int("max-concurrent-jobs", 0, "jobs allowed to run at once (0 = mode default: 1 in live, unlimited in sim)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission queue bound; overflow is rejected (0 = unbounded)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs before they are cancelled")
 	)
 	flag.Parse()
 
-	cfg := daemon.Config{Seed: *seed, SpecDir: *specDir}
+	cfg := daemon.Config{
+		Seed: *seed, SpecDir: *specDir,
+		MaxConcurrentJobs: *maxJobs, QueueDepth: *queueDepth,
+	}
 	switch *mode {
 	case "sim":
 		cfg.Mode = daemon.ModeSim
@@ -94,8 +104,29 @@ func main() {
 		log.Printf("apstdvd: telemetry on http://%s/metrics", tln.Addr())
 	}
 	log.Printf("apstdvd: %s mode, serving on %s", *mode, ln.Addr())
-	if err := d.Serve(ln); err != nil {
-		log.Fatalf("apstdvd: %v", err)
+
+	// SIGINT/SIGTERM drains gracefully: stop admitting, cancel the
+	// queue, let running jobs finish within -drain-timeout, then cancel
+	// them too.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatalf("apstdvd: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("apstdvd: %v received, draining (budget %v)", s, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		err := d.Shutdown(ctx)
+		cancel()
+		ln.Close()
+		if err != nil {
+			log.Fatalf("apstdvd: drain: %v", err)
+		}
+		log.Printf("apstdvd: drained, bye")
 	}
 }
 

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -114,7 +115,9 @@ func main() {
 			if buffers != nil {
 				ecfg.Events = buffers[run]
 			}
-			tr, err := engine.Run(backend, alg, app, platform, ecfg)
+			tr, err := engine.Execute(context.Background(), engine.Request{
+				Backend: backend, Algorithm: alg, App: app, Platform: platform, Config: ecfg,
+			})
 			if err != nil {
 				return err
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,10 @@ func cell(r, g float64, runs int) (string, float64) {
 			if err != nil {
 				log.Fatal(err)
 			}
-			tr, err := engine.Run(backend, alg, app, p, engine.Config{ProbeLoad: float64(app.TotalLoad) / 1000})
+			tr, err := engine.Execute(context.Background(), engine.Request{
+				Backend: backend, Algorithm: alg, App: app, Platform: p,
+				Config: engine.Config{ProbeLoad: float64(app.TotalLoad) / 1000},
+			})
 			if err != nil {
 				log.Fatal(err)
 			}

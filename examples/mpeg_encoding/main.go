@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -136,9 +137,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			tr, err := engine.Run(backend, alg, app, platform, engine.Config{
-				ProbeLoad: workload.CaseStudyProbeLoad,
-				Divider:   fullDivider,
+			tr, err := engine.Execute(context.Background(), engine.Request{
+				Backend: backend, Algorithm: alg, App: app, Platform: platform,
+				Config: engine.Config{
+					ProbeLoad: workload.CaseStudyProbeLoad,
+					Divider:   fullDivider,
+				},
 			})
 			if err != nil {
 				log.Fatal(err)

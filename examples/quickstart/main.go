@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -48,7 +49,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: 50})
+		tr, err := engine.Execute(context.Background(), engine.Request{
+			Backend: backend, Algorithm: alg, App: app, Platform: platform,
+			Config: engine.Config{ProbeLoad: 50},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,7 +81,10 @@ func main() {
 	}
 	defer cleanup()
 	start := time.Now()
-	tr, err := engine.Run(backend, dls.NewUMR(), liveApp, nil, engine.Config{ProbeLoad: 10})
+	tr, err := engine.Execute(context.Background(), engine.Request{
+		Backend: backend, Algorithm: dls.NewUMR(), App: liveApp,
+		Config: engine.Config{ProbeLoad: 10},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

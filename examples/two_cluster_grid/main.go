@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -50,7 +51,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: 200})
+			tr, err := engine.Execute(context.Background(), engine.Request{
+				Backend: backend, Algorithm: alg, App: app, Platform: platform,
+				Config: engine.Config{ProbeLoad: 200},
+			})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -102,12 +103,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	reply, err := c.Submit(taskXML, "", &daemon.SimApp{UnitCost: 0.004, BytesPerUnit: 1, Gamma: 0.1})
+	reply, err := c.Submit(taskXML, "", "", &daemon.SimApp{UnitCost: 0.004, BytesPerUnit: 1, Gamma: 0.1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("submitted job %d: algorithm %s, load %.0f bytes\n", reply.JobID, reply.Algorithm, reply.TotalLoad)
-	job, err := c.WaitDone(reply.JobID, time.Minute, 20*time.Millisecond)
+	ctx, cancelWait := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelWait()
+	job, err := c.WaitDone(ctx, reply.JobID, 20*time.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,19 @@
 // Package client is the library behind the APST-DV console (cmd/apstdv):
 // a thin, typed wrapper around the daemon's net/rpc interface.
+//
+// Every call decodes transported errors with errcode.Decode, so the
+// daemon's typed sentinels (daemon.ErrQueueFull, daemon.ErrJobNotFound,
+// ...) survive the RPC boundary and errors.Is works on this side.
 package client
 
 import (
+	"context"
 	"fmt"
 	"net/rpc"
 	"time"
 
 	"apstdv/internal/daemon"
+	"apstdv/internal/errcode"
 	"apstdv/internal/obs"
 )
 
@@ -28,12 +34,20 @@ func Dial(addr string) (*Client, error) {
 // Close releases the connection.
 func (c *Client) Close() error { return c.rc.Close() }
 
-// Submit sends a task specification; algorithm (optional) overrides the
-// spec's algorithm attribute; simApp supplies sim-mode ground truth.
-func (c *Client) Submit(taskXML, algorithm string, simApp *daemon.SimApp) (daemon.SubmitReply, error) {
+// call performs one RPC, re-attaching registered error sentinels to the
+// string the transport flattened the server error into.
+func (c *Client) call(method string, args, reply any) error {
+	return errcode.Decode(c.rc.Call(method, args, reply))
+}
+
+// Submit sends a task specification. algorithm (optional) overrides the
+// spec's algorithm attribute; priority is the admission class (high,
+// normal or low; empty = normal); simApp supplies sim-mode ground
+// truth. A full queue rejects with daemon.ErrQueueFull.
+func (c *Client) Submit(taskXML, algorithm, priority string, simApp *daemon.SimApp) (daemon.SubmitReply, error) {
 	var reply daemon.SubmitReply
-	err := c.rc.Call("APSTDV.Submit", daemon.SubmitArgs{
-		TaskXML: taskXML, Algorithm: algorithm, SimApp: simApp,
+	err := c.call("APSTDV.Submit", daemon.SubmitArgs{
+		TaskXML: taskXML, Algorithm: algorithm, Priority: priority, SimApp: simApp,
 	}, &reply)
 	return reply, err
 }
@@ -41,28 +55,37 @@ func (c *Client) Submit(taskXML, algorithm string, simApp *daemon.SimApp) (daemo
 // Status fetches a job's state.
 func (c *Client) Status(jobID int) (daemon.Job, error) {
 	var reply daemon.StatusReply
-	err := c.rc.Call("APSTDV.Status", daemon.StatusArgs{JobID: jobID}, &reply)
+	err := c.call("APSTDV.Status", daemon.StatusArgs{JobID: jobID}, &reply)
 	return reply.Job, err
+}
+
+// Cancel requests cancellation of a queued or running job and returns
+// the job's state as of the request (a running job unwinds
+// asynchronously; poll Status or WaitDone for the terminal state).
+func (c *Client) Cancel(jobID int) (daemon.JobState, error) {
+	var reply daemon.CancelReply
+	err := c.call("APSTDV.Cancel", daemon.CancelArgs{JobID: jobID}, &reply)
+	return reply.State, err
 }
 
 // Report fetches a finished job's execution report.
 func (c *Client) Report(jobID int) (daemon.ReportReply, error) {
 	var reply daemon.ReportReply
-	err := c.rc.Call("APSTDV.Report", daemon.ReportArgs{JobID: jobID}, &reply)
+	err := c.call("APSTDV.Report", daemon.ReportArgs{JobID: jobID}, &reply)
 	return reply, err
 }
 
 // Algorithms lists the scheduler names the daemon accepts.
 func (c *Client) Algorithms() ([]string, error) {
 	var reply daemon.AlgorithmsReply
-	err := c.rc.Call("APSTDV.Algorithms", daemon.AlgorithmsArgs{}, &reply)
+	err := c.call("APSTDV.Algorithms", daemon.AlgorithmsArgs{}, &reply)
 	return reply.Names, err
 }
 
 // Jobs lists all jobs.
 func (c *Client) Jobs() ([]daemon.Job, error) {
 	var reply daemon.ListJobsReply
-	err := c.rc.Call("APSTDV.ListJobs", daemon.ListJobsArgs{}, &reply)
+	err := c.call("APSTDV.ListJobs", daemon.ListJobsArgs{}, &reply)
 	return reply.Jobs, err
 }
 
@@ -71,15 +94,20 @@ func (c *Client) Jobs() ([]daemon.Job, error) {
 // events the cursor missed.
 func (c *Client) Events(jobID int, afterSeq int64) ([]obs.Event, daemon.JobState, bool, error) {
 	var reply daemon.EventsReply
-	err := c.rc.Call("APSTDV.Events", daemon.EventsArgs{JobID: jobID, AfterSeq: afterSeq}, &reply)
+	err := c.call("APSTDV.Events", daemon.EventsArgs{JobID: jobID, AfterSeq: afterSeq}, &reply)
 	return reply.Events, reply.State, reply.Dropped, err
 }
 
+// active reports whether a job can still make progress.
+func active(state daemon.JobState) bool {
+	return state == daemon.JobRunning || state == daemon.JobQueued
+}
+
 // FollowEvents polls the job's event stream from the beginning, calling
-// fn for every event in (run, seq) order, until the job finishes and
-// the stream is drained or the timeout elapses.
-func (c *Client) FollowEvents(jobID int, timeout, poll time.Duration, fn func(obs.Event)) error {
-	deadline := time.Now().Add(timeout)
+// fn for every event in seq order, until the job reaches a terminal
+// state and the stream is drained, or ctx is cancelled (the context
+// error is returned).
+func (c *Client) FollowEvents(ctx context.Context, jobID int, poll time.Duration, fn func(obs.Event)) error {
 	after := int64(-1)
 	for {
 		evs, state, _, err := c.Events(jobID, after)
@@ -90,31 +118,33 @@ func (c *Client) FollowEvents(jobID int, timeout, poll time.Duration, fn func(ob
 			fn(ev)
 			after = ev.Seq
 		}
-		if state != daemon.JobRunning && len(evs) == 0 {
+		if !active(state) && len(evs) == 0 {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("client: job %d events still streaming after %v", jobID, timeout)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("client: following job %d events: %w", jobID, context.Cause(ctx))
+		case <-time.After(poll):
 		}
-		time.Sleep(poll)
 	}
 }
 
-// WaitDone polls until the job leaves the running state or the timeout
-// elapses.
-func (c *Client) WaitDone(jobID int, timeout, poll time.Duration) (daemon.Job, error) {
-	deadline := time.Now().Add(timeout)
+// WaitDone polls until the job reaches a terminal state (done, failed,
+// cancelled or rejected) or ctx is cancelled, in which case the last
+// observed job snapshot and the context error are returned.
+func (c *Client) WaitDone(ctx context.Context, jobID int, poll time.Duration) (daemon.Job, error) {
 	for {
 		job, err := c.Status(jobID)
 		if err != nil {
 			return job, err
 		}
-		if job.State != daemon.JobRunning {
+		if !active(job.State) {
 			return job, nil
 		}
-		if time.Now().After(deadline) {
-			return job, fmt.Errorf("client: job %d still running after %v", jobID, timeout)
+		select {
+		case <-ctx.Done():
+			return job, fmt.Errorf("client: job %d still %s: %w", jobID, job.State, context.Cause(ctx))
+		case <-time.After(poll):
 		}
-		time.Sleep(poll)
 	}
 }

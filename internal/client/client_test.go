@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -8,6 +9,14 @@ import (
 	"apstdv/internal/daemon"
 	"apstdv/internal/workload"
 )
+
+// waitDone adapts the context-based WaitDone to the timeout style the
+// tests use.
+func waitDone(c *Client, jobID int, timeout, poll time.Duration) (daemon.Job, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitDone(ctx, jobID, poll)
+}
 
 const taskXML = `<task executable="app" input="big">
  <divisibility input="big" method="callback" load="200" callback="cb" algorithm="simple-1"/>
@@ -45,11 +54,11 @@ func TestDialFailure(t *testing.T) {
 
 func TestSubmitStatusReportFlow(t *testing.T) {
 	c := startDaemon(t)
-	reply, err := c.Submit(taskXML, "", &daemon.SimApp{UnitCost: 0.05, BytesPerUnit: 100})
+	reply, err := c.Submit(taskXML, "", "", &daemon.SimApp{UnitCost: 0.05, BytesPerUnit: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := c.WaitDone(reply.JobID, 5*time.Second, 5*time.Millisecond)
+	job, err := waitDone(c, reply.JobID, 5*time.Second, 5*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +91,7 @@ func TestSubmitStatusReportFlow(t *testing.T) {
 func TestWaitDoneTimeout(t *testing.T) {
 	c := startDaemon(t)
 	// Job 999 does not exist: WaitDone must surface the RPC error.
-	if _, err := c.WaitDone(999, 100*time.Millisecond, 10*time.Millisecond); err == nil {
+	if _, err := waitDone(c, 999, 100*time.Millisecond, 10*time.Millisecond); err == nil {
 		t.Error("WaitDone on unknown job succeeded")
 	}
 }

@@ -14,6 +14,7 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -54,28 +55,56 @@ type Config struct {
 	SpecDir string
 	// Live-mode worker pool.
 	LiveWorkers []live.WorkerConn
+	// MaxConcurrentJobs caps how many jobs run at once; excess
+	// submissions queue. 0 means the mode default: 1 in live mode
+	// (concurrent jobs would otherwise contend for the same worker
+	// CPUs and every cost estimate would be wrong) and unlimited in
+	// sim mode. In live mode the cap is also clamped to the worker
+	// count, since every running job leases at least one worker.
+	MaxConcurrentJobs int
+	// QueueDepth bounds the admission queue across all priority
+	// classes; submissions that would exceed it are rejected with
+	// ErrQueueFull. 0 means unbounded.
+	QueueDepth int
 }
 
 // JobState is a job's lifecycle phase.
 type JobState string
 
-// Job lifecycle states.
+// Job lifecycle states. Queued and rejected are entered at admission;
+// cancelled is terminal for both queued and running jobs.
 const (
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+	JobRejected  JobState = "rejected"
 )
 
 // Job tracks one submitted application.
 type Job struct {
 	ID        int
 	Algorithm string
+	// Priority is the admission class: high, normal or low.
+	Priority  string
 	State     JobState
 	Submitted time.Time
-	Finished  time.Time
-	Makespan  float64
-	Chunks    int
-	Err       string
+	// Started is when the job left the queue (zero while queued).
+	Started  time.Time
+	Finished time.Time
+	Makespan float64
+	Chunks   int
+	Err      string
+	// Code is the machine-readable error code for failed, cancelled
+	// and rejected jobs (errcode.Code of the terminal error).
+	Code string
+	// QueuePos is the 1-based dispatch position while queued, 0
+	// otherwise.
+	QueuePos int
+	// Leased holds the live-mode worker indexes leased to the running
+	// job; empty once released (and always in sim mode).
+	Leased []int
 
 	tr     *trace.Trace
 	events *obs.Ring
@@ -94,6 +123,21 @@ type Daemon struct {
 	nextID int
 	wg     sync.WaitGroup
 
+	// Scheduler state (guarded by mu): per-class FIFO queues, the
+	// live-worker lease pool, and the resolved concurrency cap.
+	queues   [len(classes)][]*pendingJob
+	queued   int
+	running  int
+	pending  map[int]*pendingJob // queued or running jobs by id
+	draining bool
+	effCap   int // 0 = unlimited
+	leases   *live.LeasePool
+	idle     *sync.Cond // broadcast when running == queued == 0
+
+	// runFn executes one admitted job; tests override it to exercise
+	// the scheduler without a real backend.
+	runFn func(ctx context.Context, p *pendingJob) (*trace.Trace, error)
+
 	// Telemetry: one registry aggregates daemon-level job accounting
 	// and the engine/grid metric sets across all jobs.
 	started                             time.Time
@@ -101,8 +145,12 @@ type Daemon struct {
 	runMetrics                          *obs.RunMetrics
 	gridMetrics                         *obs.GridMetrics
 	jobsSubmitted, jobsDone, jobsFailed *obs.Counter
+	jobsRejected, jobsCancelled         *obs.Counter
 	jobsRunning                         *obs.Gauge
+	jobsQueuedG                         *obs.Gauge
+	workersLeased                       *obs.Gauge
 	jobSeconds                          *obs.Histogram
+	waitSeconds, runSeconds             map[string]*obs.Histogram
 }
 
 // New validates the configuration and returns a daemon.
@@ -122,10 +170,17 @@ func New(cfg Config) (*Daemon, error) {
 	default:
 		return nil, fmt.Errorf("daemon: unknown mode %q", cfg.Mode)
 	}
+	if cfg.MaxConcurrentJobs < 0 {
+		return nil, fmt.Errorf("daemon: negative max concurrent jobs")
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("daemon: negative queue depth")
+	}
 	reg := obs.NewRegistry()
 	d := &Daemon{
 		cfg:           cfg,
 		jobs:          make(map[int]*Job),
+		pending:       make(map[int]*pendingJob),
 		started:       time.Now(),
 		registry:      reg,
 		runMetrics:    obs.NewRunMetrics(reg),
@@ -133,9 +188,33 @@ func New(cfg Config) (*Daemon, error) {
 		jobsSubmitted: reg.Counter("apstdv_jobs_submitted_total", "Jobs accepted by Submit."),
 		jobsDone:      reg.Counter("apstdv_jobs_done_total", "Jobs that finished successfully."),
 		jobsFailed:    reg.Counter("apstdv_jobs_failed_total", "Jobs that failed."),
+		jobsRejected:  reg.Counter("apstdv_jobs_rejected_total", "Submissions rejected by admission control."),
+		jobsCancelled: reg.Counter("apstdv_jobs_cancelled_total", "Jobs cancelled before completing."),
 		jobsRunning:   reg.Gauge("apstdv_jobs_running", "Jobs currently executing."),
+		jobsQueuedG:   reg.Gauge("apstdv_jobs_queued", "Jobs waiting in the admission queue."),
+		workersLeased: reg.Gauge("apstdv_workers_leased", "Live workers leased to running jobs."),
 		jobSeconds:    reg.Histogram("apstdv_job_makespan_seconds", "Per-job model makespan.", obs.DurationBuckets),
+		waitSeconds:   make(map[string]*obs.Histogram),
+		runSeconds:    make(map[string]*obs.Histogram),
 	}
+	for _, c := range classes {
+		d.waitSeconds[c] = reg.Histogram("apstdv_job_wait_seconds_"+c,
+			"Queue wait of "+c+"-priority jobs.", obs.DurationBuckets)
+		d.runSeconds[c] = reg.Histogram("apstdv_job_run_seconds_"+c,
+			"Wall-clock run time of "+c+"-priority jobs.", obs.DurationBuckets)
+	}
+	d.idle = sync.NewCond(&d.mu)
+	d.effCap = cfg.MaxConcurrentJobs
+	if cfg.Mode == ModeLive {
+		if d.effCap == 0 {
+			d.effCap = 1
+		}
+		if d.effCap > len(cfg.LiveWorkers) {
+			d.effCap = len(cfg.LiveWorkers)
+		}
+		d.leases = live.NewLeasePool(len(cfg.LiveWorkers))
+	}
+	d.runFn = d.execute
 	return d, nil
 }
 
@@ -149,6 +228,8 @@ type SubmitArgs struct {
 	TaskXML string
 	// Algorithm overrides the spec's algorithm attribute when non-empty.
 	Algorithm string
+	// Priority is the admission class: high, normal (default) or low.
+	Priority string
 	// SimApp supplies the application's true cost model for sim mode
 	// (what reality supplies in live mode). Ignored in live mode.
 	SimApp *SimApp
@@ -166,12 +247,21 @@ type SubmitReply struct {
 	JobID     int
 	Algorithm string
 	TotalLoad float64
+	// State is the job's admission outcome: running when a concurrency
+	// slot was free, queued otherwise.
+	State JobState
 }
 
-// Submit parses, validates and launches a job. It returns as soon as the
-// job is running; poll Status for completion.
+// Submit parses, validates and admits a job: it starts immediately when
+// a concurrency slot is free, queues behind its priority class
+// otherwise, and is rejected with ErrQueueFull when the queue is at its
+// configured depth. Poll Status for completion.
 func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 	task, err := spec.Parse(strings.NewReader(args.TaskXML))
+	if err != nil {
+		return err
+	}
+	prio, err := normalizePriority(args.Priority)
 	if err != nil {
 		return err
 	}
@@ -203,45 +293,29 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 		return err
 	}
 
+	ctx, cancel := context.WithCancelCause(context.Background())
 	d.mu.Lock()
 	d.nextID++
 	job := &Job{
-		ID: d.nextID, Algorithm: algName, State: JobRunning,
+		ID: d.nextID, Algorithm: algName, Priority: prio,
 		Submitted: time.Now(), events: obs.NewRing(jobEventRing),
 	}
 	d.jobs[job.ID] = job
+	p := &pendingJob{
+		job: job, alg: alg, app: app, divider: divider,
+		probeLoad: task.Divisibility.ProbeLoad,
+		stream:    &jobStream{ring: job.events},
+		ctx:       ctx, cancel: cancel,
+	}
+	err = d.admitLocked(p)
+	if err == nil {
+		reply.JobID = job.ID
+		reply.Algorithm = algName
+		reply.TotalLoad = divider.TotalLoad()
+		reply.State = job.State
+	}
 	d.mu.Unlock()
-	d.jobsSubmitted.Inc()
-	d.jobsRunning.Inc()
-
-	probeLoad := task.Divisibility.ProbeLoad
-
-	d.wg.Add(1)
-	go func() {
-		defer d.wg.Done()
-		tr, err := d.execute(alg, app, divider, probeLoad, job.events)
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		job.Finished = time.Now()
-		d.jobsRunning.Dec()
-		if err != nil {
-			job.State = JobFailed
-			job.Err = err.Error()
-			d.jobsFailed.Inc()
-			return
-		}
-		job.State = JobDone
-		job.tr = tr
-		job.Makespan = tr.Makespan()
-		job.Chunks = tr.Len()
-		d.jobsDone.Inc()
-		d.jobSeconds.Observe(job.Makespan)
-	}()
-
-	reply.JobID = job.ID
-	reply.Algorithm = algName
-	reply.TotalLoad = divider.TotalLoad()
-	return nil
+	return err
 }
 
 // buildApp derives the engine's application model from the spec.
@@ -274,26 +348,47 @@ func (d *Daemon) buildApp(task *spec.Task, divider divide.Divider, sim *SimApp) 
 }
 
 // execute runs the job on the configured backend, streaming its events
-// into the job's ring and its metrics into the shared registry.
-func (d *Daemon) execute(alg dls.Algorithm, app *model.Application, divider divide.Divider, probeLoad float64, events obs.Sink) (*trace.Trace, error) {
-	ecfg := engine.Config{
-		Divider: divider, ProbeLoad: probeLoad,
-		Events: events, Metrics: d.runMetrics,
+// into the job's ring (numbered after the daemon's lifecycle events via
+// SeqBase) and its metrics into the shared registry.
+func (d *Daemon) execute(ctx context.Context, p *pendingJob) (*trace.Trace, error) {
+	req := engine.Request{
+		Algorithm: p.alg, App: p.app, Platform: d.cfg.Platform,
+		Config: engine.Config{
+			Divider: p.divider, ProbeLoad: p.probeLoad,
+			Events: p.stream, Metrics: d.runMetrics,
+			SeqBase: p.stream.nextSeq(),
+		},
 	}
 	switch d.cfg.Mode {
 	case ModeSim:
-		backend, err := grid.New(d.cfg.Platform, app, grid.Config{Seed: d.cfg.Seed, Metrics: d.gridMetrics})
+		backend, err := grid.New(d.cfg.Platform, p.app, grid.Config{Seed: d.cfg.Seed, Metrics: d.gridMetrics})
 		if err != nil {
 			return nil, err
 		}
-		return engine.Run(backend, alg, app, d.cfg.Platform, ecfg)
+		req.Backend = backend
+		return engine.Execute(ctx, req)
 	case ModeLive:
-		backend, err := live.Dial(d.cfg.LiveWorkers)
+		// The job runs on its leased workers only — that is the
+		// isolation leasing buys. (No recorded lease means the lease
+		// pool is disabled, so use the whole pool.)
+		conns := d.cfg.LiveWorkers
+		if leased := p.job.Leased; len(leased) > 0 {
+			conns = make([]live.WorkerConn, 0, len(leased))
+			for _, w := range leased {
+				conns = append(conns, d.cfg.LiveWorkers[w])
+			}
+		}
+		backend, err := live.Dial(conns)
 		if err != nil {
 			return nil, err
 		}
 		defer backend.Stop()
-		return engine.Run(backend, alg, app, d.cfg.Platform, ecfg)
+		// Cancellation must unblock the backend too: abort worker-side
+		// compute and fail the in-flight RPCs so Run's drain finishes.
+		stop := context.AfterFunc(ctx, backend.Cancel)
+		defer stop()
+		req.Backend = backend
+		return engine.Execute(ctx, req)
 	}
 	return nil, fmt.Errorf("daemon: unknown mode %q", d.cfg.Mode)
 }
@@ -312,9 +407,10 @@ func (d *Daemon) Status(args StatusArgs, reply *StatusReply) error {
 	defer d.mu.Unlock()
 	job, ok := d.jobs[args.JobID]
 	if !ok {
-		return fmt.Errorf("daemon: no job %d", args.JobID)
+		return fmt.Errorf("daemon: no job %d: %w", args.JobID, ErrJobNotFound)
 	}
 	reply.Job = *job
+	reply.Job.QueuePos = d.queuePosLocked(job)
 	reply.Job.tr = nil
 	reply.Job.events = nil
 	return nil
@@ -340,7 +436,7 @@ func (d *Daemon) Report(args ReportArgs, reply *ReportReply) error {
 	job, ok := d.jobs[args.JobID]
 	d.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("daemon: no job %d", args.JobID)
+		return fmt.Errorf("daemon: no job %d: %w", args.JobID, ErrJobNotFound)
 	}
 	if job.State != JobDone || job.tr == nil {
 		return fmt.Errorf("daemon: job %d is %s; no report", args.JobID, job.State)
@@ -391,6 +487,7 @@ func (d *Daemon) ListJobs(args ListJobsArgs, reply *ListJobsReply) error {
 	for id := 1; id <= d.nextID; id++ {
 		if j, ok := d.jobs[id]; ok {
 			cp := *j
+			cp.QueuePos = d.queuePosLocked(j)
 			cp.tr = nil
 			cp.events = nil
 			reply.Jobs = append(reply.Jobs, cp)
@@ -399,9 +496,15 @@ func (d *Daemon) ListJobs(args ListJobsArgs, reply *ListJobsReply) error {
 	return nil
 }
 
-// Wait blocks until all running jobs finish (used by tests and clean
-// shutdown).
-func (d *Daemon) Wait() { d.wg.Wait() }
+// Wait blocks until the scheduler is idle: no job running and none
+// queued (used by tests and clean shutdown).
+func (d *Daemon) Wait() {
+	d.mu.Lock()
+	for d.running > 0 || d.queued > 0 {
+		d.idle.Wait()
+	}
+	d.mu.Unlock()
+}
 
 // Serve registers the daemon under the "APSTDV" RPC name and serves on
 // the listener until it is closed.

@@ -1,6 +1,7 @@
 package daemon_test
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -11,6 +12,14 @@ import (
 	"apstdv/internal/live"
 	"apstdv/internal/workload"
 )
+
+// waitDone adapts the context-based WaitDone to the timeout style the
+// tests use.
+func waitDone(c *client.Client, jobID int, timeout, poll time.Duration) (daemon.Job, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitDone(ctx, jobID, poll)
+}
 
 const taskXML = `<task executable="app" input="big">
  <divisibility input="big" method="callback" load="500" callback="cb" algorithm="umr" probe_load="5"/>
@@ -54,7 +63,7 @@ func TestDaemonConfigValidation(t *testing.T) {
 
 func TestSubmitRunReport(t *testing.T) {
 	c, _ := startSimDaemon(t)
-	reply, err := c.Submit(taskXML, "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
+	reply, err := c.Submit(taskXML, "", "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +73,7 @@ func TestSubmitRunReport(t *testing.T) {
 	if reply.TotalLoad != 500 {
 		t.Errorf("load %g, want 500", reply.TotalLoad)
 	}
-	job, err := c.WaitDone(reply.JobID, 10*time.Second, 10*time.Millisecond)
+	job, err := waitDone(c, reply.JobID, 10*time.Second, 10*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +97,7 @@ func TestSubmitRunReport(t *testing.T) {
 
 func TestSubmitAlgorithmOverride(t *testing.T) {
 	c, _ := startSimDaemon(t)
-	reply, err := c.Submit(taskXML, "wf", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
+	reply, err := c.Submit(taskXML, "wf", "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +108,10 @@ func TestSubmitAlgorithmOverride(t *testing.T) {
 
 func TestSubmitRejectsBadXML(t *testing.T) {
 	c, _ := startSimDaemon(t)
-	if _, err := c.Submit("<task>", "", nil); err == nil {
+	if _, err := c.Submit("<task>", "", "", nil); err == nil {
 		t.Error("bad XML accepted")
 	}
-	if _, err := c.Submit(taskXML, "quantum-annealer", nil); err == nil {
+	if _, err := c.Submit(taskXML, "quantum-annealer", "", nil); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -142,7 +151,7 @@ func TestAlgorithmsRPC(t *testing.T) {
 func TestListJobs(t *testing.T) {
 	c, _ := startSimDaemon(t)
 	for i := 0; i < 3; i++ {
-		if _, err := c.Submit(taskXML, "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000}); err != nil {
+		if _, err := c.Submit(taskXML, "", "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -164,7 +173,7 @@ func TestDefaultAlgorithmIsFixedRUMR(t *testing.T) {
 	// The paper's §4.3 recommendation to APST-DV users.
 	c, _ := startSimDaemon(t)
 	noAlg := strings.Replace(taskXML, ` algorithm="umr"`, "", 1)
-	reply, err := c.Submit(noAlg, "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
+	reply, err := c.Submit(noAlg, "", "", &daemon.SimApp{UnitCost: 0.1, BytesPerUnit: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +211,11 @@ func TestLiveModeDaemon(t *testing.T) {
 	small := `<task executable="app" input="big">
  <divisibility input="big" method="callback" load="40" callback="cb" algorithm="simple-1" probe_load="2"/>
 </task>`
-	reply, err := c.Submit(small, "", nil)
+	reply, err := c.Submit(small, "", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := c.WaitDone(reply.JobID, 15*time.Second, 20*time.Millisecond)
+	job, err := waitDone(c, reply.JobID, 15*time.Second, 20*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

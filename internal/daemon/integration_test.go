@@ -69,14 +69,14 @@ func TestFileBasedWorkflowEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reply, err := c.Submit(string(xmlBytes), "", &daemon.SimApp{UnitCost: 0.01, BytesPerUnit: 1})
+	reply, err := c.Submit(string(xmlBytes), "", "", &daemon.SimApp{UnitCost: 0.01, BytesPerUnit: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if reply.TotalLoad != float64(total) {
 		t.Errorf("job load %g, want the real file size %d", reply.TotalLoad, total)
 	}
-	job, err := c.WaitDone(reply.JobID, 10*time.Second, 10*time.Millisecond)
+	job, err := waitDone(c, reply.JobID, 10*time.Second, 10*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +162,14 @@ func TestIndexFileWorkflow(t *testing.T) {
 	}
 	defer c.Close()
 
-	reply, err := c.Submit(specXML, "", &daemon.SimApp{UnitCost: 0.005, BytesPerUnit: 1})
+	reply, err := c.Submit(specXML, "", "", &daemon.SimApp{UnitCost: 0.005, BytesPerUnit: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if reply.TotalLoad != float64(total) {
 		t.Errorf("load %g, want %d", reply.TotalLoad, total)
 	}
-	job, err := c.WaitDone(reply.JobID, 10*time.Second, 10*time.Millisecond)
+	job, err := waitDone(c, reply.JobID, 10*time.Second, 10*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

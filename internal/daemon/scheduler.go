@@ -1,0 +1,388 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"apstdv/internal/divide"
+	"apstdv/internal/dls"
+	"apstdv/internal/errcode"
+	"apstdv/internal/model"
+	"apstdv/internal/obs"
+)
+
+// Priority classes, highest first. Admission drains high before normal
+// before low; within a class jobs run in submission (FIFO) order.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal"
+	PriorityLow    = "low"
+)
+
+// classes orders the priority names by rank; queue index == rank.
+var classes = [...]string{PriorityHigh, PriorityNormal, PriorityLow}
+
+// normalizePriority maps the wire value to a class name ("" defaults to
+// normal) or rejects unknown classes.
+func normalizePriority(p string) (string, error) {
+	if p == "" {
+		return PriorityNormal, nil
+	}
+	for _, c := range classes {
+		if p == c {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("daemon: unknown priority %q (want high, normal or low)", p)
+}
+
+// classIndex returns the queue rank of a normalized priority.
+func classIndex(p string) int {
+	for i, c := range classes {
+		if p == c {
+			return i
+		}
+	}
+	return len(classes) - 1
+}
+
+// pendingJob is a job plus everything needed to run it: the parsed
+// algorithm and application, the per-job cancellation context, and the
+// spliced event stream. It exists from admission to terminal state.
+type pendingJob struct {
+	job       *Job
+	alg       dls.Algorithm
+	app       *model.Application
+	divider   divide.Divider
+	probeLoad float64
+	stream    *jobStream
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+}
+
+// jobStream wraps a job's event ring, tracking the next unused sequence
+// number so the daemon can splice its lifecycle events (job_queued,
+// job_started, job_cancelled, job_rejected) into the same monotonic
+// stream as the engine's run events: the daemon emits first, hands the
+// engine Config.SeqBase = nextSeq(), and the engine numbers densely from
+// there. Pollers reading the Events RPC therefore see one gap-free
+// cursor across both layers.
+type jobStream struct {
+	ring *obs.Ring
+	mu   sync.Mutex
+	next int64
+}
+
+// Emit implements obs.Sink.
+func (s *jobStream) Emit(ev obs.Event) { s.EmitPtr(&ev) }
+
+// EmitPtr implements obs.PtrSink, preserving the engine's allocation-
+// free fast path into the ring.
+func (s *jobStream) EmitPtr(ev *obs.Event) {
+	s.mu.Lock()
+	if ev.Seq >= s.next {
+		s.next = ev.Seq + 1
+	}
+	s.mu.Unlock()
+	s.ring.EmitPtr(ev)
+}
+
+// emit appends a daemon lifecycle event, assigning the next sequence.
+func (s *jobStream) emit(ev obs.Event) {
+	s.mu.Lock()
+	ev.Seq = s.next
+	s.next++
+	s.mu.Unlock()
+	s.ring.EmitPtr(&ev)
+}
+
+// nextSeq returns the sequence the next event should carry — the
+// engine's SeqBase for this job's run.
+func (s *jobStream) nextSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// admitLocked places a freshly submitted job: start it if a concurrency
+// slot is free, queue it if the queue has room, otherwise reject it with
+// ErrQueueFull. Caller holds d.mu and has already registered the job in
+// d.jobs. The returned error is what Submit reports to the client.
+func (d *Daemon) admitLocked(p *pendingJob) error {
+	job := p.job
+	if d.draining {
+		return d.rejectLocked(p, fmt.Errorf("daemon: job rejected: %w", ErrDraining))
+	}
+	if d.effCap > 0 && d.running >= d.effCap &&
+		d.cfg.QueueDepth > 0 && d.queued >= d.cfg.QueueDepth {
+		return d.rejectLocked(p, fmt.Errorf("daemon: job rejected: %w (depth %d)", ErrQueueFull, d.cfg.QueueDepth))
+	}
+	d.jobsSubmitted.Inc()
+	d.pending[job.ID] = p
+	job.State = JobQueued
+	p.stream.emit(obs.Event{Type: obs.JobQueued, Class: job.Priority})
+	if d.effCap == 0 || d.running < d.effCap {
+		d.startLocked(p)
+		return nil
+	}
+	d.queues[classIndex(job.Priority)] = append(d.queues[classIndex(job.Priority)], p)
+	d.queued++
+	d.jobsQueuedG.Set(float64(d.queued))
+	return nil
+}
+
+// rejectLocked records a terminal rejected job (it stays visible in job
+// listings) and returns the typed error for the client.
+func (d *Daemon) rejectLocked(p *pendingJob, cause error) error {
+	job := p.job
+	job.State = JobRejected
+	job.Finished = time.Now()
+	job.Err = cause.Error()
+	job.Code = errcode.Code(cause)
+	d.jobsRejected.Inc()
+	p.cancel(cause)
+	p.stream.emit(obs.Event{Type: obs.JobRejected, Class: job.Priority, Err: cause.Error()})
+	return cause
+}
+
+// startLocked moves a job into the running state: leases its share of
+// the live worker pool, stamps the wait-time metrics, and launches the
+// run goroutine. Caller holds d.mu.
+func (d *Daemon) startLocked(p *pendingJob) {
+	job := p.job
+	job.State = JobRunning
+	job.Started = time.Now()
+	d.running++
+	d.jobsRunning.Inc()
+	if d.leases != nil {
+		// Each admitted job gets free/slotsRemaining workers (integer,
+		// at least 1): with cap C ≤ pool size, the pool always has at
+		// least one free worker per unfilled slot, so every job that a
+		// slot admits can lease, and lease sets are disjoint.
+		slots := d.effCap - (d.running - 1)
+		share := d.leases.Free() / slots
+		if share < 1 {
+			share = 1
+		}
+		job.Leased = d.leases.Acquire(share)
+		d.workersLeased.Set(float64(d.leases.Size() - d.leases.Free()))
+	}
+	wait := job.Started.Sub(job.Submitted).Seconds()
+	d.waitSeconds[job.Priority].Observe(wait)
+	p.stream.emit(obs.Event{
+		Type: obs.JobStarted, T: wait, Class: job.Priority,
+		Dur: wait, Workers: len(job.Leased),
+	})
+	d.wg.Add(1)
+	go d.runJob(p)
+}
+
+// runJob executes one job to a terminal state, then releases its
+// resources and pulls the next queued job into the freed slot.
+func (d *Daemon) runJob(p *pendingJob) {
+	defer d.wg.Done()
+	tr, err := d.runFn(p.ctx, p)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	job := p.job
+	job.Finished = time.Now()
+	d.running--
+	d.jobsRunning.Dec()
+	if d.leases != nil && len(job.Leased) > 0 {
+		d.leases.Release(job.Leased)
+		d.workersLeased.Set(float64(d.leases.Size() - d.leases.Free()))
+		job.Leased = nil
+	}
+	delete(d.pending, job.ID)
+	d.runSeconds[job.Priority].Observe(job.Finished.Sub(job.Started).Seconds())
+	switch {
+	case err == nil:
+		job.State = JobDone
+		job.tr = tr
+		job.Makespan = tr.Makespan()
+		job.Chunks = tr.Len()
+		d.jobsDone.Inc()
+		d.jobSeconds.Observe(job.Makespan)
+	case p.ctx.Err() != nil:
+		cause := context.Cause(p.ctx)
+		job.State = JobCancelled
+		job.Err = cause.Error()
+		job.Code = errcode.Code(cause)
+		d.jobsCancelled.Inc()
+		p.stream.emit(obs.Event{
+			Type: obs.JobCancelled, T: time.Since(job.Submitted).Seconds(),
+			Class: job.Priority, Err: cause.Error(),
+		})
+	default:
+		job.State = JobFailed
+		job.Err = err.Error()
+		job.Code = errcode.Code(err)
+		d.jobsFailed.Inc()
+	}
+	d.scheduleLocked()
+	d.notifyIfIdleLocked()
+}
+
+// scheduleLocked fills free concurrency slots from the queues, highest
+// priority class first, FIFO within a class. Caller holds d.mu.
+func (d *Daemon) scheduleLocked() {
+	for !d.draining && (d.effCap == 0 || d.running < d.effCap) {
+		p := d.popLocked()
+		if p == nil {
+			break
+		}
+		d.startLocked(p)
+	}
+	d.jobsQueuedG.Set(float64(d.queued))
+}
+
+// popLocked removes and returns the next job to run, or nil.
+func (d *Daemon) popLocked() *pendingJob {
+	for c := range d.queues {
+		if len(d.queues[c]) > 0 {
+			p := d.queues[c][0]
+			d.queues[c] = d.queues[c][1:]
+			d.queued--
+			return p
+		}
+	}
+	return nil
+}
+
+// removeQueuedLocked takes a specific job out of its class queue.
+func (d *Daemon) removeQueuedLocked(p *pendingJob) {
+	c := classIndex(p.job.Priority)
+	for i, e := range d.queues[c] {
+		if e == p {
+			d.queues[c] = append(d.queues[c][:i], d.queues[c][i+1:]...)
+			d.queued--
+			d.jobsQueuedG.Set(float64(d.queued))
+			return
+		}
+	}
+}
+
+// cancelQueuedLocked finalizes a queued job as cancelled with the given
+// cause. Caller holds d.mu and has already removed it from its queue.
+func (d *Daemon) cancelQueuedLocked(p *pendingJob, cause error) {
+	job := p.job
+	job.State = JobCancelled
+	job.Finished = time.Now()
+	job.Err = cause.Error()
+	job.Code = errcode.Code(cause)
+	delete(d.pending, job.ID)
+	d.jobsCancelled.Inc()
+	p.cancel(cause)
+	p.stream.emit(obs.Event{
+		Type: obs.JobCancelled, T: time.Since(job.Submitted).Seconds(),
+		Class: job.Priority, Err: cause.Error(),
+	})
+}
+
+// queuePosLocked computes a queued job's 1-based dispatch position
+// across all classes (the order popLocked would drain them).
+func (d *Daemon) queuePosLocked(job *Job) int {
+	if job.State != JobQueued {
+		return 0
+	}
+	pos := 0
+	for c := range d.queues {
+		for _, p := range d.queues[c] {
+			pos++
+			if p.job == job {
+				return pos
+			}
+		}
+	}
+	return 0
+}
+
+// notifyIfIdleLocked wakes Wait callers once nothing runs or queues.
+func (d *Daemon) notifyIfIdleLocked() {
+	if d.running == 0 && d.queued == 0 {
+		d.idle.Broadcast()
+	}
+}
+
+// drainGrace bounds how long Shutdown waits for cancelled jobs to
+// unwind after the caller's deadline has already expired.
+const drainGrace = 5 * time.Second
+
+// Shutdown drains the daemon: it stops admitting (submissions fail with
+// ErrDraining), cancels every queued job, and waits for running jobs to
+// finish. If ctx expires first, the running jobs are cancelled too and
+// Shutdown waits a short bounded grace for them to unwind; jobs still
+// running after that are reported as an error.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	d.draining = true
+	for c := range d.queues {
+		for _, p := range d.queues[c] {
+			d.cancelQueuedLocked(p, fmt.Errorf("daemon: job cancelled: %w", ErrDraining))
+		}
+		d.queues[c] = nil
+	}
+	d.queued = 0
+	d.jobsQueuedG.Set(0)
+	d.notifyIfIdleLocked()
+	d.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { d.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	d.mu.Lock()
+	for _, p := range d.pending {
+		p.cancel(fmt.Errorf("daemon: job cancelled: %w", ErrDraining))
+	}
+	d.mu.Unlock()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(drainGrace):
+		d.mu.Lock()
+		n := d.running
+		d.mu.Unlock()
+		return fmt.Errorf("daemon: %d jobs still running after drain deadline", n)
+	}
+}
+
+// CancelArgs selects the job to cancel.
+type CancelArgs struct{ JobID int }
+
+// CancelReply reports the job's state after the cancel request: a
+// queued job goes straight to cancelled; a running job stays running
+// until the engine unwinds (poll Status for the terminal state);
+// terminal jobs are unchanged.
+type CancelReply struct{ State JobState }
+
+// Cancel implements the cancellation RPC. Cancelling a queued job
+// removes it from the queue immediately; cancelling a running job
+// cancels its context, which aborts the engine run (and, in live mode,
+// the worker-side compute) and frees its worker leases when the run
+// goroutine unwinds — at which point the freed slot pulls the next
+// queued job. Cancelling a terminal job is a no-op.
+func (d *Daemon) Cancel(args CancelArgs, reply *CancelReply) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	job, ok := d.jobs[args.JobID]
+	if !ok {
+		return fmt.Errorf("daemon: no job %d: %w", args.JobID, ErrJobNotFound)
+	}
+	switch job.State {
+	case JobQueued:
+		p := d.pending[job.ID]
+		d.removeQueuedLocked(p)
+		d.cancelQueuedLocked(p, fmt.Errorf("daemon: job cancelled: %w", ErrJobCancelled))
+		d.notifyIfIdleLocked()
+	case JobRunning:
+		d.pending[job.ID].cancel(fmt.Errorf("daemon: job cancelled: %w", ErrJobCancelled))
+	}
+	reply.State = job.State
+	return nil
+}

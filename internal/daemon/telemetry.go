@@ -36,7 +36,7 @@ func (d *Daemon) Events(args EventsArgs, reply *EventsReply) error {
 	job, ok := d.jobs[args.JobID]
 	d.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("daemon: no job %d", args.JobID)
+		return fmt.Errorf("daemon: no job %d: %w", args.JobID, ErrJobNotFound)
 	}
 	reply.Events = job.events.After(args.AfterSeq)
 	if len(reply.Events) > 0 && reply.Events[0].Seq > args.AfterSeq+1 {
@@ -54,6 +54,7 @@ type healthz struct {
 	Mode          string  `json:"mode"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	JobsRunning   int     `json:"jobs_running"`
+	JobsQueued    int     `json:"jobs_queued"`
 	JobsTotal     int     `json:"jobs_total"`
 }
 
@@ -86,6 +87,7 @@ func (d *Daemon) TelemetryHandler() http.Handler {
 			Mode:          string(d.cfg.Mode),
 			UptimeSeconds: time.Since(d.started).Seconds(),
 			JobsRunning:   running,
+			JobsQueued:    d.queued,
 			JobsTotal:     len(d.jobs),
 		}
 		d.mu.Unlock()

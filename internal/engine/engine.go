@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -145,16 +146,66 @@ type Config struct {
 	// and histograms may be shared across runs (the daemon aggregates
 	// all jobs into one registry).
 	Metrics *obs.RunMetrics
+	// SeqBase offsets the run's event sequence numbers. The daemon uses
+	// it to splice engine events after the job-lifecycle events it has
+	// already emitted into the same ring, keeping one monotonic cursor.
+	// Zero (the default) leaves streams exactly as before.
+	SeqBase int64
+}
+
+// Request bundles one execution's inputs — the redesigned public entry
+// point. Backend, Algorithm and App are required; Platform is optional
+// for backends that do not need the declared model (live runs).
+type Request struct {
+	Backend   Backend
+	Algorithm dls.Algorithm
+	App       *model.Application
+	Platform  *model.Platform
+	Config    Config
 }
 
 // Run executes the application on the backend under the algorithm's
 // schedule and returns the execution trace.
+//
+// Deprecated: Run is the pre-Request form, kept for one release so
+// existing call sites compile. Use Execute, which takes a
+// context.Context (cancellation, deadlines) and a Request.
 func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.Platform, cfg Config) (*trace.Trace, error) {
+	return Execute(context.Background(), Request{
+		Backend: b, Algorithm: alg, App: app, Platform: platform, Config: cfg,
+	})
+}
+
+// Execute runs the application on the backend under the algorithm's
+// schedule and returns the execution trace.
+//
+// Cancelling ctx aborts the run cleanly: no further chunks are
+// dispatched, the backend is stopped, the terminal RunFinished event is
+// emitted, and Execute returns the context's cause (errors.Is against
+// context.Canceled / context.DeadlineExceeded works). The partial trace
+// accumulated so far is returned alongside the error.
+func Execute(ctx context.Context, req Request) (*trace.Trace, error) {
+	b, alg, app, platform, cfg := req.Backend, req.Algorithm, req.App, req.Platform, req.Config
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if b == nil {
+		return nil, errors.New("engine: request has no backend")
+	}
+	if alg == nil {
+		return nil, errors.New("engine: request has no algorithm")
+	}
+	if app == nil {
+		return nil, errors.New("engine: request has no application")
+	}
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
 	if b.Workers() == 0 {
 		return nil, errors.New("engine: backend has no workers")
+	}
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
 	}
 	e := &execution{
 		backend:  b,
@@ -197,6 +248,20 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 	if cfg.ProbeBytesPerUnit > 0 {
 		e.probeBPU = cfg.ProbeBytesPerUnit
 	}
+	e.eventSeq = cfg.SeqBase
+
+	if ctx.Done() != nil {
+		// Cancellation aborts through the normal failure path: the first
+		// error wins, dispatch halts, and maybeFinish stops a Stopper
+		// backend so Run unblocks. A context that never cancels costs one
+		// registered callback and nothing on the scheduling path.
+		stop := context.AfterFunc(ctx, func() {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.fail(context.Cause(ctx))
+		})
+		defer stop()
+	}
 
 	e.mu.Lock()
 	e.start()
@@ -217,8 +282,8 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 		return e.trace, e.err
 	}
 	if e.remaining > 1e-9 || e.inflight > 0 || len(e.retryQ) > 0 {
-		return e.trace, fmt.Errorf("engine: %s stalled with %.6g load undispatched and %d chunks in flight%s",
-			alg.Name(), e.remaining, e.inflight, e.stallDetail())
+		return e.trace, fmt.Errorf("%w: %s with %.6g load undispatched and %d chunks in flight%s",
+			ErrStalled, alg.Name(), e.remaining, e.inflight, e.stallDetail())
 	}
 	return e.trace, nil
 }
@@ -629,8 +694,8 @@ func (e *execution) tryDispatch() {
 			// Nothing in flight can retrigger dispatch: the algorithm
 			// has abandoned load. Fail fast instead of hanging a live
 			// backend.
-			e.fail(fmt.Errorf("engine: %s declined to dispatch with %.6g load remaining and nothing in flight",
-				e.alg.Name(), e.remaining))
+			e.fail(fmt.Errorf("%w: %s declined to dispatch with %.6g load remaining and nothing in flight",
+				ErrStalled, e.alg.Name(), e.remaining))
 		}
 		e.maybeFinish()
 		return

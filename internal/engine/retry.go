@@ -303,6 +303,6 @@ func (e *execution) pickAliveWorker() (int, bool) {
 // worker is out of service, so only a partial result is possible.
 // Caller holds the mutex.
 func (e *execution) failNoWorkers() {
-	e.fail(fmt.Errorf("engine: all %d workers lost; partial result: %.6g of %.6g load completed",
-		e.backend.Workers(), e.completed, e.total))
+	e.fail(fmt.Errorf("%w: all %d workers out of service; partial result: %.6g of %.6g load completed",
+		ErrAllWorkersLost, e.backend.Workers(), e.completed, e.total))
 }

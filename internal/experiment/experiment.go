@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -196,7 +197,9 @@ func (s *Spec) runOnce(gamma float64, ai, run int, out *runResult) error {
 		buf = obs.NewBuffer()
 		ecfg.Events = buf
 	}
-	tr, err := engine.Run(backend, alg, app, s.Platform, ecfg)
+	tr, err := engine.Execute(context.Background(), engine.Request{
+		Backend: backend, Algorithm: alg, App: app, Platform: s.Platform, Config: ecfg,
+	})
 	if err != nil {
 		return fmt.Errorf("%s: %s γ=%g run %d: %w", s.ID, alg.Name(), gamma, run, err)
 	}

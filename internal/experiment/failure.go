@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -174,10 +175,13 @@ func (fs *FailureSweep) runOnce(ai, run int, plan *grid.FaultPlan, out *failureR
 		return err
 	}
 	met := obs.NewRunMetrics(obs.NewRegistry())
-	tr, err := engine.Run(backend, alg, app, fs.Platform, engine.Config{
-		ProbeLoad: sectionFourProbeLoad,
-		Metrics:   met,
-		Retry:     &engine.RetryPolicy{},
+	tr, err := engine.Execute(context.Background(), engine.Request{
+		Backend: backend, Algorithm: alg, App: app, Platform: fs.Platform,
+		Config: engine.Config{
+			ProbeLoad: sectionFourProbeLoad,
+			Metrics:   met,
+			Retry:     &engine.RetryPolicy{},
+		},
 	})
 	out.workersLost = met.WorkersLost.Value()
 	out.retries = met.ChunkRetries.Value()

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -137,7 +138,10 @@ func (rs *RobustnessSweep) runCell(nodes int, scale, gamma float64) (SweepCell, 
 			if err != nil {
 				return cell, err
 			}
-			tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: 200})
+			tr, err := engine.Execute(context.Background(), engine.Request{
+				Backend: backend, Algorithm: alg, App: app, Platform: platform,
+				Config: engine.Config{ProbeLoad: 200},
+			})
 			if err != nil {
 				return cell, fmt.Errorf("sweep %d nodes ×%.1f γ=%g %s: %w", nodes, scale, gamma, name, err)
 			}

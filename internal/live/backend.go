@@ -148,6 +148,39 @@ func (b *Backend) closeAllLocked() error {
 	return errors.Join(errs...)
 }
 
+// Cancel aborts the backend: it fires a best-effort Worker.Abort at
+// every still-connected worker (so a compute loop mid-chunk stops
+// burning CPU instead of running to completion), then closes every
+// connection so the in-flight Store/Compute/Fetch RPCs fail and their
+// done callbacks release the engine's accounting. Abort RPCs that do
+// not answer within a second are abandoned — a wedged worker must not
+// delay cancellation of the rest.
+func (b *Backend) Cancel() {
+	b.mu.Lock()
+	clients := make([]*rpc.Client, len(b.clients))
+	copy(clients, b.clients)
+	b.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		if c == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(c *rpc.Client) {
+			defer wg.Done()
+			var reply AbortReply
+			c.Call("Worker.Abort", AbortArgs{}, &reply)
+		}(c)
+	}
+	aborted := make(chan struct{})
+	go func() { wg.Wait(); close(aborted) }()
+	select {
+	case <-aborted:
+	case <-time.After(time.Second):
+	}
+	b.Close()
+}
+
 // client returns worker w's connection, or an error once the backend is
 // closed.
 func (b *Backend) client(w int) (*rpc.Client, error) {

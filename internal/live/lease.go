@@ -1,0 +1,91 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LeasePool tracks which workers of a fixed pool are leased out. The
+// daemon's job scheduler acquires a disjoint set of workers for each
+// live-mode job, so two concurrently running jobs never share a worker
+// — without leasing, their chunks would silently interleave on the same
+// FIFO worker CPUs and every cost estimate the algorithms build would
+// be wrong.
+//
+// Workers are identified by their index into the daemon's configured
+// pool. Acquire hands out the lowest free indexes, so lease sets are
+// deterministic for a given admission order.
+type LeasePool struct {
+	mu     sync.Mutex
+	leased []bool
+	free   int
+}
+
+// NewLeasePool returns a pool of n workers, all free.
+func NewLeasePool(n int) *LeasePool {
+	return &LeasePool{leased: make([]bool, n), free: n}
+}
+
+// Size returns the total worker count.
+func (p *LeasePool) Size() int { return len(p.leased) }
+
+// Free returns how many workers are currently unleased.
+func (p *LeasePool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free
+}
+
+// Acquire leases up to max workers (the lowest free indexes, ascending)
+// and returns their indexes. It returns nil when max < 1 or no worker
+// is free; partial grants are possible when fewer than max are free.
+func (p *LeasePool) Acquire(max int) []int {
+	if max < 1 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var got []int
+	for i := range p.leased {
+		if len(got) == max {
+			break
+		}
+		if !p.leased[i] {
+			p.leased[i] = true
+			p.free--
+			got = append(got, i)
+		}
+	}
+	return got
+}
+
+// Release returns leased workers to the pool. Releasing a worker that
+// is not leased (double release, bad index) panics — lease accounting
+// is a correctness invariant, not a best-effort hint.
+func (p *LeasePool) Release(workers []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range workers {
+		if w < 0 || w >= len(p.leased) || !p.leased[w] {
+			panic(fmt.Sprintf("live: release of unleased worker %d", w))
+		}
+		p.leased[w] = false
+		p.free++
+	}
+}
+
+// Leased returns the currently leased worker indexes, ascending — an
+// observability snapshot for tests and job listings.
+func (p *LeasePool) Leased() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for i, l := range p.leased {
+		if l {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,139 @@
+package live
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLeasePoolAcquireLowestFree(t *testing.T) {
+	p := NewLeasePool(4)
+	if got := p.Acquire(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("first acquire = %v, want [0 1]", got)
+	}
+	if got := p.Acquire(3); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("partial acquire = %v, want [2 3]", got)
+	}
+	if got := p.Acquire(1); got != nil {
+		t.Fatalf("acquire on empty pool = %v, want nil", got)
+	}
+	p.Release([]int{1})
+	if got := p.Acquire(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("acquire after release = %v, want [1]", got)
+	}
+}
+
+func TestLeasePoolDisjointGrants(t *testing.T) {
+	p := NewLeasePool(6)
+	a := p.Acquire(3)
+	b := p.Acquire(3)
+	seen := map[int]bool{}
+	for _, w := range append(append([]int{}, a...), b...) {
+		if seen[w] {
+			t.Fatalf("worker %d leased twice: %v / %v", w, a, b)
+		}
+		seen[w] = true
+	}
+	if p.Free() != 0 {
+		t.Fatalf("free = %d, want 0", p.Free())
+	}
+	p.Release(a)
+	p.Release(b)
+	if p.Free() != 6 {
+		t.Fatalf("free after release = %d, want 6", p.Free())
+	}
+}
+
+func TestLeasePoolDoubleReleasePanics(t *testing.T) {
+	p := NewLeasePool(2)
+	got := p.Acquire(1)
+	p.Release(got)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release(got)
+}
+
+func TestLeasePoolLeasedSnapshot(t *testing.T) {
+	p := NewLeasePool(5)
+	p.Acquire(2)        // 0, 1
+	p.Release([]int{0}) // 1 remains
+	p.Acquire(1)        // 0 again
+	got := p.Leased()   // 0, 1
+	want := []int{0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("leased = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("leased = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAbortKillsRunningCompute pins the cancellation path: a compute
+// burning a large chunk stops with an error shortly after Abort instead
+// of running to completion.
+func TestAbortKillsRunningCompute(t *testing.T) {
+	svc := NewWorkerService(200_000_000, 1) // several seconds of work
+	done := make(chan error, 1)
+	go func() {
+		var reply ComputeReply
+		done <- svc.Compute(ComputeArgs{Chunk: 1, Units: 10}, &reply)
+	}()
+	// Let the loop start, then abort.
+	time.Sleep(50 * time.Millisecond)
+	var ar AbortReply
+	if err := svc.Abort(AbortArgs{}, &ar); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, errAborted) {
+			t.Fatalf("compute returned %v, want errAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not stop the compute loop")
+	}
+	// A computation submitted after the abort runs normally.
+	var reply ComputeReply
+	if err := svc.Compute(ComputeArgs{Chunk: 2, Units: 0.001}, &reply); err != nil {
+		t.Fatalf("post-abort compute failed: %v", err)
+	}
+	if svc.Computed() != 1 {
+		t.Fatalf("computed = %d, want 1 (aborted chunk must not count)", svc.Computed())
+	}
+}
+
+// TestBackendCancelUnblocksRun pins the daemon-facing contract: Cancel
+// aborts worker compute and closes connections, after which Run (once
+// stopped) returns because the in-flight operations fail fast.
+func TestBackendCancelUnblocksRun(t *testing.T) {
+	b, _, cleanup, err := Cluster(2, 200_000_000, NetModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	opDone := make(chan error, 1)
+	b.Execute(0, 10, false, func(start, end float64, err error) { opDone <- err })
+	time.Sleep(50 * time.Millisecond)
+	b.Cancel()
+	select {
+	case err := <-opDone:
+		if err == nil {
+			t.Fatal("compute survived Cancel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Cancel did not fail the in-flight compute")
+	}
+	b.Stop()
+	ran := make(chan struct{})
+	go func() { b.Run(); close(ran) }()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Cancel + Stop")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 )
 
 // StoreArgs carries chunk data to a worker.
@@ -79,6 +80,13 @@ type WorkerService struct {
 	received map[int]int
 	computed int
 	bytesIn  int64
+
+	// aborts is the abort generation: Abort increments it, and any
+	// computation whose request predates the increment — running or
+	// queued behind the CPU mutex — stops with an error. Master
+	// cancellation would otherwise leave the worker burning a stale
+	// chunk that the next job's work queues behind.
+	aborts atomic.Int64
 }
 
 // NewWorkerService returns a worker burning workPerUnit iterations per
@@ -116,6 +124,9 @@ func (s *WorkerService) Compute(args ComputeArgs, reply *ComputeReply) error {
 	if args.Units < 0 {
 		return errors.New("live: negative units")
 	}
+	// Sample the abort generation before queueing on the CPU: an Abort
+	// issued while this request waits its FIFO turn kills it too.
+	gen := s.aborts.Load()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	iters := int(args.Units * float64(s.WorkPerUnit) / s.SpeedFactor)
@@ -127,10 +138,36 @@ func (s *WorkerService) Compute(args ComputeArgs, reply *ComputeReply) error {
 		if x > 2 {
 			x -= 1
 		}
+		// One atomic load every 64Ki iterations keeps the abort latency
+		// in the microseconds without measurably slowing the hot loop.
+		if i&0xFFFF == 0xFFFF && s.aborts.Load() != gen {
+			return errAborted
+		}
+	}
+	if s.aborts.Load() != gen {
+		return errAborted
 	}
 	s.computed++
 	reply.Checksum = sum
 	reply.Units = args.Units
+	return nil
+}
+
+// errAborted reports a computation killed by Worker.Abort.
+var errAborted = errors.New("live: compute aborted")
+
+// AbortArgs is the Worker.Abort request (empty).
+type AbortArgs struct{}
+
+// AbortReply is the Worker.Abort response (empty).
+type AbortReply struct{}
+
+// Abort kills the running computation and any queued behind it: every
+// Compute whose request arrived before this call fails with an abort
+// error. Computations submitted afterwards run normally, so a new job
+// leasing this worker starts on a clean CPU.
+func (s *WorkerService) Abort(args AbortArgs, reply *AbortReply) error {
+	s.aborts.Add(1)
 	return nil
 }
 

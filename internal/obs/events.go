@@ -65,6 +65,21 @@ const (
 	WorkerLost EventType = "worker_lost"
 	// RunFinished closes the stream (success or failure).
 	RunFinished EventType = "run_finished"
+
+	// Job-scheduler lifecycle events, emitted by the daemon into each
+	// job's ring around the engine's run stream (the engine's events are
+	// sequence-spliced after them via Config.SeqBase). Class carries the
+	// job's priority class; T is seconds since submission.
+	//
+	// JobQueued: admitted but waiting for a run slot.
+	JobQueued EventType = "job_queued"
+	// JobStarted: a run slot (and, in live mode, worker leases) was
+	// granted; Dur is the time spent queued.
+	JobStarted EventType = "job_started"
+	// JobCancelled: terminal — cancelled while queued or running.
+	JobCancelled EventType = "job_cancelled"
+	// JobRejected: terminal — the admission queue was full.
+	JobRejected EventType = "job_rejected"
 )
 
 // Event is one structured scheduler event. The field set is the union
@@ -82,6 +97,9 @@ type Event struct {
 	// streams leave them empty.
 	Alg string `json:"alg,omitempty"`
 	Run int    `json:"run,omitempty"`
+	// Class is the job's priority class on scheduler lifecycle events
+	// (JobQueued, JobStarted, ...); engine events leave it empty.
+	Class string `json:"class,omitempty"`
 
 	Worker int     `json:"worker"`
 	Chunk  int     `json:"chunk,omitempty"`

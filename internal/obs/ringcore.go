@@ -8,10 +8,10 @@ package obs
 // round-trip test in events_ring_test.go fills every Event field by
 // reflection to catch a field added to one side only.
 type eventCore struct {
-	seq      int64
-	t        float64
-	typ, alg int32
-	run      int
+	seq             int64
+	t               float64
+	typ, alg, class int32
+	run             int
 
 	worker, chunk int
 	size, bytes   float64
@@ -37,6 +37,9 @@ func (c *eventCore) pack(ev *Event, types, algs *intern) {
 	c.t = ev.T
 	c.typ = types.index(string(ev.Type))
 	c.alg = algs.index(ev.Alg)
+	// Priority classes are a tiny fixed set, so they share the alg
+	// intern table rather than growing a third one.
+	c.class = algs.index(ev.Class)
 	c.run = ev.Run
 	c.worker = ev.Worker
 	c.chunk = ev.Chunk
@@ -71,6 +74,7 @@ func (c *eventCore) unpack(err string, types, algs *intern) Event {
 		T:           c.t,
 		Type:        EventType(types.vals[c.typ]),
 		Alg:         algs.vals[c.alg],
+		Class:       algs.vals[c.class],
 		Run:         c.run,
 		Worker:      c.worker,
 		Chunk:       c.chunk,
