@@ -11,7 +11,7 @@ FUZZ_TARGETS = divide:FuzzUniformCutAfter divide:FuzzIndexCutAfter \
                divide:FuzzContinuousCutAfter divide:FuzzWorkUnitsCutAfter \
                divide:FuzzScanSeparators sim:FuzzHeapInvariant
 
-.PHONY: all build vet test race race-fault race-daemon fuzz-smoke bench-smoke lint check bench
+.PHONY: all build vet test race race-fault race-daemon race-transport fuzz-smoke bench-smoke lint check bench
 
 all: check
 
@@ -41,6 +41,14 @@ race-fault:
 # polling loops all cross goroutines and RPC boundaries.
 race-daemon:
 	$(GO) test -race ./internal/daemon ./internal/live ./internal/client
+
+# race-transport hammers the frame transport's concurrency surface —
+# multiplexed ids, the client pool's coalesced writer, the server's
+# bounded worker pool, overload shedding, and mid-call connection
+# teardown — plus the cross-transport error-contract tests, all under
+# the race detector.
+race-transport:
+	$(GO) test -race ./internal/transport ./internal/client ./internal/loadgen
 
 # fuzz-smoke gives every fuzz target a 2-second run: long enough to
 # catch a freshly broken invariant, short enough for every `make check`.
@@ -76,7 +84,7 @@ lint: vet
 		echo "lint: (install with: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-check: build vet race race-fault race-daemon fuzz-smoke bench-smoke lint
+check: build vet race race-fault race-daemon race-transport fuzz-smoke bench-smoke lint
 
 # bench records the runner's sequential-vs-parallel wall time and the
 # observability layer's overhead into BENCH_<n>.json (see

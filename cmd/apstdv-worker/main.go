@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/rpc"
 	"os"
 
 	"apstdv/internal/live"
@@ -26,6 +25,7 @@ func main() {
 		listen      = flag.String("listen", "127.0.0.1:0", "address to serve on")
 		workPerUnit = flag.Int("workperunit", 1_000_000, "compute iterations per load unit")
 		speed       = flag.Float64("speed", 1.0, "relative speed factor (2 = twice as fast)")
+		transportK  = flag.String("transport", "frame", "wire protocol: frame or rpc; must match the daemon's -worker-transport")
 	)
 	flag.Parse()
 	if *workPerUnit <= 0 {
@@ -33,20 +33,13 @@ func main() {
 		os.Exit(2)
 	}
 	svc := live.NewWorkerService(*workPerUnit, *speed)
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", svc); err != nil {
-		log.Fatalf("apstdv-worker: %v", err)
-	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("apstdv-worker: %v", err)
 	}
-	log.Printf("apstdv-worker: serving on %s (workperunit=%d speed=%.2f)", ln.Addr(), *workPerUnit, *speed)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatalf("apstdv-worker: %v", err)
-		}
-		go srv.ServeConn(conn)
+	if _, err := live.ServeListener(*transportK, svc, ln); err != nil {
+		log.Fatalf("apstdv-worker: %v", err)
 	}
+	log.Printf("apstdv-worker: serving %s on %s (workperunit=%d speed=%.2f)", *transportK, ln.Addr(), *workPerUnit, *speed)
+	select {}
 }

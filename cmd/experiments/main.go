@@ -22,8 +22,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"apstdv/internal/daemon"
 	"apstdv/internal/experiment"
+	"apstdv/internal/loadgen"
+	"apstdv/internal/workload"
 )
 
 func main() {
@@ -149,8 +153,52 @@ func main() {
 		ran = true
 	}
 
+	// The serving benchmark is explicit-only (not part of "all"): it
+	// load-tests the daemon's RPC surface rather than reproducing a
+	// figure, and it needs ~30s of saturated CPU.
+	if want == "serving" {
+		if err := runServing(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+
 	if !ran {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures)\n", *run)
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures, serving)\n", *run)
 		os.Exit(2)
 	}
+}
+
+// runServing compares the frame and net/rpc serving paths under an
+// open-loop Poisson submission storm against self-hosted sim daemons —
+// the cmd/loadgen defaults, rendered as a table.
+func runServing() error {
+	p, err := workload.ParsePlatform("das2:4")
+	if err != nil {
+		return err
+	}
+	cmp, err := loadgen.Compare(
+		daemon.Config{
+			Mode: daemon.ModeSim, Platform: p, Seed: 1,
+			MaxConcurrentJobs: 1, QueueDepth: 2, RetainJobs: 2048,
+		},
+		loadgen.Config{
+			Conns: 2, Rate: 150000, Duration: 4 * time.Second,
+			MaxOutstanding: 512, Seed: 1,
+			TaskXML: loadgen.BenchSpec(500),
+			SimApp:  &daemon.SimApp{UnitCost: 0.05, BytesPerUnit: 1000},
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Serving-path load test (open-loop Poisson, self-hosted sim daemon):")
+	fmt.Printf("%-6s %12s %12s %12s %12s %12s\n", "", "sustained/s", "p50 ms", "p99 ms", "p99.9 ms", "rejected")
+	for _, r := range []*loadgen.Result{cmp.RPC, cmp.Frame} {
+		fmt.Printf("%-6s %12.0f %12.2f %12.2f %12.2f %12d\n",
+			r.Transport, r.SustainedHz, r.Submit.P50, r.Submit.P99, r.Submit.P999, r.Rejected)
+	}
+	fmt.Printf("frame vs rpc: %.2fx sustained submissions/sec at %.2fx the p99 latency\n",
+		cmp.SustainedRatio, cmp.P99Ratio)
+	return nil
 }

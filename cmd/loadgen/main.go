@@ -1,0 +1,157 @@
+// Command loadgen load-tests an APST-DV daemon's serving path: an
+// open-loop Poisson stream of task submissions, with submit-latency
+// percentiles, the sustained completed-submission rate, and post-drain
+// queue-wait percentiles.
+//
+//	# compare frame vs net/rpc against self-hosted sim daemons
+//	loadgen -rate 2000 -duration 5s
+//
+//	# drive an already-running daemon
+//	loadgen -addr 127.0.0.1:4321 -transport frame -rate 500 -duration 10s
+//
+//	# machine-readable output (scripts/bench.sh consumes this)
+//	loadgen -json
+//
+// Without -addr, each measured transport gets a fresh in-process sim
+// daemon with bounded admission (queue depth and one slot), so the run
+// exercises the production backpressure path: accepted jobs queue and
+// run, overflow is fast-rejected with a typed error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"apstdv/internal/daemon"
+	"apstdv/internal/loadgen"
+	"apstdv/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "daemon address (empty = self-host a sim daemon per transport)")
+		transportK  = flag.String("transport", "both", "frame, rpc, or both (both requires self-hosting)")
+		rate        = flag.Float64("rate", 2000, "offered load, submissions/sec (Poisson)")
+		duration    = flag.Duration("duration", 5*time.Second, "generation window")
+		outstanding = flag.Int("outstanding", 256, "max in-flight submissions before arrivals are shed")
+		conns       = flag.Int("conns", 2, "client connection-pool width")
+		seed        = flag.Int64("seed", 1, "arrival-process seed")
+		priority    = flag.String("priority", "", "admission class for submissions")
+		specPath    = flag.String("spec", "", "task XML to submit (empty = builtin bench spec)")
+		load        = flag.Int("load", 200, "builtin spec: work units per job")
+		platform    = flag.String("platform", "das2:4", "self-host: sim platform")
+		maxJobs     = flag.Int("max-concurrent-jobs", 1, "self-host: concurrent job slots")
+		queueDepth  = flag.Int("queue-depth", 64, "self-host: admission queue bound")
+		retainJobs  = flag.Int("retain-jobs", 2048, "self-host: terminal jobs retained (0 = all; bounded so the post-run job listing stays under the frame size cap)")
+		jsonOut     = flag.Bool("json", false, "emit JSON instead of text")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run here")
+	)
+	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+
+	taskXML := loadgen.BenchSpec(*load)
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		taskXML = string(b)
+	}
+	cfg := loadgen.Config{
+		Conns: *conns, Rate: *rate, Duration: *duration,
+		MaxOutstanding: *outstanding, Seed: *seed,
+		TaskXML: taskXML, Priority: *priority,
+		SimApp: &daemon.SimApp{UnitCost: 0.05, BytesPerUnit: 1000},
+	}
+
+	if *addr != "" {
+		if *transportK == "both" {
+			fatal(fmt.Errorf("-transport both needs self-hosting; pick frame or rpc with -addr"))
+		}
+		cfg.Transport = *transportK
+		res, err := loadgen.Run(*addr, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(*jsonOut, res, nil)
+		return
+	}
+
+	p, err := workload.ParsePlatform(*platform)
+	if err != nil {
+		fatal(err)
+	}
+	dcfg := daemon.Config{
+		Mode: daemon.ModeSim, Platform: p, Seed: 1,
+		MaxConcurrentJobs: *maxJobs, QueueDepth: *queueDepth, RetainJobs: *retainJobs,
+	}
+	switch *transportK {
+	case "both":
+		cmp, err := loadgen.Compare(dcfg, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(*jsonOut, nil, cmp)
+	default:
+		a, stop, err := loadgen.SelfHost(*transportK, dcfg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Transport = *transportK
+		res, err := loadgen.Run(a, cfg)
+		stop()
+		if err != nil {
+			fatal(err)
+		}
+		emit(*jsonOut, res, nil)
+	}
+}
+
+func emit(asJSON bool, res *loadgen.Result, cmp *loadgen.Comparison) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if cmp != nil {
+			enc.Encode(cmp)
+		} else {
+			enc.Encode(res)
+		}
+		return
+	}
+	if cmp != nil {
+		printResult(cmp.RPC)
+		printResult(cmp.Frame)
+		fmt.Printf("frame vs rpc: %.2fx sustained, %.2fx p99 latency\n",
+			cmp.SustainedRatio, cmp.P99Ratio)
+		return
+	}
+	printResult(res)
+}
+
+func printResult(r *loadgen.Result) {
+	fmt.Printf("%-5s  offered %d (%.0f/s for %.1fs)  accepted %d  rejected %d  shed %d  errors %d\n",
+		r.Transport, r.Offered, r.RateHz, r.Seconds, r.Accepted, r.Rejected, r.Shed, r.Errors)
+	fmt.Printf("       sustained %.0f submissions/s\n", r.SustainedHz)
+	fmt.Printf("       submit latency  p50 %.2fms  p90 %.2fms  p99 %.2fms  p99.9 %.2fms  max %.2fms (n=%d)\n",
+		r.Submit.P50, r.Submit.P90, r.Submit.P99, r.Submit.P999, r.Submit.Max, r.Submit.N)
+	if r.QueueWait.N > 0 {
+		fmt.Printf("       queue wait      p50 %.0fms  p99 %.0fms  max %.0fms (n=%d)\n",
+			r.QueueWait.P50, r.QueueWait.P99, r.QueueWait.Max, r.QueueWait.N)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}

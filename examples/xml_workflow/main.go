@@ -95,7 +95,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	go d.Serve(ln)
+	go d.ServeFrame(ln)
 
 	// Step 4: the client session.
 	c, err := client.Dial(ln.Addr().String())

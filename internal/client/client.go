@@ -1,43 +1,217 @@
 // Package client is the library behind the APST-DV console (cmd/apstdv):
-// a thin, typed wrapper around the daemon's net/rpc interface.
+// a thin, typed wrapper around the daemon's serving interface.
 //
-// Every call decodes transported errors with errcode.Decode, so the
-// daemon's typed sentinels (daemon.ErrQueueFull, daemon.ErrJobNotFound,
-// ...) survive the RPC boundary and errors.Is works on this side.
+// Two transports speak the same protocol: the frame transport (default;
+// see internal/transport) and the legacy net/rpc fallback. Every call
+// decodes transported errors with errcode.Decode, so the daemon's typed
+// sentinels (daemon.ErrQueueFull, daemon.ErrJobNotFound, ...) survive
+// either transport and errors.Is works on this side.
 package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/rpc"
+	"sync"
 	"time"
 
 	"apstdv/internal/daemon"
 	"apstdv/internal/errcode"
 	"apstdv/internal/obs"
+	"apstdv/internal/transport"
 )
+
+// Transport names accepted by Options.Transport and the cmd -transport
+// flags.
+const (
+	TransportFrame = "frame"
+	TransportRPC   = "rpc"
+)
+
+// Options configures a connection. The zero value means the frame
+// transport with the package defaults.
+type Options struct {
+	// Transport selects TransportFrame (default) or TransportRPC.
+	Transport string
+	// Conns is the frame connection pool size (default 1; the frame
+	// transport multiplexes, so one connection carries many calls).
+	Conns int
+	// Window bounds in-flight calls per frame connection (default
+	// transport.DefaultWindow). Ignored for rpc.
+	Window int
+	// Metrics, when set, receives client-side transport counters.
+	// Ignored for rpc.
+	Metrics *obs.TransportMetrics
+}
+
+func (o Options) withDefaults() (Options, error) {
+	switch o.Transport {
+	case "":
+		o.Transport = TransportFrame
+	case TransportFrame, TransportRPC:
+	default:
+		return o, fmt.Errorf("client: unknown transport %q (want %s or %s)",
+			o.Transport, TransportFrame, TransportRPC)
+	}
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	return o, nil
+}
+
+// caller is the transport seam: one implementation per wire protocol,
+// both mapping net/rpc-style method names onto their encoding.
+type caller interface {
+	Call(method string, args, reply any) error
+	Close() error
+}
+
+// rpcCaller speaks classic net/rpc.
+type rpcCaller struct{ rc *rpc.Client }
+
+func (r *rpcCaller) Call(method string, args, reply any) error {
+	return r.rc.Call(method, args, reply)
+}
+func (r *rpcCaller) Close() error { return r.rc.Close() }
+
+// frameCaller speaks the frame transport through a self-healing
+// connection pool.
+type frameCaller struct{ pool *transport.Pool }
+
+func (f *frameCaller) Call(method string, args, reply any) error {
+	id, ok := daemon.FrameMethods[method]
+	if !ok {
+		return fmt.Errorf("client: no frame method id for %q", method)
+	}
+	a, _ := args.(transport.Appender)
+	r, _ := reply.(transport.Decoder)
+	return f.pool.Call(id, a, r)
+}
+func (f *frameCaller) Close() error { return f.pool.Close() }
 
 // Client talks to one daemon.
 type Client struct {
-	rc *rpc.Client
+	addr string
+	opts Options
+
+	mu sync.Mutex
+	c  caller
 }
 
-// Dial connects to a daemon at addr (host:port).
+// Dial connects to a daemon at addr (host:port) over the frame
+// transport.
 func Dial(addr string) (*Client, error) {
-	rc, err := rpc.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
-	return &Client{rc: rc}, nil
+	return DialOptions(addr, Options{})
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.rc.Close() }
+// DialOptions connects with explicit transport options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{addr: addr, opts: opts}
+	cl, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.c = cl
+	return c, nil
+}
+
+func (c *Client) dial() (caller, error) {
+	if c.opts.Transport == TransportRPC {
+		rc, err := rpc.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+		}
+		return &rpcCaller{rc: rc}, nil
+	}
+	// Pool construction is lazy; the probe call below in redial (and
+	// the first real call here) surfaces dial errors. Probe eagerly so
+	// Dial keeps its connect-or-error contract.
+	p := transport.NewPool(c.addr, c.opts.Conns, transport.Config{
+		Window: c.opts.Window, Metrics: c.opts.Metrics,
+	})
+	fc := &frameCaller{pool: p}
+	var reply daemon.AlgorithmsReply
+	if err := fc.Call("APSTDV.Algorithms", &daemon.AlgorithmsArgs{}, &reply); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	return fc, nil
+}
+
+// Close releases the connection. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	cl := c.c
+	c.mu.Unlock()
+	if cl == nil {
+		return nil
+	}
+	return cl.Close()
+}
+
+func (c *Client) caller() caller {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c
+}
+
+// redial replaces a dead connection, keeping concurrent callers on one
+// shared replacement: only the caller holding the broken conn swaps.
+// The frame pool redials internally, so redial there is a no-op.
+func (c *Client) redial(broken caller) error {
+	if c.opts.Transport == TransportFrame {
+		return nil
+	}
+	c.mu.Lock()
+	if c.c != broken {
+		c.mu.Unlock()
+		return nil // someone else already replaced it
+	}
+	c.mu.Unlock()
+	fresh, err := c.dial()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.c != broken {
+		// Lost the race; discard ours.
+		c.mu.Unlock()
+		fresh.Close()
+		return nil
+	}
+	c.c = fresh
+	c.mu.Unlock()
+	broken.Close()
+	return nil
+}
 
 // call performs one RPC, re-attaching registered error sentinels to the
 // string the transport flattened the server error into.
 func (c *Client) call(method string, args, reply any) error {
-	return errcode.Decode(c.rc.Call(method, args, reply))
+	return errcode.Decode(c.caller().Call(method, args, reply))
+}
+
+// transient reports whether err is a connection-level failure worth a
+// reconnect: the server never answered. A handler answer — an rpc
+// ServerError, a frame error response, anything carrying an errcode
+// marker — is authoritative and not transient.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se rpc.ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	if transport.IsRemote(err) {
+		return false
+	}
+	return errcode.Code(err) == ""
 }
 
 // Submit sends a task specification. algorithm (optional) overrides the
@@ -46,7 +220,7 @@ func (c *Client) call(method string, args, reply any) error {
 // truth. A full queue rejects with daemon.ErrQueueFull.
 func (c *Client) Submit(taskXML, algorithm, priority string, simApp *daemon.SimApp) (daemon.SubmitReply, error) {
 	var reply daemon.SubmitReply
-	err := c.call("APSTDV.Submit", daemon.SubmitArgs{
+	err := c.call("APSTDV.Submit", &daemon.SubmitArgs{
 		TaskXML: taskXML, Algorithm: algorithm, Priority: priority, SimApp: simApp,
 	}, &reply)
 	return reply, err
@@ -55,7 +229,7 @@ func (c *Client) Submit(taskXML, algorithm, priority string, simApp *daemon.SimA
 // Status fetches a job's state.
 func (c *Client) Status(jobID int) (daemon.Job, error) {
 	var reply daemon.StatusReply
-	err := c.call("APSTDV.Status", daemon.StatusArgs{JobID: jobID}, &reply)
+	err := c.call("APSTDV.Status", &daemon.StatusArgs{JobID: jobID}, &reply)
 	return reply.Job, err
 }
 
@@ -64,28 +238,28 @@ func (c *Client) Status(jobID int) (daemon.Job, error) {
 // asynchronously; poll Status or WaitDone for the terminal state).
 func (c *Client) Cancel(jobID int) (daemon.JobState, error) {
 	var reply daemon.CancelReply
-	err := c.call("APSTDV.Cancel", daemon.CancelArgs{JobID: jobID}, &reply)
+	err := c.call("APSTDV.Cancel", &daemon.CancelArgs{JobID: jobID}, &reply)
 	return reply.State, err
 }
 
 // Report fetches a finished job's execution report.
 func (c *Client) Report(jobID int) (daemon.ReportReply, error) {
 	var reply daemon.ReportReply
-	err := c.call("APSTDV.Report", daemon.ReportArgs{JobID: jobID}, &reply)
+	err := c.call("APSTDV.Report", &daemon.ReportArgs{JobID: jobID}, &reply)
 	return reply, err
 }
 
 // Algorithms lists the scheduler names the daemon accepts.
 func (c *Client) Algorithms() ([]string, error) {
 	var reply daemon.AlgorithmsReply
-	err := c.call("APSTDV.Algorithms", daemon.AlgorithmsArgs{}, &reply)
+	err := c.call("APSTDV.Algorithms", &daemon.AlgorithmsArgs{}, &reply)
 	return reply.Names, err
 }
 
 // Jobs lists all jobs.
 func (c *Client) Jobs() ([]daemon.Job, error) {
 	var reply daemon.ListJobsReply
-	err := c.call("APSTDV.ListJobs", daemon.ListJobsArgs{}, &reply)
+	err := c.call("APSTDV.ListJobs", &daemon.ListJobsArgs{}, &reply)
 	return reply.Jobs, err
 }
 
@@ -94,7 +268,7 @@ func (c *Client) Jobs() ([]daemon.Job, error) {
 // events the cursor missed.
 func (c *Client) Events(jobID int, afterSeq int64) ([]obs.Event, daemon.JobState, bool, error) {
 	var reply daemon.EventsReply
-	err := c.call("APSTDV.Events", daemon.EventsArgs{JobID: jobID, AfterSeq: afterSeq}, &reply)
+	err := c.call("APSTDV.Events", &daemon.EventsArgs{JobID: jobID, AfterSeq: afterSeq}, &reply)
 	return reply.Events, reply.State, reply.Dropped, err
 }
 
@@ -103,28 +277,58 @@ func active(state daemon.JobState) bool {
 	return state == daemon.JobRunning || state == daemon.JobQueued
 }
 
+// Reconnect backoff for FollowEvents: exponential from followBackoffMin
+// capped at followBackoffMax.
+const (
+	followBackoffMin = 100 * time.Millisecond
+	followBackoffMax = 5 * time.Second
+)
+
 // FollowEvents polls the job's event stream from the beginning, calling
 // fn for every event in seq order, until the job reaches a terminal
 // state and the stream is drained, or ctx is cancelled (the context
 // error is returned).
+//
+// Transient connection failures — daemon restart, dropped conn — do not
+// end the follow: the client reconnects with capped exponential backoff
+// and resumes from its cursor, so the caller sees a gap only if the
+// ring evicted events meanwhile. Server-side errors (unknown job, and
+// any other answer the daemon actually produced) return immediately.
 func (c *Client) FollowEvents(ctx context.Context, jobID int, poll time.Duration, fn func(obs.Event)) error {
 	after := int64(-1)
+	backoff := followBackoffMin
 	for {
-		evs, state, _, err := c.Events(jobID, after)
-		if err != nil {
+		cl := c.caller()
+		var reply daemon.EventsReply
+		err := errcode.Decode(cl.Call("APSTDV.Events",
+			&daemon.EventsArgs{JobID: jobID, AfterSeq: after}, &reply))
+		switch {
+		case err == nil:
+			backoff = followBackoffMin
+			for _, ev := range reply.Events {
+				fn(ev)
+				after = ev.Seq
+			}
+			if !active(reply.State) && len(reply.Events) == 0 {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("client: following job %d events: %w", jobID, context.Cause(ctx))
+			case <-time.After(poll):
+			}
+		case transient(err):
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("client: following job %d events: %w", jobID, context.Cause(ctx))
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > followBackoffMax {
+				backoff = followBackoffMax
+			}
+			c.redial(cl) // best-effort; the next Call reports failures
+		default:
 			return err
-		}
-		for _, ev := range evs {
-			fn(ev)
-			after = ev.Seq
-		}
-		if !active(state) && len(evs) == 0 {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("client: following job %d events: %w", jobID, context.Cause(ctx))
-		case <-time.After(poll):
 		}
 	}
 }

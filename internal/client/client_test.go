@@ -37,7 +37,7 @@ func startDaemon(t *testing.T) *Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ln.Close() })
-	go d.Serve(ln)
+	go d.ServeFrame(ln)
 	c, err := Dial(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)

@@ -49,7 +49,7 @@ func TestSchedulerAcceptanceLive(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go d.Serve(ln)
+	go d.ServeFrame(ln)
 	c, err := client.Dial(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)

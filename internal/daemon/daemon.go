@@ -25,6 +25,7 @@ import (
 	"apstdv/internal/divide"
 	"apstdv/internal/dls"
 	"apstdv/internal/engine"
+	"apstdv/internal/errcode"
 	"apstdv/internal/grid"
 	"apstdv/internal/live"
 	"apstdv/internal/model"
@@ -66,6 +67,12 @@ type Config struct {
 	// classes; submissions that would exceed it are rejected with
 	// ErrQueueFull. 0 means unbounded.
 	QueueDepth int
+	// RetainJobs bounds how many terminal (done, failed, cancelled or
+	// rejected) jobs stay visible to Status/Report/ListJobs; once the
+	// bound is exceeded the longest-finished are evicted. 0 retains
+	// everything — fine interactively, unbounded memory under
+	// sustained submission load.
+	RetainJobs int
 }
 
 // JobState is a job's lifecycle phase.
@@ -133,6 +140,21 @@ type Daemon struct {
 	effCap   int // 0 = unlimited
 	leases   *live.LeasePool
 	idle     *sync.Cond // broadcast when running == queued == 0
+	// terminal is the retirement-order FIFO backing Config.RetainJobs
+	// eviction (unused when RetainJobs is 0).
+	terminal []int
+	// Precomputed fast-reject outcomes: shedding under overload must
+	// be O(1) per call, so the wrapped error, its message and its code
+	// are built once at construction.
+	rejDraining, rejFull rejection
+
+	// Parsed-spec cache: load generators and parameter sweeps submit
+	// the same TaskXML at high rates, and the XML decode dominates a
+	// Submit that ends queued or rejected. Parsed Tasks are read-only
+	// after Parse, so one instance can back concurrent submissions.
+	specMu    sync.Mutex
+	specCache map[string]*spec.Task
+	specOrder []string
 
 	// runFn executes one admitted job; tests override it to exercise
 	// the scheduler without a real backend.
@@ -151,6 +173,7 @@ type Daemon struct {
 	workersLeased                       *obs.Gauge
 	jobSeconds                          *obs.Histogram
 	waitSeconds, runSeconds             map[string]*obs.Histogram
+	transportMetrics                    *obs.TransportMetrics
 }
 
 // New validates the configuration and returns a daemon.
@@ -176,11 +199,15 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("daemon: negative queue depth")
 	}
+	if cfg.RetainJobs < 0 {
+		return nil, fmt.Errorf("daemon: negative retain jobs")
+	}
 	reg := obs.NewRegistry()
 	d := &Daemon{
 		cfg:           cfg,
 		jobs:          make(map[int]*Job),
 		pending:       make(map[int]*pendingJob),
+		specCache:     make(map[string]*spec.Task),
 		started:       time.Now(),
 		registry:      reg,
 		runMetrics:    obs.NewRunMetrics(reg),
@@ -197,12 +224,15 @@ func New(cfg Config) (*Daemon, error) {
 		waitSeconds:   make(map[string]*obs.Histogram),
 		runSeconds:    make(map[string]*obs.Histogram),
 	}
+	d.transportMetrics = obs.NewTransportMetrics(reg)
 	for _, c := range classes {
 		d.waitSeconds[c] = reg.Histogram("apstdv_job_wait_seconds_"+c,
 			"Queue wait of "+c+"-priority jobs.", obs.DurationBuckets)
 		d.runSeconds[c] = reg.Histogram("apstdv_job_run_seconds_"+c,
 			"Wall-clock run time of "+c+"-priority jobs.", obs.DurationBuckets)
 	}
+	d.rejDraining = newRejection(fmt.Errorf("daemon: job rejected: %w", ErrDraining))
+	d.rejFull = newRejection(fmt.Errorf("daemon: job rejected: %w (depth %d)", ErrQueueFull, cfg.QueueDepth))
 	d.idle = sync.NewCond(&d.mu)
 	d.effCap = cfg.MaxConcurrentJobs
 	if cfg.Mode == ModeLive {
@@ -257,11 +287,20 @@ type SubmitReply struct {
 // otherwise, and is rejected with ErrQueueFull when the queue is at its
 // configured depth. Poll Status for completion.
 func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
-	task, err := spec.Parse(strings.NewReader(args.TaskXML))
+	prio, err := normalizePriority(args.Priority)
 	if err != nil {
 		return err
 	}
-	prio, err := normalizePriority(args.Priority)
+	// Fast-reject before the parse: when the daemon is draining or the
+	// admission queue is at depth, the verdict cannot change for this
+	// submission, and at production rates the XML decode and divider
+	// build dominate the cost of a rejection. Admission state can only
+	// improve between here and admitLocked (a slot frees, the queue
+	// drains), which keeps the authoritative check there.
+	if cause := d.fastReject(prio); cause != nil {
+		return cause
+	}
+	task, err := d.parseSpec(args.TaskXML)
 	if err != nil {
 		return err
 	}
@@ -316,6 +355,80 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 	}
 	d.mu.Unlock()
 	return err
+}
+
+// rejection is a precomputed fast-reject outcome: building the wrapped
+// error, its message and its errcode per shed submission would make
+// overload shedding allocate-heavy exactly when the daemon is busiest.
+type rejection struct {
+	err  error
+	msg  string
+	code string
+}
+
+func newRejection(cause error) rejection {
+	return rejection{err: cause, msg: cause.Error(), code: errcode.Code(cause)}
+}
+
+// fastReject answers the admission checks that do not depend on the
+// task spec. When the submission cannot be admitted it records a
+// terminal rejected job (rejections stay visible in listings, same as
+// the slow path) and returns the typed error; otherwise it returns nil
+// and Submit proceeds to parse. Unlike the slow path, fast-rejected
+// jobs carry no event ring — shedding is O(1) by design, and the
+// rejection outcome is fully described by the job record itself.
+func (d *Daemon) fastReject(prio string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var rej rejection
+	switch {
+	case d.draining:
+		rej = d.rejDraining
+	case d.effCap > 0 && d.running >= d.effCap &&
+		d.cfg.QueueDepth > 0 && d.queued >= d.cfg.QueueDepth:
+		rej = d.rejFull
+	default:
+		return nil
+	}
+	now := time.Now()
+	d.nextID++
+	job := &Job{
+		ID: d.nextID, Priority: prio, State: JobRejected,
+		Submitted: now, Finished: now, Err: rej.msg, Code: rej.code,
+	}
+	d.jobs[job.ID] = job
+	d.jobsRejected.Inc()
+	d.retireLocked(job)
+	return rej.err
+}
+
+// specCacheSize bounds the parsed-spec cache (FIFO eviction).
+const specCacheSize = 64
+
+// parseSpec parses a task specification, serving repeated submissions
+// of the same XML from a bounded cache.
+func (d *Daemon) parseSpec(xml string) (*spec.Task, error) {
+	d.specMu.Lock()
+	if t, ok := d.specCache[xml]; ok {
+		d.specMu.Unlock()
+		return t, nil
+	}
+	d.specMu.Unlock()
+	t, err := spec.Parse(strings.NewReader(xml))
+	if err != nil {
+		return nil, err
+	}
+	d.specMu.Lock()
+	if _, ok := d.specCache[xml]; !ok {
+		if len(d.specOrder) >= specCacheSize {
+			delete(d.specCache, d.specOrder[0])
+			d.specOrder = d.specOrder[1:]
+		}
+		d.specCache[xml] = t
+		d.specOrder = append(d.specOrder, xml)
+	}
+	d.specMu.Unlock()
+	return t, nil
 }
 
 // buildApp derives the engine's application model from the spec.

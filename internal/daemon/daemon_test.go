@@ -40,7 +40,7 @@ func startSimDaemon(t *testing.T) (*client.Client, *daemon.Daemon) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ln.Close() })
-	go d.Serve(ln)
+	go d.ServeFrame(ln)
 	c, err := client.Dial(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +201,7 @@ func TestLiveModeDaemon(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go d.Serve(ln)
+	go d.ServeFrame(ln)
 	c, err := client.Dial(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)

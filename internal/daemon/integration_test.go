@@ -58,7 +58,7 @@ func TestFileBasedWorkflowEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go d.Serve(ln)
+	go d.ServeFrame(ln)
 	c, err := client.Dial(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +155,7 @@ func TestIndexFileWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go d.Serve(ln)
+	go d.ServeFrame(ln)
 	c, err := client.Dial(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)

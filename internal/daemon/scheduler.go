@@ -144,7 +144,23 @@ func (d *Daemon) rejectLocked(p *pendingJob, cause error) error {
 	d.jobsRejected.Inc()
 	p.cancel(cause)
 	p.stream.emit(obs.Event{Type: obs.JobRejected, Class: job.Priority, Err: cause.Error()})
+	d.retireLocked(job)
 	return cause
+}
+
+// retireLocked records a job's terminal transition and, when
+// Config.RetainJobs bounds retention, evicts the longest-finished
+// terminal jobs beyond the bound. Caller holds d.mu.
+func (d *Daemon) retireLocked(job *Job) {
+	if d.cfg.RetainJobs <= 0 {
+		return
+	}
+	d.terminal = append(d.terminal, job.ID)
+	for len(d.terminal) > d.cfg.RetainJobs {
+		id := d.terminal[0]
+		d.terminal = d.terminal[1:]
+		delete(d.jobs, id)
+	}
 }
 
 // startLocked moves a job into the running state: leases its share of
@@ -221,6 +237,7 @@ func (d *Daemon) runJob(p *pendingJob) {
 		job.Code = errcode.Code(err)
 		d.jobsFailed.Inc()
 	}
+	d.retireLocked(job)
 	d.scheduleLocked()
 	d.notifyIfIdleLocked()
 }
@@ -279,6 +296,7 @@ func (d *Daemon) cancelQueuedLocked(p *pendingJob, cause error) {
 		Type: obs.JobCancelled, T: time.Since(job.Submitted).Seconds(),
 		Class: job.Priority, Err: cause.Error(),
 	})
+	d.retireLocked(job)
 }
 
 // queuePosLocked computes a queued job's 1-based dispatch position

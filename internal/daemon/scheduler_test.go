@@ -143,6 +143,10 @@ func TestAdmissionCapQueueReject(t *testing.T) {
 		t.Errorf("overflow job = %s code %q, want rejected/queue_full", rejected.State, rejected.Code)
 	}
 	// Finishing a running job pulls the queue head into the free slot.
+	// Both admitted runners must have reached the gate first: started()
+	// records goroutine execution order, and a runner spawned at
+	// admission can otherwise lose the CPU to the promoted queue head.
+	waitFor(t, "admitted jobs to start", func() bool { return len(g.started()) == 2 })
 	g.release(ids[0])
 	waitFor(t, "queued job to start", func() bool { return len(g.started()) == 3 })
 	if got := g.started()[2]; got != ids[2] {

@@ -38,7 +38,11 @@ func (d *Daemon) Events(args EventsArgs, reply *EventsReply) error {
 	if !ok {
 		return fmt.Errorf("daemon: no job %d: %w", args.JobID, ErrJobNotFound)
 	}
-	reply.Events = job.events.After(args.AfterSeq)
+	// Fast-rejected jobs carry no event ring (shedding is O(1)); their
+	// tail is empty and the job record tells the whole story.
+	if job.events != nil {
+		reply.Events = job.events.After(args.AfterSeq)
+	}
 	if len(reply.Events) > 0 && reply.Events[0].Seq > args.AfterSeq+1 {
 		reply.Dropped = true
 	}

@@ -6,6 +6,8 @@ import (
 	"net/rpc"
 	"sync"
 	"time"
+
+	"apstdv/internal/transport"
 )
 
 // NetModel imposes transfer costs on the data path so that scheduling
@@ -17,10 +19,92 @@ type NetModel struct {
 	Bandwidth float64 // bytes per second; 0 = unlimited
 }
 
+// Worker transport kinds for WorkerConn.Transport, ServeOn and
+// ClusterOn.
+const (
+	TransportFrame = "frame"
+	TransportRPC   = "rpc"
+)
+
 // WorkerConn describes one worker the backend drives.
 type WorkerConn struct {
 	Addr string
 	Net  NetModel
+	// Transport selects the wire protocol: TransportFrame (default) or
+	// TransportRPC. Must match what the worker serves.
+	Transport string
+}
+
+// workerLink is the transport seam between the backend and one worker:
+// one implementation per wire protocol. Call's timeout semantics differ
+// by transport — see each implementation.
+type workerLink interface {
+	// Call performs one round-trip; timeout <= 0 means unbounded.
+	Call(method string, args, reply any, timeout time.Duration) error
+	Close() error
+}
+
+// rpcLink drives a worker over net/rpc. A timed-out call closes the
+// connection: net/rpc has no way to retire a request id, so the stale
+// reply must never be readable.
+type rpcLink struct{ rc *rpc.Client }
+
+func (l *rpcLink) Call(method string, args, reply any, timeout time.Duration) error {
+	if timeout <= 0 {
+		return l.rc.Call(method, args, reply)
+	}
+	done := l.rc.Go(method, args, reply, make(chan *rpc.Call, 1)).Done
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case call := <-done:
+		return call.Error
+	case <-timer.C:
+		// Abandon the call: close the connection so the stale reply can
+		// never be mistaken for a later call's.
+		l.rc.Close()
+		return fmt.Errorf("live: %s exceeded %v deadline", method, timeout)
+	}
+}
+func (l *rpcLink) Close() error { return l.rc.Close() }
+
+// frameLink drives a worker over the frame transport, which retires
+// timed-out request ids natively — the connection survives a deadline.
+type frameLink struct{ c *transport.Conn }
+
+func (l *frameLink) Call(method string, args, reply any, timeout time.Duration) error {
+	id, ok := workerFrameMethods[method]
+	if !ok {
+		return fmt.Errorf("live: no frame method id for %q", method)
+	}
+	a, _ := args.(transport.Appender)
+	r, _ := reply.(transport.Decoder)
+	err := l.c.CallTimeout(id, a, r, timeout)
+	if errors.Is(err, transport.ErrTimeout) {
+		return fmt.Errorf("live: %s exceeded %v deadline: %w", method, timeout, err)
+	}
+	return err
+}
+func (l *frameLink) Close() error { return l.c.Close() }
+
+// dialWorker connects one worker link over its configured transport.
+func dialWorker(w WorkerConn) (workerLink, error) {
+	switch w.Transport {
+	case "", TransportFrame:
+		c, err := transport.Dial(w.Addr, transport.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &frameLink{c: c}, nil
+	case TransportRPC:
+		rc, err := rpc.Dial("tcp", w.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return &rpcLink{rc: rc}, nil
+	default:
+		return nil, fmt.Errorf("live: unknown worker transport %q", w.Transport)
+	}
 }
 
 // Backend is the live engine.Backend: real RPC, real bytes, real CPU.
@@ -34,7 +118,7 @@ type Backend struct {
 	t0 time.Time
 
 	mu      sync.Mutex
-	clients []*rpc.Client
+	clients []workerLink
 	nets    []NetModel
 	stopped bool
 	closed  bool
@@ -68,7 +152,7 @@ func Dial(workers []WorkerConn) (*Backend, error) {
 		FragmentSize: 256 << 10,
 	}
 	for _, w := range workers {
-		c, err := rpc.Dial("tcp", w.Addr)
+		c, err := dialWorker(w)
 		if err != nil {
 			b.Close()
 			return nil, fmt.Errorf("live: dial %s: %w", w.Addr, err)
@@ -140,7 +224,7 @@ func (b *Backend) closeAllLocked() error {
 		if c == nil {
 			continue
 		}
-		if err := c.Close(); err != nil && !errors.Is(err, rpc.ErrShutdown) {
+		if err := c.Close(); err != nil && !errors.Is(err, rpc.ErrShutdown) && !errors.Is(err, transport.ErrClosed) {
 			errs = append(errs, fmt.Errorf("live: close worker %d: %w", i, err))
 		}
 		b.clients[i] = nil
@@ -157,7 +241,7 @@ func (b *Backend) closeAllLocked() error {
 // delay cancellation of the rest.
 func (b *Backend) Cancel() {
 	b.mu.Lock()
-	clients := make([]*rpc.Client, len(b.clients))
+	clients := make([]workerLink, len(b.clients))
 	copy(clients, b.clients)
 	b.mu.Unlock()
 	var wg sync.WaitGroup
@@ -166,24 +250,19 @@ func (b *Backend) Cancel() {
 			continue
 		}
 		wg.Add(1)
-		go func(c *rpc.Client) {
+		go func(c workerLink) {
 			defer wg.Done()
 			var reply AbortReply
-			c.Call("Worker.Abort", AbortArgs{}, &reply)
+			c.Call("Worker.Abort", &AbortArgs{}, &reply, time.Second)
 		}(c)
 	}
-	aborted := make(chan struct{})
-	go func() { wg.Wait(); close(aborted) }()
-	select {
-	case <-aborted:
-	case <-time.After(time.Second):
-	}
+	wg.Wait()
 	b.Close()
 }
 
 // client returns worker w's connection, or an error once the backend is
 // closed.
-func (b *Backend) client(w int) (*rpc.Client, error) {
+func (b *Backend) client(w int) (workerLink, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed || b.clients[w] == nil {
@@ -271,27 +350,18 @@ func (b *Backend) opFailed(err error) error {
 	return err
 }
 
-// call performs one RPC bounded by CallTimeout.
+// call performs one RPC bounded by CallTimeout. Deadline handling is
+// the link's: the frame transport retires the request id and keeps the
+// connection; net/rpc must close it.
 func (b *Backend) call(w int, method string, args, reply any) error {
 	c, err := b.client(w)
 	if err != nil {
 		return err
 	}
-	if b.CallTimeout <= 0 {
-		return c.Call(method, args, reply)
+	if err := c.Call(method, args, reply, b.CallTimeout); err != nil {
+		return fmt.Errorf("worker %d: %w", w, err)
 	}
-	done := c.Go(method, args, reply, make(chan *rpc.Call, 1)).Done
-	timer := time.NewTimer(b.CallTimeout)
-	defer timer.Stop()
-	select {
-	case call := <-done:
-		return call.Error
-	case <-timer.C:
-		// Abandon the call: close the connection so the stale reply can
-		// never be mistaken for a later call's.
-		c.Close()
-		return fmt.Errorf("live: %s on worker %d exceeded %v deadline", method, w, b.CallTimeout)
-	}
+	return nil
 }
 
 func (b *Backend) nextChunk() int64 {
@@ -328,7 +398,7 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, e
 			}
 			args := StoreArgs{Chunk: int(chunk), Data: buf[:n], Last: n == remaining}
 			var reply StoreReply
-			if err := b.call(w, "Worker.Store", args, &reply); err != nil {
+			if err := b.call(w, "Worker.Store", &args, &reply); err != nil {
 				done(start, b.Now(), b.opFailed(fmt.Errorf("live: store on worker %d: %w", w, err)))
 				return
 			}
@@ -354,7 +424,7 @@ func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end 
 		start := b.Now()
 		args := ComputeArgs{Chunk: int(b.nextChunk()), Units: size, Probe: probe}
 		var reply ComputeReply
-		if err := b.call(w, "Worker.Compute", args, &reply); err != nil {
+		if err := b.call(w, "Worker.Compute", &args, &reply); err != nil {
 			done(start, b.Now(), b.opFailed(fmt.Errorf("live: compute on worker %d: %w", w, err)))
 			return
 		}
@@ -369,7 +439,7 @@ func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float6
 		defer b.wg.Done()
 		start := b.Now()
 		var reply FetchReply
-		if err := b.call(w, "Worker.Fetch", FetchArgs{Bytes: int(bytes)}, &reply); err != nil {
+		if err := b.call(w, "Worker.Fetch", &FetchArgs{Bytes: int(bytes)}, &reply); err != nil {
 			done(start, b.Now(), b.opFailed(fmt.Errorf("live: fetch from worker %d: %w", w, err)))
 			return
 		}

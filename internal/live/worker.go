@@ -20,6 +20,8 @@ import (
 	"net/rpc"
 	"sync"
 	"sync/atomic"
+
+	"apstdv/internal/transport"
 )
 
 // StoreArgs carries chunk data to a worker.
@@ -194,20 +196,58 @@ func (s *WorkerService) BytesReceived() int64 {
 	return s.bytesIn
 }
 
-// Serve registers the service on a fresh rpc.Server and serves it on a
-// loopback TCP listener, returning the address and a shutdown function.
-// The shutdown function kills the worker outright: it closes the
-// listener and every active connection, so in-flight RPCs fail the way
-// they would if the node crashed.
+// Serve exposes the service over the frame transport on a loopback TCP
+// listener, returning the address and a shutdown function. The shutdown
+// function kills the worker outright: it closes the listener and every
+// active connection, so in-flight RPCs fail the way they would if the
+// node crashed — and aborts any compute those connections had queued,
+// so a stopped worker does not keep burning CPU.
 func Serve(svc *WorkerService) (addr string, stop func(), err error) {
-	srv := rpc.NewServer()
-	// Each worker gets its own server, so the service name is fixed.
-	if err := srv.RegisterName("Worker", svc); err != nil {
-		return "", nil, err
-	}
+	return ServeOn(TransportFrame, svc)
+}
+
+// ServeOn is Serve with an explicit transport kind (TransportFrame or
+// TransportRPC); the dialing backend's WorkerConn.Transport must match.
+func ServeOn(kind string, svc *WorkerService) (addr string, stop func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, fmt.Errorf("live: listen: %w", err)
+	}
+	stop, err = ServeListener(kind, svc, ln)
+	if err != nil {
+		ln.Close()
+		return "", nil, err
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// ServeListener serves the worker protocol on an established listener
+// (Serve/ServeOn with a caller-owned bind address, as cmd/apstdv-worker
+// needs). The stop function has Serve's crash semantics.
+func ServeListener(kind string, svc *WorkerService, ln net.Listener) (stop func(), err error) {
+	switch kind {
+	case "", TransportFrame:
+		srv := newWorkerFrameServer(svc, transport.ServerConfig{})
+		go srv.Serve(ln)
+		return func() {
+			srv.Close()
+			// Kill any compute the dead connections abandoned: a crashed
+			// node stops burning CPU, and so must a stopped worker.
+			svc.Abort(AbortArgs{}, &AbortReply{})
+		}, nil
+	case TransportRPC:
+		return serveRPC(svc, ln)
+	default:
+		return nil, fmt.Errorf("live: unknown worker transport %q", kind)
+	}
+}
+
+// serveRPC is the net/rpc fallback worker server.
+func serveRPC(svc *WorkerService, ln net.Listener) (stop func(), err error) {
+	srv := rpc.NewServer()
+	// Each worker gets its own server, so the service name is fixed.
+	if err := srv.RegisterName("Worker", svc); err != nil {
+		return nil, err
 	}
 	var mu sync.Mutex
 	var conns []net.Conn
@@ -240,6 +280,7 @@ func Serve(svc *WorkerService) (addr string, stop func(), err error) {
 		for _, c := range conns {
 			c.Close()
 		}
+		svc.Abort(AbortArgs{}, &AbortReply{})
 	}
-	return ln.Addr().String(), stop, nil
+	return stop, nil
 }

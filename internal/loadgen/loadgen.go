@@ -1,0 +1,248 @@
+// Package loadgen drives a running daemon at production submission
+// rates and measures how the serving path holds up: an open-loop
+// Poisson arrival process submits the same task specification over and
+// over, recording submit→reply latency percentiles, the sustained
+// completed-submission rate, and (post-drain) the queue-wait
+// distribution of accepted jobs.
+//
+// The generator is open-loop on purpose: arrivals are scheduled on an
+// absolute Poisson timeline and each submission's latency is measured
+// from its *scheduled* arrival time, not from when the goroutine got
+// around to sending it. A server that stalls therefore inflates the
+// recorded tail instead of silently slowing the offered load — the
+// closed-loop coordinated-omission trap. The only concession is
+// MaxOutstanding: arrivals that would exceed it are counted as shed
+// rather than queued client-side, so client memory stays bounded while
+// the shed count preserves the evidence.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"apstdv/internal/client"
+	"apstdv/internal/daemon"
+	"apstdv/internal/errcode"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Transport selects the wire protocol (client.TransportFrame or
+	// client.TransportRPC).
+	Transport string
+	// Conns is the client connection-pool width.
+	Conns int
+	// Rate is the offered load in submissions per second.
+	Rate float64
+	// Duration is the generation window.
+	Duration time.Duration
+	// MaxOutstanding caps in-flight submissions; arrivals beyond it
+	// are shed (counted, not sent). Defaults to 256.
+	MaxOutstanding int
+	// Seed drives the Poisson arrival process.
+	Seed int64
+	// TaskXML is the specification submitted on every arrival.
+	TaskXML string
+	// Priority is the admission class for every submission.
+	Priority string
+	// SimApp is forwarded to Submit (sim-mode ground truth).
+	SimApp *daemon.SimApp
+	// DrainTimeout bounds the post-window wait for the daemon to go
+	// idle before queue-wait is measured. Defaults to 30s.
+	DrainTimeout time.Duration
+}
+
+// Percentiles summarizes a latency sample in milliseconds.
+type Percentiles struct {
+	N    int     `json:"n"`
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Transport string  `json:"transport"`
+	RateHz    float64 `json:"offered_rate_hz"`
+	Seconds   float64 `json:"window_seconds"`
+
+	// Arrival accounting: Offered = Sent + Shed;
+	// Sent = Accepted + Rejected + Errors.
+	Offered int `json:"offered"`
+	Shed    int `json:"shed"`
+	// Accepted submissions were admitted (queued or running).
+	Accepted int `json:"accepted"`
+	// Rejected submissions got a typed daemon error (queue_full,
+	// draining, overloaded...) — backpressure working as designed.
+	Rejected int `json:"rejected"`
+	// Errors are untyped failures (transport breakage, timeouts).
+	Errors int `json:"errors"`
+
+	// SustainedHz is completed submit RPCs (accepted + rejected) per
+	// second of wall clock from first arrival to last reply.
+	SustainedHz float64 `json:"sustained_hz"`
+
+	// Submit is the submit→reply latency over accepted and rejected
+	// submissions, measured from the scheduled arrival time.
+	Submit Percentiles `json:"submit_latency"`
+	// QueueWait is Started−Submitted over the accepted jobs still
+	// retained by the daemon after the drain.
+	QueueWait Percentiles `json:"queue_wait"`
+	// QueueWaitSampled counts how many accepted jobs the queue-wait
+	// percentiles were computed from (retention may evict some).
+	QueueWaitSampled int `json:"queue_wait_sampled"`
+}
+
+// Run generates load against the daemon at addr and reports the
+// measurement. The daemon is left idle (all generated jobs terminal)
+// unless the drain times out.
+func Run(addr string, cfg Config) (*Result, error) {
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: need a positive rate and duration")
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 256
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	cl, err := client.DialOptions(addr, client.Options{Transport: cfg.Transport, Conns: cfg.Conns})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	res := &Result{Transport: cfg.Transport, RateHz: cfg.Rate, Seconds: cfg.Duration.Seconds()}
+	var (
+		mu        sync.Mutex
+		latencies []float64 // seconds
+		jobIDs    []int
+		wg        sync.WaitGroup
+	)
+	// A fixed pool of submitter goroutines implements the outstanding
+	// cap: an unbuffered channel send succeeds only when a worker is
+	// free, so arrivals that find all workers busy are shed without
+	// spawning anything — the generator loop stays cheap even at rates
+	// far past saturation.
+	arrivals := make(chan time.Time)
+	for i := 0; i < cfg.MaxOutstanding; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for scheduled := range arrivals {
+				reply, err := cl.Submit(cfg.TaskXML, "", cfg.Priority, cfg.SimApp)
+				lat := time.Since(scheduled).Seconds()
+				mu.Lock()
+				switch {
+				case err == nil:
+					res.Accepted++
+					latencies = append(latencies, lat)
+					jobIDs = append(jobIDs, reply.JobID)
+				case errcode.Code(err) != "":
+					res.Rejected++
+					latencies = append(latencies, lat)
+				default:
+					res.Errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if until := time.Until(next); until > 0 {
+			time.Sleep(until)
+		}
+		res.Offered++
+		select {
+		case arrivals <- next:
+		default:
+			res.Shed++
+		}
+	}
+	close(arrivals)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	res.SustainedHz = float64(res.Accepted+res.Rejected) / elapsed
+	res.Submit = percentiles(latencies)
+
+	waits, sampled, err := drainAndMeasureWait(cl, jobIDs, cfg.DrainTimeout)
+	if err != nil {
+		return res, err
+	}
+	res.QueueWait = percentiles(waits)
+	res.QueueWaitSampled = sampled
+	return res, nil
+}
+
+// drainAndMeasureWait polls until every generated job is terminal (the
+// accepted ones may still be queued or running), then computes the
+// queue wait (Started−Submitted) of the accepted jobs the daemon still
+// retains.
+func drainAndMeasureWait(cl *client.Client, jobIDs []int, timeout time.Duration) ([]float64, int, error) {
+	accepted := make(map[int]bool, len(jobIDs))
+	for _, id := range jobIDs {
+		accepted[id] = true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		jobs, err := cl.Jobs()
+		if err != nil {
+			return nil, 0, err
+		}
+		busy := 0
+		var waits []float64
+		for _, j := range jobs {
+			if !accepted[j.ID] {
+				continue
+			}
+			switch j.State {
+			case daemon.JobQueued, daemon.JobRunning:
+				busy++
+			default:
+				if !j.Started.IsZero() {
+					waits = append(waits, j.Started.Sub(j.Submitted).Seconds())
+				}
+			}
+		}
+		if busy == 0 {
+			return waits, len(waits), nil
+		}
+		if time.Now().After(deadline) {
+			return waits, len(waits), fmt.Errorf("loadgen: %d jobs still queued/running after %v drain", busy, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// percentiles summarizes a latency sample (seconds in, ms out).
+func percentiles(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)))
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i] * 1e3
+	}
+	return Percentiles{
+		N: len(sorted), P50: at(0.50), P90: at(0.90),
+		P99: at(0.99), P999: at(0.999), Max: sorted[len(sorted)-1] * 1e3,
+	}
+}

@@ -218,35 +218,71 @@ type Ring struct {
 	mu    sync.Mutex
 	core  []eventCore
 	errs  []string // parallel to core; "" for almost every event
+	max   int      // capacity target; core grows geometrically toward it
 	next  int      // index of the slot the next event lands in
 	full  bool
 	types intern // EventType values (a dozen distinct)
 	algs  intern // algorithm names (a handful distinct)
 }
 
-// NewRing returns a ring holding the last n events (n ≥ 1).
+// ringInitialCap is the allocation a fresh ring starts with. Rings are
+// created per job at submission time, and most jobs — every admission-
+// control rejection, every short run — emit a handful of events; paying
+// for the full retention target up front (8192 slots ≈ 1.7 MB) per
+// submission is what capped the daemon's sustainable submission rate.
+// The buffer doubles toward the target as events actually arrive, so
+// long runs still retain their full configured tail.
+const ringInitialCap = 16
+
+// NewRing returns a ring holding the last n events (n ≥ 1). Storage
+// starts at ringInitialCap slots and grows geometrically to n as events
+// arrive.
 func NewRing(n int) *Ring {
 	if n < 1 {
 		n = 1
 	}
-	return &Ring{core: make([]eventCore, n), errs: make([]string, n)}
+	c := n
+	if c > ringInitialCap {
+		c = ringInitialCap
+	}
+	return &Ring{core: make([]eventCore, c), errs: make([]string, c), max: n}
 }
 
 // Emit implements Sink.
 func (r *Ring) Emit(ev Event) { r.EmitPtr(&ev) }
 
 // EmitPtr implements PtrSink: one mutex hold and one pointer-free
-// record write — no allocation, no write barriers on the hot buffer.
+// record write — once the buffer has grown to its target, no
+// allocation and no write barriers on the hot buffer.
 func (r *Ring) EmitPtr(ev *Event) {
 	r.mu.Lock()
 	r.core[r.next].pack(ev, &r.types, &r.algs)
 	r.errs[r.next] = ev.Err
 	r.next++
 	if r.next == len(r.core) {
-		r.next = 0
-		r.full = true
+		if len(r.core) < r.max {
+			r.growLocked()
+		} else {
+			r.next = 0
+			r.full = true
+		}
 	}
 	r.mu.Unlock()
+}
+
+// growLocked doubles the buffer toward the capacity target. The ring
+// has never wrapped when this runs (growth happens the moment the
+// buffer first fills), so the retained events stay in place.
+func (r *Ring) growLocked() {
+	c := len(r.core) * 2
+	if c > r.max {
+		c = r.max
+	}
+	core := make([]eventCore, c)
+	copy(core, r.core)
+	errs := make([]string, c)
+	copy(errs, r.errs)
+	r.core, r.errs = core, errs
 }
 
 // Snapshot returns the retained events in emission order.

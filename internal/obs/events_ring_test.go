@@ -85,17 +85,46 @@ func TestRingWrap(t *testing.T) {
 }
 
 // The steady state — emitting events whose Type/Alg strings are already
-// interned and whose Err is empty — must not allocate; that is the whole
-// point of the pointer-free core.
+// interned, whose Err is empty, and whose buffer has grown to its
+// target — must not allocate; that is the whole point of the
+// pointer-free core.
 func TestRingEmitSteadyStateAllocFree(t *testing.T) {
 	r := NewRing(64)
 	ev := Event{Type: ChunkDone, Alg: "fixed-rumr", Worker: 3, Size: 12.5}
-	r.EmitPtr(&ev) // warm the intern tables
+	for i := 0; i < 64; i++ {
+		r.EmitPtr(&ev) // warm the intern tables and grow to target
+	}
 	allocs := testing.AllocsPerRun(1000, func() {
 		ev.Seq++
 		r.EmitPtr(&ev)
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state EmitPtr allocated %.1f objects per event, want 0", allocs)
+	}
+}
+
+// A ring larger than the initial allocation must grow transparently:
+// retention semantics are identical to a fully pre-allocated ring at
+// every fill level, including across the wrap.
+func TestRingGrowsToTarget(t *testing.T) {
+	const target = ringInitialCap*4 + 3 // force growth, non-power-of-two
+	for _, emits := range []int{1, ringInitialCap, ringInitialCap + 1, target - 1, target, target + 5, 3 * target} {
+		r := NewRing(target)
+		for i := 0; i < emits; i++ {
+			r.Emit(Event{Seq: int64(i)})
+		}
+		got := r.Snapshot()
+		wantLen := emits
+		if wantLen > target {
+			wantLen = target
+		}
+		if len(got) != wantLen {
+			t.Fatalf("after %d emits: Snapshot returned %d events, want %d", emits, len(got), wantLen)
+		}
+		for i, ev := range got {
+			if want := int64(emits - wantLen + i); ev.Seq != want {
+				t.Fatalf("after %d emits: event %d has Seq %d, want %d", emits, i, ev.Seq, want)
+			}
+		}
 	}
 }

@@ -1,0 +1,48 @@
+package obs
+
+// TransportMetrics is the serving-transport metric set: frame and byte
+// counters for both directions, the in-flight call gauge, connection-
+// pool hit accounting, and the overload fast-reject counter. One
+// instance is shared by every transport endpoint a process hosts (the
+// daemon's frame server and its live worker pools record into the same
+// set), so the totals describe the process's whole serving surface.
+//
+// All methods on the underlying metrics are nil-safe, so a nil
+// *TransportMetrics disables recording with no branches at call sites.
+type TransportMetrics struct {
+	// FramesSent / FramesRecv count protocol frames (requests,
+	// responses, and error responses all count once).
+	FramesSent *Counter
+	FramesRecv *Counter
+	// BytesSent / BytesRecv count frame bytes including headers.
+	BytesSent *Counter
+	BytesRecv *Counter
+	// Writes counts coalesced socket writes; FramesSent/Writes is the
+	// batching factor the pipelined writer achieves.
+	Writes *Counter
+	// InFlight is the number of calls awaiting a response across all
+	// client connections.
+	InFlight *Gauge
+	// PoolHits / PoolMisses count connection-pool checkouts that reused
+	// a live connection vs. had to dial.
+	PoolHits   *Counter
+	PoolMisses *Counter
+	// Overloaded counts requests fast-rejected by the server because its
+	// dispatch queue was full (transport.ErrOverloaded).
+	Overloaded *Counter
+}
+
+// NewTransportMetrics registers the transport metric set in r.
+func NewTransportMetrics(r *Registry) *TransportMetrics {
+	return &TransportMetrics{
+		FramesSent: r.Counter("apstdv_transport_frames_sent_total", "Protocol frames written."),
+		FramesRecv: r.Counter("apstdv_transport_frames_recv_total", "Protocol frames read."),
+		BytesSent:  r.Counter("apstdv_transport_bytes_sent_total", "Frame bytes written, headers included."),
+		BytesRecv:  r.Counter("apstdv_transport_bytes_recv_total", "Frame bytes read, headers included."),
+		Writes:     r.Counter("apstdv_transport_writes_total", "Coalesced socket writes (frames per write = batching factor)."),
+		InFlight:   r.Gauge("apstdv_transport_inflight_calls", "Calls awaiting a response."),
+		PoolHits:   r.Counter("apstdv_transport_pool_hits_total", "Pool checkouts that reused a live connection."),
+		PoolMisses: r.Counter("apstdv_transport_pool_misses_total", "Pool checkouts that had to dial."),
+		Overloaded: r.Counter("apstdv_transport_overloaded_total", "Requests fast-rejected because the dispatch queue was full."),
+	}
+}

@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// The compact codec: append-style encoders over a []byte and a cursor-
+// style decoder with one sticky error. Message types implement Appender
+// and Decoder by hand — field order is the wire contract, mirrored
+// between AppendWire and DecodeWire, with no reflection and no field
+// names on the wire. Integers are varints, floats are fixed 8-byte
+// little-endian, strings and byte slices are length-prefixed.
+
+// Appender encodes a message by appending its wire form to b.
+type Appender interface {
+	AppendWire(b []byte) []byte
+}
+
+// Decoder decodes a message from a Dec positioned at its first byte.
+// Implementations read fields in AppendWire order and may rely on the
+// Dec's sticky error instead of checking each read.
+type Decoder interface {
+	DecodeWire(d *Dec)
+}
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends v as a zig-zag signed varint.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// AppendF64 appends v as 8 fixed little-endian bytes.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendBool appends one byte, 0 or 1.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendString appends a uvarint length prefix and the string bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends a uvarint length prefix and the slice bytes.
+func AppendBytes(b []byte, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// errMalformed is the sticky decode error: a read ran past the payload
+// or hit an invalid varint. It marks the frame, not the connection —
+// the connection's framing is still intact.
+var errMalformed = errors.New("transport: malformed payload")
+
+// Dec decodes a payload. The first failed read poisons the decoder:
+// every subsequent read returns a zero value, and Err reports the
+// failure once at the end — message DecodeWire implementations read
+// straight through without per-field error checks.
+type Dec struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+// NewDec returns a decoder over payload.
+func NewDec(payload []byte) *Dec { return &Dec{buf: payload} }
+
+// Err returns nil if every read so far was in bounds, errMalformed
+// otherwise.
+func (d *Dec) Err() error {
+	if d.bad {
+		return errMalformed
+	}
+	return nil
+}
+
+// Len returns the number of unread bytes.
+func (d *Dec) Len() int { return len(d.buf) - d.off }
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zig-zag signed varint.
+func (d *Dec) Varint() int64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// F64 reads 8 fixed little-endian bytes.
+func (d *Dec) F64() float64 {
+	if d.bad || d.off+8 > len(d.buf) {
+		d.bad = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Bool reads one byte.
+func (d *Dec) Bool() bool {
+	if d.bad || d.off >= len(d.buf) {
+		d.bad = true
+		return false
+	}
+	v := d.buf[d.off] != 0
+	d.off++
+	return v
+}
+
+// String reads a length-prefixed string (copied out of the payload).
+func (d *Dec) String() string {
+	return string(d.raw())
+}
+
+// Bytes reads a length-prefixed byte slice. The returned slice aliases
+// the payload buffer and is valid only until the handler returns (the
+// buffer is pooled); retainers must copy.
+func (d *Dec) Bytes() []byte {
+	return d.raw()
+}
+
+func (d *Dec) raw() []byte {
+	n := d.Uvarint()
+	if d.bad || n > uint64(len(d.buf)-d.off) {
+		d.bad = true
+		return nil
+	}
+	p := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return p
+}

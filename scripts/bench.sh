@@ -138,4 +138,34 @@ END {
     printf "\n}\n" > out
 }
 '
+
+# Serving-path load test: frame vs net/rpc sustained submission rate
+# and submit-latency percentiles under an open-loop Poisson storm
+# against self-hosted sim daemons (see cmd/loadgen). The comparison is
+# spliced into the snapshot as a "serving" object; when the previous
+# snapshot recorded one, the sustained ratio is also emitted as a
+# before/after delta.
+echo "serving-path load test (frame vs net/rpc)..."
+serving=$(go run ./cmd/loadgen -rate 150000 -duration 4s -outstanding 512 \
+              -conns 2 -load 500 -queue-depth 2 -retain-jobs 2048 -json)
+
+prev_sr=""
+if [ -f "$prev" ]; then
+    prev_sr=$(sed -n 's/.*"frame_vs_rpc_sustained_ratio": *\([0-9.]*\).*/\1/p' "$prev" | head -1)
+fi
+sr=$(printf '%s\n' "$serving" | sed -n 's/.*"frame_vs_rpc_sustained_ratio": *\([0-9.]*\).*/\1/p' | head -1)
+
+sed -i '$d' "$out"          # drop the closing brace
+sed -i '$ s/$/,/' "$out"    # terminate what is now the last member
+{
+    printf '  "serving": '
+    printf '%s\n' "$serving" | sed '1!s/^/  /'
+} >> "$out"
+if [ -n "$prev_sr" ] && [ -n "$sr" ]; then
+    sed -i '$ s/$/,/' "$out"
+    printf '  "serving_sustained_ratio_prev": %s,\n' "$prev_sr" >> "$out"
+    printf '  "serving_sustained_ratio_delta": %s\n' \
+        "$(awk -v a="$sr" -v b="$prev_sr" 'BEGIN { printf "%.2f", a - b }')" >> "$out"
+fi
+printf '}\n' >> "$out"
 echo "wrote $out"
