@@ -22,6 +22,7 @@ import (
 	"apstdv/internal/grid"
 	"apstdv/internal/model"
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/parallel"
 	"apstdv/internal/rng"
 	"apstdv/internal/sim"
@@ -488,6 +489,92 @@ func BenchmarkFaultPathOverheadPaired(b *testing.B) {
 	benchPairedOverhead(b, "idle-overhead-pct",
 		func(b *testing.B) { one(b, nil) },
 		func(b *testing.B) { one(b, &engine.RetryPolicy{}) })
+}
+
+// benchPairedMinOverhead is benchPairedOverhead's estimator for
+// sub-point overheads: it times the baseline and instrumented runs
+// alternately but compares the *minimum* sample of each side rather
+// than the accumulated totals. GC pauses land on whichever side
+// happens to trigger them and put ±10% of variance on the totals —
+// far above a 1% budget — while the minimum sample of each side is
+// pause-free, so the min ratio is stable to well under a point.
+func benchPairedMinOverhead(b *testing.B, metric string, base, inst func(*testing.B)) {
+	minBase, minInst := time.Duration(1<<62), time.Duration(1<<62)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		base(b)
+		t1 := time.Now()
+		inst(b)
+		if d := t1.Sub(t0); d < minBase {
+			minBase = d
+		}
+		if d := time.Since(t1); d < minInst {
+			minInst = d
+		}
+	}
+	if minBase > 0 && minBase < 1<<62 {
+		b.ReportMetric((float64(minInst)/float64(minBase)-1)*100, metric)
+	}
+}
+
+// BenchmarkTraceOverheadPaired measures what the span layer costs the
+// engine, both ways that matter: "enabled" pairs an untraced run
+// against one recording per-chunk spans into a NopExporter-backed
+// collector ("trace-overhead-pct"); "disabled" pairs an untraced run
+// against one with a collector attached but a zero trace id — the
+// off-by-default configuration, whose cost is one zero check per
+// decision point ("trace-disabled-overhead-pct", budget ≤1%, asserted
+// by make bench-smoke).
+func BenchmarkTraceOverheadPaired(b *testing.B) {
+	platform := workload.DAS2(16)
+	app := workload.Synthetic(0.10)
+	one := func(b *testing.B, cfg engine.Config) {
+		backend, err := grid.New(platform, app, grid.Config{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg, _ := dls.New("fixed-rumr")
+		cfg.ProbeLoad = 200
+		if _, err := engine.Execute(context.Background(), engine.Request{
+			Backend: backend, Algorithm: alg, App: app, Platform: platform, Config: cfg,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("enabled", func(b *testing.B) {
+		col := otrace.New(0)
+		col.SetExporter(otrace.NopExporter{})
+		benchPairedMinOverhead(b, "trace-overhead-pct",
+			func(b *testing.B) { one(b, engine.Config{}) },
+			func(b *testing.B) { one(b, engine.Config{Trace: col, TraceID: col.NewTraceID()}) })
+	})
+	b.Run("disabled", func(b *testing.B) {
+		col := otrace.New(0)
+		benchPairedMinOverhead(b, "trace-disabled-overhead-pct",
+			func(b *testing.B) { one(b, engine.Config{}) },
+			func(b *testing.B) { one(b, engine.Config{Trace: col}) })
+	})
+}
+
+// TestTraceDisabledAllocFree pins the disabled configuration at zero
+// allocations: every span operation against a nil collector, and every
+// operation under a zero trace id, must be an inert value path.
+func TestTraceDisabledAllocFree(t *testing.T) {
+	var nilCol *otrace.Collector
+	col := otrace.New(64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := nilCol.Begin(1, 0, "x")
+		sp.End(nil)
+		nilCol.RecordSince(1, 0, "x", 0, nil)
+		nilCol.RecordSpan(1, 2, 0, "x", 0, 1, true, "")
+		zsp := col.Begin(0, 0, "y")
+		zsp.End(nil)
+		col.RecordSince(0, 0, "y", 0, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f times per op, want 0", allocs)
+	}
 }
 
 // --- Substrate micro-benchmarks ------------------------------------------

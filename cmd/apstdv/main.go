@@ -9,6 +9,7 @@
 //	apstdv -daemon 127.0.0.1:4321 run -spec app.xml   # submit + wait + report
 //	apstdv -daemon 127.0.0.1:4321 jobs
 //	apstdv -daemon 127.0.0.1:4321 events -job 1 -follow   # JSONL event tail
+//	apstdv -daemon 127.0.0.1:4321 trace -job 1            # span tree (daemon needs -trace)
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"apstdv/internal/client"
 	"apstdv/internal/daemon"
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 )
 
 func main() {
@@ -122,8 +124,11 @@ func main() {
 	case "events":
 		sink := obs.NewJSONL(os.Stdout)
 		if *follow {
+			// Resume from -after (default -1 = everything retained): a
+			// console restarted after a disconnect passes its last seen
+			// seq and never re-prints events it already delivered.
 			ctx, cancel := context.WithTimeout(context.Background(), *wait)
-			err := c.FollowEvents(ctx, *jobID, 100*time.Millisecond, sink.Emit)
+			err := c.FollowEventsFrom(ctx, *jobID, *after, 100*time.Millisecond, sink.Emit)
 			cancel()
 			if ferr := sink.Flush(); err == nil {
 				err = ferr
@@ -146,6 +151,13 @@ func main() {
 		if dropped {
 			fmt.Fprintln(os.Stderr, "apstdv: ring dropped events before this tail (job outran the buffer)")
 		}
+	case "trace":
+		reply, err := c.Trace(*jobID)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("job %d  trace %#x  (%d spans retained)\n", *jobID, reply.TraceID, len(reply.Spans))
+		otrace.WriteTree(os.Stdout, reply.Spans)
 	default:
 		usage()
 	}
@@ -186,7 +198,7 @@ func showReport(c *client.Client, jobID int, csvPath string, gantt bool) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apstdv [-daemon addr] <algorithms|submit|run|status|cancel|report|jobs|events> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: apstdv [-daemon addr] <algorithms|submit|run|status|cancel|report|jobs|events|trace> [flags]")
 	os.Exit(2)
 }
 

@@ -27,6 +27,7 @@ import (
 	"apstdv/internal/daemon"
 	"apstdv/internal/live"
 	"apstdv/internal/model"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/spec"
 	"apstdv/internal/workload"
 )
@@ -48,12 +49,36 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs before they are cancelled")
 		transportK  = flag.String("transport", "frame", "client-facing wire protocol: frame (pooled binary transport) or rpc (legacy net/rpc)")
 		workerTK    = flag.String("worker-transport", "frame", "daemon↔worker wire protocol: frame or rpc; external -workeraddrs workers must serve the same")
+		traceOn     = flag.Bool("trace", false, "record per-job spans; inspect via 'apstdv trace' or /debug/trace")
+		traceSpans  = flag.Int("trace-spans", 0, "span ring capacity (0 = default; implies -trace)")
+		traceOut    = flag.String("trace-out", "", "stream spans as Chrome-trace JSONL here, for Perfetto (implies -trace)")
 	)
 	flag.Parse()
 
 	cfg := daemon.Config{
 		Seed: *seed, SpecDir: *specDir,
 		MaxConcurrentJobs: *maxJobs, QueueDepth: *queueDepth,
+	}
+	// The trace collector and its optional Chrome-trace stream. The
+	// exporter is flushed on the graceful-shutdown path; a crash loses
+	// at most the buffered tail (the JSONL lines written so far stand).
+	closeTrace := func() {}
+	if *traceOn || *traceSpans > 0 || *traceOut != "" {
+		cfg.Trace = otrace.New(*traceSpans)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatalf("apstdvd: trace-out: %v", err)
+			}
+			exp := otrace.NewChromeExporter(f)
+			cfg.Trace.SetExporter(exp)
+			closeTrace = func() {
+				if err := exp.Close(); err != nil {
+					log.Printf("apstdvd: trace-out flush: %v", err)
+				}
+				f.Close()
+			}
+		}
 	}
 	switch *mode {
 	case "sim":
@@ -123,6 +148,7 @@ func main() {
 	}
 	select {
 	case err := <-serveErr:
+		closeTrace()
 		if err != nil {
 			log.Fatalf("apstdvd: %v", err)
 		}
@@ -132,6 +158,7 @@ func main() {
 		err := d.Shutdown(ctx)
 		cancel()
 		ln.Close()
+		closeTrace()
 		if err != nil {
 			log.Fatalf("apstdvd: drain: %v", err)
 		}

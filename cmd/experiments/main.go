@@ -188,6 +188,7 @@ func runServing() error {
 			MaxOutstanding: 512, Seed: 1,
 			TaskXML: loadgen.BenchSpec(500),
 			SimApp:  &daemon.SimApp{UnitCost: 0.05, BytesPerUnit: 1000},
+			Trace:   true,
 		})
 	if err != nil {
 		return err
@@ -200,5 +201,25 @@ func runServing() error {
 	}
 	fmt.Printf("frame vs rpc: %.2fx sustained submissions/sec at %.2fx the p99 latency\n",
 		cmp.SustainedRatio, cmp.P99Ratio)
+	// Latency attribution per serving stage, from the daemons' trace
+	// collectors: where an accepted submission actually spends its time.
+	fmt.Println("\nPer-stage latency attribution (p50/p99 ms):")
+	fmt.Printf("%-14s %10s %10s %12s %10s %10s\n", "stage", "rpc p50", "rpc p99", "", "frame p50", "frame p99")
+	for _, name := range []string{"decode", "admission", "queue", "lease", "execute"} {
+		row := func(r *loadgen.Result) (p50, p99 float64, ok bool) {
+			for _, s := range r.Stages {
+				if s.Stage == name {
+					return s.P50Ms, s.P99Ms, true
+				}
+			}
+			return 0, 0, false
+		}
+		r50, r99, rok := row(cmp.RPC)
+		f50, f99, fok := row(cmp.Frame)
+		if !rok && !fok {
+			continue
+		}
+		fmt.Printf("%-14s %10.3f %10.3f %12s %10.3f %10.3f\n", name, r50, r99, "", f50, f99)
+	}
 	return nil
 }

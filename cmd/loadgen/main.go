@@ -28,6 +28,7 @@ import (
 
 	"apstdv/internal/daemon"
 	"apstdv/internal/loadgen"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/workload"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		retainJobs  = flag.Int("retain-jobs", 2048, "self-host: terminal jobs retained (0 = all; bounded so the post-run job listing stays under the frame size cap)")
 		jsonOut     = flag.Bool("json", false, "emit JSON instead of text")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run here")
+		traceOn     = flag.Bool("trace", true, "self-host: run the daemons with tracing so per-stage latency attribution lands in the result")
 	)
 	flag.Parse()
 	if *cpuprofile != "" {
@@ -73,6 +75,7 @@ func main() {
 		MaxOutstanding: *outstanding, Seed: *seed,
 		TaskXML: taskXML, Priority: *priority,
 		SimApp: &daemon.SimApp{UnitCost: 0.05, BytesPerUnit: 1000},
+		Trace:  *traceOn,
 	}
 
 	if *addr != "" {
@@ -104,6 +107,9 @@ func main() {
 		}
 		emit(*jsonOut, nil, cmp)
 	default:
+		if *traceOn {
+			dcfg.Trace = otrace.New(0)
+		}
 		a, stop, err := loadgen.SelfHost(*transportK, dcfg)
 		if err != nil {
 			fatal(err)
@@ -146,8 +152,13 @@ func printResult(r *loadgen.Result) {
 	fmt.Printf("       submit latency  p50 %.2fms  p90 %.2fms  p99 %.2fms  p99.9 %.2fms  max %.2fms (n=%d)\n",
 		r.Submit.P50, r.Submit.P90, r.Submit.P99, r.Submit.P999, r.Submit.Max, r.Submit.N)
 	if r.QueueWait.N > 0 {
-		fmt.Printf("       queue wait      p50 %.0fms  p99 %.0fms  max %.0fms (n=%d)\n",
-			r.QueueWait.P50, r.QueueWait.P99, r.QueueWait.Max, r.QueueWait.N)
+		fmt.Printf("       queue wait      p50 %.0fms  p99 %.0fms  max %.0fms (n=%d, %.0f%% of accepted)\n",
+			r.QueueWait.P50, r.QueueWait.P99, r.QueueWait.Max, r.QueueWait.N,
+			r.QueueWaitSampledFraction*100)
+	}
+	for _, s := range r.Stages {
+		fmt.Printf("       stage %-10s p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  max %8.3fms (n=%d of %d)\n",
+			s.Stage, s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs, s.Sampled, s.Count)
 	}
 }
 

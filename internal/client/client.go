@@ -19,6 +19,7 @@ import (
 	"apstdv/internal/daemon"
 	"apstdv/internal/errcode"
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/transport"
 )
 
@@ -43,6 +44,11 @@ type Options struct {
 	// Metrics, when set, receives client-side transport counters.
 	// Ignored for rpc.
 	Metrics *obs.TransportMetrics
+	// Tracer, when set, makes Submit mint a trace id and record a
+	// "client.submit" span locally; the id rides to the daemon in the
+	// frame header (frame transport) or the SubmitArgs themselves
+	// (rpc), so one trace stitches client, daemon, engine and workers.
+	Tracer *otrace.Collector
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -61,16 +67,18 @@ func (o Options) withDefaults() (Options, error) {
 }
 
 // caller is the transport seam: one implementation per wire protocol,
-// both mapping net/rpc-style method names onto their encoding.
+// both mapping net/rpc-style method names onto their encoding. tc is
+// the request's trace context: the frame transport carries it in the
+// frame header; rpc drops it (traced args carry the ids in-band).
 type caller interface {
-	Call(method string, args, reply any) error
+	Call(method string, args, reply any, tc transport.TraceContext) error
 	Close() error
 }
 
 // rpcCaller speaks classic net/rpc.
 type rpcCaller struct{ rc *rpc.Client }
 
-func (r *rpcCaller) Call(method string, args, reply any) error {
+func (r *rpcCaller) Call(method string, args, reply any, _ transport.TraceContext) error {
 	return r.rc.Call(method, args, reply)
 }
 func (r *rpcCaller) Close() error { return r.rc.Close() }
@@ -79,14 +87,14 @@ func (r *rpcCaller) Close() error { return r.rc.Close() }
 // connection pool.
 type frameCaller struct{ pool *transport.Pool }
 
-func (f *frameCaller) Call(method string, args, reply any) error {
+func (f *frameCaller) Call(method string, args, reply any, tc transport.TraceContext) error {
 	id, ok := daemon.FrameMethods[method]
 	if !ok {
 		return fmt.Errorf("client: no frame method id for %q", method)
 	}
 	a, _ := args.(transport.Appender)
 	r, _ := reply.(transport.Decoder)
-	return f.pool.Call(id, a, r)
+	return f.pool.CallTrace(id, a, r, tc)
 }
 func (f *frameCaller) Close() error { return f.pool.Close() }
 
@@ -136,7 +144,7 @@ func (c *Client) dial() (caller, error) {
 	})
 	fc := &frameCaller{pool: p}
 	var reply daemon.AlgorithmsReply
-	if err := fc.Call("APSTDV.Algorithms", &daemon.AlgorithmsArgs{}, &reply); err != nil {
+	if err := fc.Call("APSTDV.Algorithms", &daemon.AlgorithmsArgs{}, &reply, transport.TraceContext{}); err != nil {
 		p.Close()
 		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
 	}
@@ -193,7 +201,12 @@ func (c *Client) redial(broken caller) error {
 // call performs one RPC, re-attaching registered error sentinels to the
 // string the transport flattened the server error into.
 func (c *Client) call(method string, args, reply any) error {
-	return errcode.Decode(c.caller().Call(method, args, reply))
+	return c.callTrace(method, args, reply, transport.TraceContext{})
+}
+
+// callTrace is call with an explicit trace context on the wire.
+func (c *Client) callTrace(method string, args, reply any, tc transport.TraceContext) error {
+	return errcode.Decode(c.caller().Call(method, args, reply, tc))
 }
 
 // transient reports whether err is a connection-level failure worth a
@@ -219,10 +232,25 @@ func transient(err error) bool {
 // normal or low; empty = normal); simApp supplies sim-mode ground
 // truth. A full queue rejects with daemon.ErrQueueFull.
 func (c *Client) Submit(taskXML, algorithm, priority string, simApp *daemon.SimApp) (daemon.SubmitReply, error) {
-	var reply daemon.SubmitReply
-	err := c.call("APSTDV.Submit", &daemon.SubmitArgs{
+	args := &daemon.SubmitArgs{
 		TaskXML: taskXML, Algorithm: algorithm, Priority: priority, SimApp: simApp,
-	}, &reply)
+	}
+	// With a tracer, mint the trace here so the daemon's spans parent
+	// under the client's view of the submit. The ids travel both in the
+	// args (rpc's only channel) and the frame header (which also lets
+	// the transport server attribute its decode work to the trace).
+	var tc transport.TraceContext
+	var sp otrace.Span
+	if tr := c.opts.Tracer; tr != nil {
+		tid := tr.NewTraceID()
+		sp = tr.Begin(tid, 0, "client.submit")
+		args.TraceID = uint64(tid)
+		args.ParentSpan = uint64(sp.ID())
+		tc = transport.TraceContext{Trace: args.TraceID, Span: args.ParentSpan}
+	}
+	var reply daemon.SubmitReply
+	err := c.callTrace("APSTDV.Submit", args, &reply, tc)
+	sp.End(err)
 	return reply, err
 }
 
@@ -263,6 +291,21 @@ func (c *Client) Jobs() ([]daemon.Job, error) {
 	return reply.Jobs, err
 }
 
+// Trace fetches a job's retained span tree from the daemon. Fails with
+// daemon.ErrTracingOff when the daemon runs without a collector.
+func (c *Client) Trace(jobID int) (daemon.TraceReply, error) {
+	var reply daemon.TraceReply
+	err := c.call("APSTDV.Trace", &daemon.TraceArgs{JobID: jobID}, &reply)
+	return reply, err
+}
+
+// TraceStats fetches the daemon's per-stage latency aggregates.
+func (c *Client) TraceStats() (daemon.TraceStatsReply, error) {
+	var reply daemon.TraceStatsReply
+	err := c.call("APSTDV.TraceStats", &daemon.TraceStatsArgs{}, &reply)
+	return reply, err
+}
+
 // Events fetches the tail of a job's event stream: retained events with
 // Seq > afterSeq, the job's current state, and whether the ring dropped
 // events the cursor missed.
@@ -295,13 +338,22 @@ const (
 // ring evicted events meanwhile. Server-side errors (unknown job, and
 // any other answer the daemon actually produced) return immediately.
 func (c *Client) FollowEvents(ctx context.Context, jobID int, poll time.Duration, fn func(obs.Event)) error {
-	after := int64(-1)
+	return c.FollowEventsFrom(ctx, jobID, -1, poll, fn)
+}
+
+// FollowEventsFrom is FollowEvents starting after a known sequence
+// number instead of the beginning: events with Seq <= afterSeq are
+// never redelivered. It is the resume primitive for callers that
+// outlive a connection (apstdv events -follow restarts here with its
+// last seen seq, so a daemon reconnect does not replay the ring).
+func (c *Client) FollowEventsFrom(ctx context.Context, jobID int, afterSeq int64, poll time.Duration, fn func(obs.Event)) error {
+	after := afterSeq
 	backoff := followBackoffMin
 	for {
 		cl := c.caller()
 		var reply daemon.EventsReply
 		err := errcode.Decode(cl.Call("APSTDV.Events",
-			&daemon.EventsArgs{JobID: jobID, AfterSeq: after}, &reply))
+			&daemon.EventsArgs{JobID: jobID, AfterSeq: after}, &reply, transport.TraceContext{}))
 		switch {
 		case err == nil:
 			backoff = followBackoffMin

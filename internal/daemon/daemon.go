@@ -30,6 +30,7 @@ import (
 	"apstdv/internal/live"
 	"apstdv/internal/model"
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/spec"
 	"apstdv/internal/trace"
 	"apstdv/internal/units"
@@ -73,6 +74,11 @@ type Config struct {
 	// everything — fine interactively, unbounded memory under
 	// sustained submission load.
 	RetainJobs int
+	// Trace, when set, records one span tree per job across the serving
+	// path (decode, admission, queue, lease, execute, per-chunk engine
+	// stages) into the collector. Nil disables tracing entirely: the
+	// instrumented paths reduce to nil checks.
+	Trace *otrace.Collector
 }
 
 // JobState is a job's lifecycle phase.
@@ -112,6 +118,9 @@ type Job struct {
 	// Leased holds the live-mode worker indexes leased to the running
 	// job; empty once released (and always in sim mode).
 	Leased []int
+	// TraceID identifies the job's trace when the daemon traces (see
+	// Config.Trace); 0 otherwise. Feed it to the Trace RPC or /debug/trace.
+	TraceID uint64
 
 	tr     *trace.Trace
 	events *obs.Ring
@@ -171,9 +180,20 @@ type Daemon struct {
 	jobsRunning                         *obs.Gauge
 	jobsQueuedG                         *obs.Gauge
 	workersLeased                       *obs.Gauge
+	jobsRetained                        *obs.Gauge
+	jobsEvicted                         *obs.Counter
 	jobSeconds                          *obs.Histogram
 	waitSeconds, runSeconds             map[string]*obs.Histogram
-	transportMetrics                    *obs.TransportMetrics
+	// Transport counters are registered per direction so /metrics
+	// separates the daemon's serving surface (its frame server) from the
+	// calls it originates (live worker links).
+	transportMetrics       *obs.TransportMetrics // server side
+	clientTransportMetrics *obs.TransportMetrics // daemon-originated calls
+
+	// tracer is Config.Trace (nil when tracing is off). All otrace
+	// methods are nil-safe, so call sites need no guards beyond what the
+	// span API itself provides.
+	tracer *otrace.Collector
 }
 
 // New validates the configuration and returns a daemon.
@@ -220,11 +240,15 @@ func New(cfg Config) (*Daemon, error) {
 		jobsRunning:   reg.Gauge("apstdv_jobs_running", "Jobs currently executing."),
 		jobsQueuedG:   reg.Gauge("apstdv_jobs_queued", "Jobs waiting in the admission queue."),
 		workersLeased: reg.Gauge("apstdv_workers_leased", "Live workers leased to running jobs."),
+		jobsRetained:  reg.Gauge("apstdv_jobs_retained", "Terminal jobs held for Status/Report under the RetainJobs bound."),
+		jobsEvicted:   reg.Counter("apstdv_jobs_evicted_total", "Terminal jobs evicted from retention by the RetainJobs bound."),
 		jobSeconds:    reg.Histogram("apstdv_job_makespan_seconds", "Per-job model makespan.", obs.DurationBuckets),
 		waitSeconds:   make(map[string]*obs.Histogram),
 		runSeconds:    make(map[string]*obs.Histogram),
+		tracer:        cfg.Trace,
 	}
-	d.transportMetrics = obs.NewTransportMetrics(reg)
+	d.transportMetrics = obs.NewTransportMetrics(reg, "server")
+	d.clientTransportMetrics = obs.NewTransportMetrics(reg, "client")
 	for _, c := range classes {
 		d.waitSeconds[c] = reg.Histogram("apstdv_job_wait_seconds_"+c,
 			"Queue wait of "+c+"-priority jobs.", obs.DurationBuckets)
@@ -263,6 +287,13 @@ type SubmitArgs struct {
 	// SimApp supplies the application's true cost model for sim mode
 	// (what reality supplies in live mode). Ignored in live mode.
 	SimApp *SimApp
+	// TraceID and ParentSpan stitch the daemon's spans under the
+	// client's trace. Over the frame transport they ride the frame
+	// header (the handler copies them in); over net/rpc they travel here
+	// via gob. Both zero means the client is not tracing; a tracing
+	// daemon then mints its own trace id.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // SimApp carries the simulated application's ground truth.
@@ -291,6 +322,21 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 	if err != nil {
 		return err
 	}
+	// Trace stitching: adopt the client's trace id, or — when the daemon
+	// traces but the client does not — mint one, so daemon-side stages
+	// still form one tree. The submit span id is allocated up front so
+	// the parse/admit children can parent under it before it is recorded.
+	tid := otrace.TraceID(args.TraceID)
+	parent := otrace.SpanID(args.ParentSpan)
+	var t0 int64
+	var sid otrace.SpanID
+	if d.tracer != nil {
+		if tid == 0 {
+			tid = d.tracer.NewTraceID()
+		}
+		t0 = d.tracer.Clock()
+		sid = d.tracer.NextSpanID()
+	}
 	// Fast-reject before the parse: when the daemon is draining or the
 	// admission queue is at depth, the verdict cannot change for this
 	// submission, and at production rates the XML decode and divider
@@ -298,10 +344,25 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 	// improve between here and admitLocked (a slot frees, the queue
 	// drains), which keeps the authoritative check there.
 	if cause := d.fastReject(prio); cause != nil {
+		// Shed submissions stay cheap: one retroactive terminal span,
+		// no children, named apart from daemon.submit so the admission
+		// stage stats describe the accepted path only.
+		d.tracer.RecordSince(tid, parent, "submit.reject", t0, cause)
 		return cause
 	}
+	err = d.submitSlow(args, prio, tid, sid, reply)
+	d.tracer.RecordSpan(tid, sid, parent, "daemon.submit", t0, d.tracer.Clock(), false, errText(err))
+	return err
+}
+
+// submitSlow is Submit past the fast-reject: parse, build, admit. Its
+// parse and admission stages record as children of the daemon.submit
+// span (sid), which the caller records once the outcome is known.
+func (d *Daemon) submitSlow(args SubmitArgs, prio string, tid otrace.TraceID, sid otrace.SpanID, reply *SubmitReply) error {
+	ps := d.tracer.Begin(tid, sid, "submit.parse")
 	task, err := d.parseSpec(args.TaskXML)
 	if err != nil {
+		ps.End(err)
 		return err
 	}
 	algName := task.Divisibility.Algorithm
@@ -313,6 +374,7 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 	}
 	alg, err := dls.New(algName)
 	if err != nil {
+		ps.End(err)
 		return err
 	}
 	divider, err := task.BuildDivider(d.cfg.SpecDir)
@@ -323,21 +385,25 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 			divider, err = divide.NewWorkUnits(int(task.Divisibility.Load))
 		}
 		if err != nil {
+			ps.End(err)
 			return err
 		}
 	}
 
 	app, err := d.buildApp(task, divider, args.SimApp)
+	ps.End(err)
 	if err != nil {
 		return err
 	}
 
 	ctx, cancel := context.WithCancelCause(context.Background())
+	as := d.tracer.Begin(tid, sid, "submit.admit")
 	d.mu.Lock()
 	d.nextID++
 	job := &Job{
 		ID: d.nextID, Algorithm: algName, Priority: prio,
-		Submitted: time.Now(), events: obs.NewRing(jobEventRing),
+		Submitted: time.Now(), TraceID: uint64(tid),
+		events: obs.NewRing(jobEventRing),
 	}
 	d.jobs[job.ID] = job
 	p := &pendingJob{
@@ -345,6 +411,7 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 		probeLoad: task.Divisibility.ProbeLoad,
 		stream:    &jobStream{ring: job.events},
 		ctx:       ctx, cancel: cancel,
+		traceID: tid, submitSpan: sid,
 	}
 	err = d.admitLocked(p)
 	if err == nil {
@@ -354,7 +421,16 @@ func (d *Daemon) Submit(args SubmitArgs, reply *SubmitReply) error {
 		reply.State = job.State
 	}
 	d.mu.Unlock()
+	as.End(err)
 	return err
+}
+
+// errText is err.Error() tolerating nil, for retroactive span records.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // rejection is a precomputed fast-reject outcome: building the wrapped
@@ -470,6 +546,10 @@ func (d *Daemon) execute(ctx context.Context, p *pendingJob) (*trace.Trace, erro
 			Divider: p.divider, ProbeLoad: p.probeLoad,
 			Events: p.stream, Metrics: d.runMetrics,
 			SeqBase: p.stream.nextSeq(),
+			// Chunk spans parent under the job.execute span and anchor
+			// the backend clock at "now" on the collector timeline.
+			Trace: d.tracer, TraceID: p.traceID,
+			TraceParent: p.execSpan, TraceAnchor: d.tracer.Clock(),
 		},
 	}
 	switch d.cfg.Mode {
@@ -491,11 +571,14 @@ func (d *Daemon) execute(ctx context.Context, p *pendingJob) (*trace.Trace, erro
 				conns = append(conns, d.cfg.LiveWorkers[w])
 			}
 		}
-		backend, err := live.Dial(conns)
+		backend, err := live.Dial(conns, live.Config{Metrics: d.clientTransportMetrics})
 		if err != nil {
 			return nil, err
 		}
 		defer backend.Stop()
+		// Worker RPCs record as spans under the job's execute span and
+		// carry the trace context on their frames.
+		backend.SetTrace(d.tracer, p.traceID, p.execSpan)
 		// Cancellation must unblock the backend too: abort worker-side
 		// compute and fail the in-flight RPCs so Run's drain finishes.
 		stop := context.AfterFunc(ctx, backend.Cancel)

@@ -18,4 +18,7 @@ var (
 	// ErrDraining rejects submissions (and cancels queued jobs) once
 	// Shutdown has begun.
 	ErrDraining = errcode.New("draining", "daemon: shutting down, not accepting jobs")
+	// ErrTracingOff reports a Trace RPC against a daemon running without
+	// a span collector (start it with -trace).
+	ErrTracingOff = errcode.New("tracing_off", "daemon: tracing disabled")
 )

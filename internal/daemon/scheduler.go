@@ -11,6 +11,7 @@ import (
 	"apstdv/internal/errcode"
 	"apstdv/internal/model"
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 )
 
 // Priority classes, highest first. Admission drains high before normal
@@ -60,6 +61,15 @@ type pendingJob struct {
 	stream    *jobStream
 	ctx       context.Context
 	cancel    context.CancelCauseFunc
+
+	// Trace plumbing (zero when tracing is off): the job's trace id, the
+	// daemon.submit span every scheduler span parents under, the open
+	// queue span between admission and start, and the execute span id
+	// engine chunk spans parent under.
+	traceID    otrace.TraceID
+	submitSpan otrace.SpanID
+	queueSpan  otrace.Span
+	execSpan   otrace.SpanID
 }
 
 // jobStream wraps a job's event ring, tracking the next unused sequence
@@ -123,6 +133,10 @@ func (d *Daemon) admitLocked(p *pendingJob) error {
 	d.pending[job.ID] = p
 	job.State = JobQueued
 	p.stream.emit(obs.Event{Type: obs.JobQueued, Class: job.Priority})
+	// Every accepted job gets a queue span — immediate starts record a
+	// near-zero one — so the queue stage sample covers all admissions,
+	// not just the jobs that happened to wait.
+	p.queueSpan = d.tracer.Begin(p.traceID, p.submitSpan, "job.queue")
 	if d.effCap == 0 || d.running < d.effCap {
 		d.startLocked(p)
 		return nil
@@ -160,7 +174,9 @@ func (d *Daemon) retireLocked(job *Job) {
 		id := d.terminal[0]
 		d.terminal = d.terminal[1:]
 		delete(d.jobs, id)
+		d.jobsEvicted.Inc()
 	}
+	d.jobsRetained.Set(float64(len(d.terminal)))
 }
 
 // startLocked moves a job into the running state: leases its share of
@@ -170,8 +186,10 @@ func (d *Daemon) startLocked(p *pendingJob) {
 	job := p.job
 	job.State = JobRunning
 	job.Started = time.Now()
+	p.queueSpan.End(nil)
 	d.running++
 	d.jobsRunning.Inc()
+	ls := d.tracer.Begin(p.traceID, p.submitSpan, "job.lease")
 	if d.leases != nil {
 		// Each admitted job gets free/slotsRemaining workers (integer,
 		// at least 1): with cap C ≤ pool size, the pool always has at
@@ -185,6 +203,7 @@ func (d *Daemon) startLocked(p *pendingJob) {
 		job.Leased = d.leases.Acquire(share)
 		d.workersLeased.Set(float64(d.leases.Size() - d.leases.Free()))
 	}
+	ls.End(nil)
 	wait := job.Started.Sub(job.Submitted).Seconds()
 	d.waitSeconds[job.Priority].Observe(wait)
 	p.stream.emit(obs.Event{
@@ -199,7 +218,10 @@ func (d *Daemon) startLocked(p *pendingJob) {
 // resources and pulls the next queued job into the freed slot.
 func (d *Daemon) runJob(p *pendingJob) {
 	defer d.wg.Done()
+	exec := d.tracer.Begin(p.traceID, p.submitSpan, "job.execute")
+	p.execSpan = exec.ID()
 	tr, err := d.runFn(p.ctx, p)
+	exec.End(err)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	job := p.job
@@ -286,6 +308,7 @@ func (d *Daemon) removeQueuedLocked(p *pendingJob) {
 func (d *Daemon) cancelQueuedLocked(p *pendingJob, cause error) {
 	job := p.job
 	job.State = JobCancelled
+	p.queueSpan.End(cause)
 	job.Finished = time.Now()
 	job.Err = cause.Error()
 	job.Code = errcode.Code(cause)

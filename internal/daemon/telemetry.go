@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 )
 
 // EventsArgs selects a job event tail: everything the job's ring still
@@ -66,6 +68,8 @@ type healthz struct {
 //
 //	/metrics        Prometheus text exposition of the shared registry
 //	/healthz        liveness + job accounting as JSON
+//	/debug/trace    per-stage latency stats (JSON), or ?job=N for one
+//	                job's span tree as text
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // cmd/apstdvd mounts it when -telemetry is set; tests drive it through
@@ -97,6 +101,32 @@ func (d *Daemon) TelemetryHandler() http.Handler {
 		d.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if d.tracer == nil {
+			http.Error(w, "tracing disabled (start the daemon with -trace)", http.StatusNotFound)
+			return
+		}
+		if q := r.URL.Query().Get("job"); q != "" {
+			id, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad job id", http.StatusBadRequest)
+				return
+			}
+			var reply TraceReply
+			if err := d.Trace(TraceArgs{JobID: id}, &reply); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "job %d  trace %#x  (%d spans retained)\n", id, reply.TraceID, len(reply.Spans))
+			otrace.WriteTree(w, reply.Spans)
+			return
+		}
+		var reply TraceStatsReply
+		d.TraceStats(TraceStatsArgs{}, &reply)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reply)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

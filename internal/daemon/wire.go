@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/transport"
 )
 
@@ -18,6 +19,8 @@ const (
 	MethodAlgorithms uint16 = 5
 	MethodListJobs   uint16 = 6
 	MethodEvents     uint16 = 7
+	MethodTrace      uint16 = 8
+	MethodTraceStats uint16 = 9
 )
 
 // FrameMethods maps net/rpc service-method names to frame method ids,
@@ -30,6 +33,8 @@ var FrameMethods = map[string]uint16{
 	"APSTDV.Algorithms": MethodAlgorithms,
 	"APSTDV.ListJobs":   MethodListJobs,
 	"APSTDV.Events":     MethodEvents,
+	"APSTDV.Trace":      MethodTrace,
+	"APSTDV.TraceStats": MethodTraceStats,
 }
 
 // NewFrameServer builds a transport server with every daemon RPC
@@ -39,9 +44,20 @@ func (d *Daemon) NewFrameServer(cfg transport.ServerConfig) *transport.Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = d.transportMetrics
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = d.tracer
+	}
 	s := transport.NewServer(cfg)
-	transport.Register[SubmitArgs, SubmitReply](s, MethodSubmit,
-		func(a *SubmitArgs, r *SubmitReply) error { return d.Submit(*a, r) })
+	// Submit consumes the frame header's trace context: the args carry
+	// the ids from there on, so the net/rpc path (where gob carries them
+	// in the args directly) and the frame path converge before Submit.
+	transport.RegisterTraced[SubmitArgs, SubmitReply](s, MethodSubmit,
+		func(tc transport.TraceContext, a *SubmitArgs, r *SubmitReply) error {
+			if tc.Valid() {
+				a.TraceID, a.ParentSpan = tc.Trace, tc.Span
+			}
+			return d.Submit(*a, r)
+		})
 	transport.Register[StatusArgs, StatusReply](s, MethodStatus,
 		func(a *StatusArgs, r *StatusReply) error { return d.Status(*a, r) })
 	transport.Register[CancelArgs, CancelReply](s, MethodCancel,
@@ -54,6 +70,10 @@ func (d *Daemon) NewFrameServer(cfg transport.ServerConfig) *transport.Server {
 		func(a *ListJobsArgs, r *ListJobsReply) error { return d.ListJobs(*a, r) })
 	transport.Register[EventsArgs, EventsReply](s, MethodEvents,
 		func(a *EventsArgs, r *EventsReply) error { return d.Events(*a, r) })
+	transport.Register[TraceArgs, TraceReply](s, MethodTrace,
+		func(a *TraceArgs, r *TraceReply) error { return d.Trace(*a, r) })
+	transport.Register[TraceStatsArgs, TraceStatsReply](s, MethodTraceStats,
+		func(a *TraceStatsArgs, r *TraceStatsReply) error { return d.TraceStats(*a, r) })
 	return s
 }
 
@@ -286,7 +306,7 @@ func appendJob(b []byte, j *Job) []byte {
 	for _, w := range j.Leased {
 		b = transport.AppendVarint(b, int64(w))
 	}
-	return b
+	return transport.AppendUvarint(b, j.TraceID)
 }
 
 func decodeJob(d *transport.Dec, j *Job) {
@@ -312,6 +332,7 @@ func decodeJob(d *transport.Dec, j *Job) {
 			j.Leased[i] = int(d.Varint())
 		}
 	}
+	j.TraceID = d.Uvarint()
 }
 
 // The Event codec writes a presence bitmap then only the non-zero
@@ -597,4 +618,104 @@ func decodeEvent(d *transport.Dec, ev *obs.Event) {
 		ev.Remaining = d.F64()
 	}
 	ev.Switched = bits&(1<<30) != 0
+}
+
+// AppendWire implements transport.Appender.
+func (a *TraceArgs) AppendWire(b []byte) []byte {
+	return transport.AppendVarint(b, int64(a.JobID))
+}
+
+// DecodeWire implements transport.Decoder.
+func (a *TraceArgs) DecodeWire(d *transport.Dec) { a.JobID = int(d.Varint()) }
+
+func appendSpanRecord(b []byte, s *otrace.SpanRecord) []byte {
+	b = transport.AppendUvarint(b, s.Trace)
+	b = transport.AppendUvarint(b, s.ID)
+	b = transport.AppendUvarint(b, s.Parent)
+	b = transport.AppendString(b, s.Name)
+	b = transport.AppendVarint(b, s.Start)
+	b = transport.AppendVarint(b, s.End)
+	b = transport.AppendBool(b, s.BackendClock)
+	return transport.AppendString(b, s.Err)
+}
+
+func decodeSpanRecord(d *transport.Dec, s *otrace.SpanRecord) {
+	s.Trace = d.Uvarint()
+	s.ID = d.Uvarint()
+	s.Parent = d.Uvarint()
+	s.Name = d.String()
+	s.Start = d.Varint()
+	s.End = d.Varint()
+	s.BackendClock = d.Bool()
+	s.Err = d.String()
+}
+
+// AppendWire implements transport.Appender.
+func (r *TraceReply) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, r.TraceID)
+	b = transport.AppendUvarint(b, uint64(len(r.Spans)))
+	for i := range r.Spans {
+		b = appendSpanRecord(b, &r.Spans[i])
+	}
+	return b
+}
+
+// DecodeWire implements transport.Decoder.
+func (r *TraceReply) DecodeWire(d *transport.Dec) {
+	r.TraceID = d.Uvarint()
+	n := int(d.Uvarint())
+	if d.Err() != nil || n > d.Len() {
+		return
+	}
+	r.Spans = make([]otrace.SpanRecord, n)
+	for i := range r.Spans {
+		decodeSpanRecord(d, &r.Spans[i])
+	}
+}
+
+// AppendWire implements transport.Appender.
+func (a *TraceStatsArgs) AppendWire(b []byte) []byte { return b }
+
+// DecodeWire implements transport.Decoder.
+func (a *TraceStatsArgs) DecodeWire(d *transport.Dec) {}
+
+// AppendWire implements transport.Appender.
+func (r *TraceStatsReply) AppendWire(b []byte) []byte {
+	b = transport.AppendBool(b, r.Enabled)
+	b = transport.AppendUvarint(b, r.Recorded)
+	b = transport.AppendVarint(b, int64(r.Retained))
+	b = transport.AppendUvarint(b, uint64(len(r.Stages)))
+	for i := range r.Stages {
+		s := &r.Stages[i]
+		b = transport.AppendString(b, s.Stage)
+		b = transport.AppendUvarint(b, s.Count)
+		b = transport.AppendVarint(b, int64(s.Sampled))
+		b = transport.AppendF64(b, s.P50Ms)
+		b = transport.AppendF64(b, s.P90Ms)
+		b = transport.AppendF64(b, s.P99Ms)
+		b = transport.AppendF64(b, s.MaxMs)
+	}
+	return b
+}
+
+// DecodeWire implements transport.Decoder.
+func (r *TraceStatsReply) DecodeWire(d *transport.Dec) {
+	r.Enabled = d.Bool()
+	r.Recorded = d.Uvarint()
+	r.Retained = int(d.Varint())
+	n := int(d.Uvarint())
+	if d.Err() != nil || n > d.Len() {
+		return
+	}
+	r.Stages = make([]otrace.StageStat, n)
+	for i := range r.Stages {
+		s := &r.Stages[i]
+		s.Stage = d.String()
+		s.Count = d.Uvarint()
+		s.Sampled = int(d.Varint())
+		s.P50Ms = d.F64()
+		s.P90Ms = d.F64()
+		s.P99Ms = d.F64()
+		s.MaxMs = d.F64()
+	}
 }

@@ -25,6 +25,8 @@ func fillNonZero(t *testing.T, v reflect.Value, salt int) {
 			f.SetString(fmt.Sprintf("%s-%d", v.Type().Field(i).Name, salt))
 		case reflect.Int, reflect.Int64:
 			f.SetInt(int64(salt*100 + i + 1))
+		case reflect.Uint64:
+			f.SetUint(uint64(salt*100 + i + 1))
 		case reflect.Float64:
 			f.SetFloat(float64(salt*100+i) + 0.25)
 		case reflect.Bool:

@@ -20,6 +20,7 @@ import (
 	"apstdv/internal/dls"
 	"apstdv/internal/model"
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/trace"
 )
 
@@ -151,6 +152,18 @@ type Config struct {
 	// already emitted into the same ring, keeping one monotonic cursor.
 	// Zero (the default) leaves streams exactly as before.
 	SeqBase int64
+	// Trace attaches per-chunk lifecycle spans (one umbrella span per
+	// chunk, one child per stage attempt) to the job's trace, parented
+	// under TraceParent. The engine runs on the backend clock — virtual
+	// seconds under sim — so spans are recorded retroactively at
+	// TraceAnchor + seconds×1e9 on the collector timeline and flagged
+	// BackendClock. A nil Trace or zero TraceID disables tracing; the
+	// dispatch path then pays a single boolean test, and the event
+	// stream is untouched either way (sim goldens stay byte-identical).
+	Trace       *otrace.Collector
+	TraceID     otrace.TraceID
+	TraceParent otrace.SpanID
+	TraceAnchor int64
 }
 
 // Request bundles one execution's inputs — the redesigned public entry
@@ -220,6 +233,13 @@ func Execute(ctx context.Context, req Request) (*trace.Trace, error) {
 	}
 	e.switchObs, _ = alg.(dls.SwitchObservable)
 	e.sinkPtr, _ = cfg.Events.(obs.PtrSink)
+	if cfg.Trace != nil && cfg.TraceID != 0 {
+		e.traceOn = true
+		e.tracer = cfg.Trace
+		e.traceID = cfg.TraceID
+		e.traceParent = cfg.TraceParent
+		e.traceAnchor = cfg.TraceAnchor
+	}
 	e.remaining = e.total
 	n := b.Workers()
 	e.pending = make([]float64, n)
@@ -357,6 +377,27 @@ type execution struct {
 	met       *obs.RunMetrics
 	eventSeq  int64
 	switchObs dls.SwitchObservable
+
+	// Tracing (see Config.Trace). traceOn is the one test the disabled
+	// path pays; the rest is read only when it is true.
+	traceOn     bool
+	tracer      *otrace.Collector
+	traceID     otrace.TraceID
+	traceParent otrace.SpanID
+	traceAnchor int64
+}
+
+// traceNs places a backend timestamp (seconds since backend start) on
+// the collector timeline.
+func (e *execution) traceNs(sec float64) int64 {
+	return e.traceAnchor + int64(sec*1e9)
+}
+
+// recordStageSpan records one backend-clock stage span under the
+// chunk's umbrella span. Caller holds the mutex and has checked
+// e.traceOn.
+func (e *execution) recordStageSpan(c *chunk, name string, start, end float64, errMsg string) {
+	e.tracer.RecordSpan(e.traceID, 0, c.span, name, e.traceNs(start), e.traceNs(end), true, errMsg)
 }
 
 // emit stamps and forwards one event: sequence numbers are dense in

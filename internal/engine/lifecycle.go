@@ -7,6 +7,7 @@ import (
 
 	"apstdv/internal/dls"
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/trace"
 )
 
@@ -78,6 +79,11 @@ type chunk struct {
 	deadline      TimerID
 	deadlineDur   float64
 	deadlineArmed bool
+	// Tracing (zero when off): the chunk's umbrella span id and its
+	// first-launch time. Both survive retries — every attempt's stage
+	// spans parent under the same umbrella.
+	span       otrace.SpanID
+	traceStart float64
 }
 
 // launch starts (or restarts) a chunk attempt: the bookkeeping —
@@ -90,6 +96,10 @@ func (e *execution) launch(c *chunk) {
 	c.sendStart, c.sendEnd, c.compStart, c.compEnd = 0, 0, 0, 0
 	e.chunks[c.id] = c
 	epoch := c.epoch
+	if e.traceOn && c.span == 0 {
+		c.span = e.tracer.NextSpanID()
+		c.traceStart = c.stageStart
+	}
 
 	dispatch := obs.Event{
 		Type: obs.Dispatch, Worker: c.worker, Chunk: c.id,
@@ -117,6 +127,9 @@ func (e *execution) launch(c *chunk) {
 			return
 		}
 		c.sendStart, c.sendEnd = sendStart, sendEnd
+		if e.traceOn {
+			e.recordStageSpan(c, "chunk.transfer", sendStart, sendEnd, "")
+		}
 		c.state = stateComputing
 		c.stageStart = e.backend.Now()
 		e.armDeadline(c, e.compEstimate(c))
@@ -133,6 +146,9 @@ func (e *execution) launch(c *chunk) {
 				return
 			}
 			c.compStart, c.compEnd = compStart, compEnd
+			if e.traceOn {
+				e.recordStageSpan(c, "chunk.compute", compStart, compEnd, "")
+			}
 			e.finishChunk(c, epoch)
 		})
 		e.tryDispatch()
@@ -168,6 +184,9 @@ func (e *execution) finishChunk(c *chunk, epoch int) {
 			e.tryDispatch()
 			return
 		}
+		if e.traceOn {
+			e.recordStageSpan(c, "chunk.return", c.stageStart, outEnd, "")
+		}
 		e.completeChunk(c, outEnd)
 	})
 }
@@ -198,6 +217,12 @@ func (e *execution) completeChunk(c *chunk, outputEnd float64) {
 		SendStart: c.sendStart, SendEnd: c.sendEnd,
 		CompStart: c.compStart, CompEnd: c.compEnd,
 	})
+	if e.traceOn {
+		// The umbrella span closes over the chunk's whole life — first
+		// launch to output return, retries included.
+		e.tracer.RecordSpan(e.traceID, c.span, e.traceParent, "chunk",
+			e.traceNs(c.traceStart), e.traceNs(outputEnd), true, "")
+	}
 	done := obs.Event{
 		Type: obs.ChunkDone, Worker: w, Chunk: c.id, Size: c.size,
 		SendStart: c.sendStart, SendEnd: c.sendEnd,

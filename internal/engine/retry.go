@@ -158,6 +158,21 @@ func (e *execution) cancelDeadline(c *chunk) {
 // or a blacklist) and the engine must release it. Caller holds the
 // mutex.
 func (e *execution) chunkFailed(c *chunk, cause error, holdsUplink bool) {
+	if e.traceOn {
+		// The failed attempt's stage span: from the stage's start to the
+		// moment the engine gave up on it, carrying the cause. Retries
+		// append more children under the same umbrella span.
+		name := "chunk.attempt"
+		switch c.state {
+		case stateTransferring:
+			name = "chunk.transfer"
+		case stateComputing:
+			name = "chunk.compute"
+		case stateReturning:
+			name = "chunk.return"
+		}
+		e.recordStageSpan(c, name, c.stageStart, e.backend.Now(), cause.Error())
+	}
 	c.epoch++
 	e.cancelDeadline(c)
 	delete(e.chunks, c.id)

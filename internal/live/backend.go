@@ -7,8 +7,19 @@ import (
 	"sync"
 	"time"
 
+	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/transport"
 )
+
+// Config carries the backend's cross-cutting dependencies. The zero
+// value is valid: no metrics, no tracing.
+type Config struct {
+	// Metrics, when set, receives the client-side frame/byte counters
+	// for every frame-transport worker link (net/rpc links record
+	// nothing — that protocol has no metrics seam).
+	Metrics *obs.TransportMetrics
+}
 
 // NetModel imposes transfer costs on the data path so that scheduling
 // effects are observable even when master and workers share one machine:
@@ -39,8 +50,10 @@ type WorkerConn struct {
 // one implementation per wire protocol. Call's timeout semantics differ
 // by transport — see each implementation.
 type workerLink interface {
-	// Call performs one round-trip; timeout <= 0 means unbounded.
-	Call(method string, args, reply any, timeout time.Duration) error
+	// Call performs one round-trip; timeout <= 0 means unbounded. tc is
+	// the caller's trace context: the frame transport carries it in the
+	// frame header; net/rpc has no header seam and drops it.
+	Call(method string, args, reply any, timeout time.Duration, tc transport.TraceContext) error
 	Close() error
 }
 
@@ -49,7 +62,7 @@ type workerLink interface {
 // reply must never be readable.
 type rpcLink struct{ rc *rpc.Client }
 
-func (l *rpcLink) Call(method string, args, reply any, timeout time.Duration) error {
+func (l *rpcLink) Call(method string, args, reply any, timeout time.Duration, _ transport.TraceContext) error {
 	if timeout <= 0 {
 		return l.rc.Call(method, args, reply)
 	}
@@ -72,14 +85,14 @@ func (l *rpcLink) Close() error { return l.rc.Close() }
 // timed-out request ids natively — the connection survives a deadline.
 type frameLink struct{ c *transport.Conn }
 
-func (l *frameLink) Call(method string, args, reply any, timeout time.Duration) error {
+func (l *frameLink) Call(method string, args, reply any, timeout time.Duration, tc transport.TraceContext) error {
 	id, ok := workerFrameMethods[method]
 	if !ok {
 		return fmt.Errorf("live: no frame method id for %q", method)
 	}
 	a, _ := args.(transport.Appender)
 	r, _ := reply.(transport.Decoder)
-	err := l.c.CallTimeout(id, a, r, timeout)
+	err := l.c.CallTimeoutTrace(id, a, r, timeout, tc)
 	if errors.Is(err, transport.ErrTimeout) {
 		return fmt.Errorf("live: %s exceeded %v deadline: %w", method, timeout, err)
 	}
@@ -88,10 +101,10 @@ func (l *frameLink) Call(method string, args, reply any, timeout time.Duration) 
 func (l *frameLink) Close() error { return l.c.Close() }
 
 // dialWorker connects one worker link over its configured transport.
-func dialWorker(w WorkerConn) (workerLink, error) {
+func dialWorker(w WorkerConn, cfg Config) (workerLink, error) {
 	switch w.Transport {
 	case "", TransportFrame:
-		c, err := transport.Dial(w.Addr, transport.Config{})
+		c, err := transport.Dial(w.Addr, transport.Config{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, err
 		}
@@ -142,17 +155,31 @@ type Backend struct {
 	// abandoned call cannot complete later and confuse the worker's
 	// FIFO). 0 disables the bound.
 	CallTimeout time.Duration
+
+	// Trace state installed by SetTrace before the run starts: every
+	// worker operation records a span under parent, and frame calls
+	// carry the trace context in their headers. All nil/zero when
+	// tracing is off.
+	tracer      *otrace.Collector
+	traceID     otrace.TraceID
+	traceParent otrace.SpanID
 }
 
-// Dial connects to the given workers.
-func Dial(workers []WorkerConn) (*Backend, error) {
+// Dial connects to the given workers. The optional cfg (at most one)
+// threads metrics into the frame links; omitting it keeps the
+// zero-dependency behaviour.
+func Dial(workers []WorkerConn, cfg ...Config) (*Backend, error) {
+	var c0 Config
+	if len(cfg) > 0 {
+		c0 = cfg[0]
+	}
 	b := &Backend{
 		t0:           time.Now(),
 		stopCh:       make(chan struct{}),
 		FragmentSize: 256 << 10,
 	}
 	for _, w := range workers {
-		c, err := dialWorker(w)
+		c, err := dialWorker(w, c0)
 		if err != nil {
 			b.Close()
 			return nil, fmt.Errorf("live: dial %s: %w", w.Addr, err)
@@ -253,7 +280,7 @@ func (b *Backend) Cancel() {
 		go func(c workerLink) {
 			defer wg.Done()
 			var reply AbortReply
-			c.Call("Worker.Abort", &AbortArgs{}, &reply, time.Second)
+			c.Call("Worker.Abort", &AbortArgs{}, &reply, time.Second, transport.TraceContext{})
 		}(c)
 	}
 	wg.Wait()
@@ -269,6 +296,29 @@ func (b *Backend) client(w int) (workerLink, error) {
 		return nil, fmt.Errorf("live: worker %d connection closed", w)
 	}
 	return b.clients[w], nil
+}
+
+// SetTrace installs the trace context for the coming run: worker
+// operations record "worker.store"/"worker.compute"/"worker.fetch"
+// spans parented under parent, and frame-transport calls propagate the
+// trace id to the worker in their headers. Must be called before the
+// engine starts driving the backend (operation goroutines read the
+// fields without locks; the goroutine-start edge orders the writes).
+func (b *Backend) SetTrace(c *otrace.Collector, tid otrace.TraceID, parent otrace.SpanID) {
+	b.tracer = c
+	b.traceID = tid
+	b.traceParent = parent
+}
+
+// opSpan begins one worker-operation span; inert when tracing is off
+// (nil collector or zero trace id make Begin return an inert span).
+func (b *Backend) opSpan(name string) otrace.Span {
+	return b.tracer.Begin(b.traceID, b.traceParent, name)
+}
+
+// traceContext is the header context frame calls carry to the worker.
+func (b *Backend) traceContext() transport.TraceContext {
+	return transport.TraceContext{Trace: uint64(b.traceID), Span: uint64(b.traceParent)}
 }
 
 // Now implements engine.Backend: seconds since the backend started.
@@ -358,7 +408,7 @@ func (b *Backend) call(w int, method string, args, reply any) error {
 	if err != nil {
 		return err
 	}
-	if err := c.Call(method, args, reply, b.CallTimeout); err != nil {
+	if err := c.Call(method, args, reply, b.CallTimeout, b.traceContext()); err != nil {
 		return fmt.Errorf("worker %d: %w", w, err)
 	}
 	return nil
@@ -378,6 +428,9 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, e
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		// One span covers the whole fragment loop — per-fragment spans
+		// would flood the ring on large transfers.
+		sp := b.opSpan("worker.store")
 		start := b.Now()
 		nm := b.nets[w]
 		if nm.Latency > 0 {
@@ -399,7 +452,9 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, e
 			args := StoreArgs{Chunk: int(chunk), Data: buf[:n], Last: n == remaining}
 			var reply StoreReply
 			if err := b.call(w, "Worker.Store", &args, &reply); err != nil {
-				done(start, b.Now(), b.opFailed(fmt.Errorf("live: store on worker %d: %w", w, err)))
+				err = b.opFailed(fmt.Errorf("live: store on worker %d: %w", w, err))
+				sp.End(err)
+				done(start, b.Now(), err)
 				return
 			}
 			remaining -= n
@@ -411,6 +466,7 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, e
 				break
 			}
 		}
+		sp.End(nil)
 		done(start, b.Now(), nil)
 	}()
 }
@@ -421,13 +477,22 @@ func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end 
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		// Probe RPCs stay unspanned, matching the engine's decision to
+		// keep calibration out of the per-chunk latency picture.
+		var sp otrace.Span
+		if !probe {
+			sp = b.opSpan("worker.compute")
+		}
 		start := b.Now()
 		args := ComputeArgs{Chunk: int(b.nextChunk()), Units: size, Probe: probe}
 		var reply ComputeReply
 		if err := b.call(w, "Worker.Compute", &args, &reply); err != nil {
-			done(start, b.Now(), b.opFailed(fmt.Errorf("live: compute on worker %d: %w", w, err)))
+			err = b.opFailed(fmt.Errorf("live: compute on worker %d: %w", w, err))
+			sp.End(err)
+			done(start, b.Now(), err)
 			return
 		}
+		sp.End(nil)
 		done(start, b.Now(), nil)
 	}()
 }
@@ -437,12 +502,16 @@ func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float6
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		sp := b.opSpan("worker.fetch")
 		start := b.Now()
 		var reply FetchReply
 		if err := b.call(w, "Worker.Fetch", &FetchArgs{Bytes: int(bytes)}, &reply); err != nil {
-			done(start, b.Now(), b.opFailed(fmt.Errorf("live: fetch from worker %d: %w", w, err)))
+			err = b.opFailed(fmt.Errorf("live: fetch from worker %d: %w", w, err))
+			sp.End(err)
+			done(start, b.Now(), err)
 			return
 		}
+		sp.End(nil)
 		done(start, b.Now(), nil)
 	}()
 }

@@ -17,6 +17,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"apstdv/internal/client"
 	"apstdv/internal/daemon"
 	"apstdv/internal/errcode"
+	otrace "apstdv/internal/obs/trace"
 )
 
 // Config parameterizes one load-generation run.
@@ -53,6 +55,13 @@ type Config struct {
 	// DrainTimeout bounds the post-window wait for the daemon to go
 	// idle before queue-wait is measured. Defaults to 30s.
 	DrainTimeout time.Duration
+	// Trace gives the generator's client a trace collector, so every
+	// submission carries a trace id and the daemon (when it traces too)
+	// attributes its decode work to the request. Compare additionally
+	// runs each leg's self-hosted daemon with a fresh collector, so both
+	// transports report per-stage latency attribution (Result.Stages)
+	// over identical instrumentation.
+	Trace bool
 }
 
 // Percentiles summarizes a latency sample in milliseconds.
@@ -96,6 +105,19 @@ type Result struct {
 	// QueueWaitSampled counts how many accepted jobs the queue-wait
 	// percentiles were computed from (retention may evict some).
 	QueueWaitSampled int `json:"queue_wait_sampled"`
+	// QueueWaitSampledFraction is QueueWaitSampled over Accepted: how
+	// representative the queue-wait percentiles are. Jobs evicted by the
+	// retention FIFO before any drain poll observed them are the only
+	// losses.
+	QueueWaitSampledFraction float64 `json:"queue_wait_sampled_fraction"`
+
+	// Stages is the daemon's per-stage latency attribution (decode,
+	// admission, queue, lease, execute) when it runs with tracing on;
+	// empty otherwise.
+	Stages []otrace.StageStat `json:"stages,omitempty"`
+	// TraceSpans is how many spans the daemon's collector recorded over
+	// its lifetime (ring eviction included in the count).
+	TraceSpans uint64 `json:"trace_spans_recorded,omitempty"`
 }
 
 // Run generates load against the daemon at addr and reports the
@@ -111,7 +133,15 @@ func Run(addr string, cfg Config) (*Result, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
-	cl, err := client.DialOptions(addr, client.Options{Transport: cfg.Transport, Conns: cfg.Conns})
+	opts := client.Options{Transport: cfg.Transport, Conns: cfg.Conns}
+	if cfg.Trace {
+		// A client-side collector makes every Submit mint a trace id
+		// that rides the wire, so a tracing daemon attributes even its
+		// frame-decode work to the request instead of minting its own
+		// id after decode.
+		opts.Tracer = otrace.New(0)
+	}
+	cl, err := client.DialOptions(addr, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +154,31 @@ func Run(addr string, cfg Config) (*Result, error) {
 		jobIDs    []int
 		wg        sync.WaitGroup
 	)
+	// The wait sampler runs for the whole window, not just the drain: a
+	// job must be observed terminal before the retention FIFO evicts
+	// it, and under sustained load most evictions happen mid-run. The
+	// poll costs ~20 list RPCs/s against an offered load thousands of
+	// times that, and both transports pay it identically.
+	ws := newWaitSampler()
+	pollStop := make(chan struct{})
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for {
+			select {
+			case <-pollStop:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			jobs, err := cl.Jobs()
+			if err != nil {
+				continue
+			}
+			for _, j := range jobs {
+				ws.sample(j)
+			}
+		}
+	}()
 	// A fixed pool of submitter goroutines implements the outstanding
 	// cap: an unbuffered channel send succeeds only when a worker is
 	// free, so arrivals that find all workers busy are shed without
@@ -174,27 +229,89 @@ func Run(addr string, cfg Config) (*Result, error) {
 	}
 	close(arrivals)
 	wg.Wait()
+	close(pollStop)
+	<-pollDone
 	elapsed := time.Since(start).Seconds()
 	res.SustainedHz = float64(res.Accepted+res.Rejected) / elapsed
 	res.Submit = percentiles(latencies)
 
-	waits, sampled, err := drainAndMeasureWait(cl, jobIDs, cfg.DrainTimeout)
+	waits, sampled, err := drainAndMeasureWait(cl, ws, jobIDs, cfg.DrainTimeout)
 	if err != nil {
 		return res, err
 	}
 	res.QueueWait = percentiles(waits)
 	res.QueueWaitSampled = sampled
+	if res.Accepted > 0 {
+		res.QueueWaitSampledFraction = float64(sampled) / float64(res.Accepted)
+	}
+	// Per-stage attribution rides along when the daemon traces; a
+	// daemon without a collector reports Enabled=false and the result
+	// simply omits the section.
+	if ts, err := cl.TraceStats(); err == nil && ts.Enabled {
+		res.Stages = ts.Stages
+		res.TraceSpans = ts.Recorded
+	}
 	return res, nil
 }
 
+// waitSampler accumulates queue waits (Started−Submitted) keyed by job
+// id, first observation wins. Shared by the in-run poller and the
+// post-run drain, so a job observed terminal once keeps its sample
+// even after the daemon's retention FIFO evicts it.
+type waitSampler struct {
+	mu sync.Mutex
+	m  map[int]float64
+}
+
+func newWaitSampler() *waitSampler { return &waitSampler{m: make(map[int]float64)} }
+
+func (s *waitSampler) sample(j daemon.Job) {
+	if j.State == daemon.JobQueued || j.State == daemon.JobRunning || j.Started.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.m[j.ID]; !ok {
+		s.m[j.ID] = j.Started.Sub(j.Submitted).Seconds()
+	}
+	s.mu.Unlock()
+}
+
+func (s *waitSampler) has(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[id]
+	return ok
+}
+
+// collect returns the waits of the accepted jobs sampled so far.
+func (s *waitSampler) collect(accepted map[int]bool) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	waits := make([]float64, 0, len(s.m))
+	for id, w := range s.m {
+		if accepted[id] {
+			waits = append(waits, w)
+		}
+	}
+	return waits
+}
+
 // drainAndMeasureWait polls until every generated job is terminal (the
-// accepted ones may still be queued or running), then computes the
-// queue wait (Started−Submitted) of the accepted jobs the daemon still
-// retains.
-func drainAndMeasureWait(cl *client.Client, jobIDs []int, timeout time.Duration) ([]float64, int, error) {
+// accepted ones may still be queued or running), sampling waits as
+// jobs land, then sweeps Status for any accepted job the list polls
+// never caught. (The pre-sampler version returned only the final
+// poll's surviving snapshot — n=32 of 2544 accepted under a 2048-job
+// retention cap.) The only unsampled jobs are those evicted before any
+// poll saw them terminal; the caller reports the sampled fraction so
+// the percentiles carry their own confidence.
+func drainAndMeasureWait(cl *client.Client, ws *waitSampler, jobIDs []int, timeout time.Duration) ([]float64, int, error) {
 	accepted := make(map[int]bool, len(jobIDs))
 	for _, id := range jobIDs {
 		accepted[id] = true
+	}
+	done := func() ([]float64, int) {
+		waits := ws.collect(accepted)
+		return waits, len(waits)
 	}
 	deadline := time.Now().Add(timeout)
 	for {
@@ -203,7 +320,6 @@ func drainAndMeasureWait(cl *client.Client, jobIDs []int, timeout time.Duration)
 			return nil, 0, err
 		}
 		busy := 0
-		var waits []float64
 		for _, j := range jobs {
 			if !accepted[j.ID] {
 				continue
@@ -212,19 +328,38 @@ func drainAndMeasureWait(cl *client.Client, jobIDs []int, timeout time.Duration)
 			case daemon.JobQueued, daemon.JobRunning:
 				busy++
 			default:
-				if !j.Started.IsZero() {
-					waits = append(waits, j.Started.Sub(j.Submitted).Seconds())
-				}
+				ws.sample(j)
 			}
 		}
 		if busy == 0 {
-			return waits, len(waits), nil
+			break
 		}
 		if time.Now().After(deadline) {
-			return waits, len(waits), fmt.Errorf("loadgen: %d jobs still queued/running after %v drain", busy, timeout)
+			waits, n := done()
+			return waits, n, fmt.Errorf("loadgen: %d jobs still queued/running after %v drain", busy, timeout)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+	// Sweep the stragglers one by one: accepted jobs no poll caught
+	// terminal. Evicted jobs answer job_not_found (lost, reflected in
+	// the sampled fraction); cancelled jobs never started and carry no
+	// wait.
+	for _, id := range jobIDs {
+		if ws.has(id) {
+			continue
+		}
+		j, err := cl.Status(id)
+		if err != nil {
+			if errors.Is(err, daemon.ErrJobNotFound) {
+				continue
+			}
+			waits, n := done()
+			return waits, n, err
+		}
+		ws.sample(j)
+	}
+	waits, n := done()
+	return waits, n, nil
 }
 
 // percentiles summarizes a latency sample (seconds in, ms out).

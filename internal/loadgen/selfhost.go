@@ -8,6 +8,7 @@ import (
 
 	"apstdv/internal/client"
 	"apstdv/internal/daemon"
+	otrace "apstdv/internal/obs/trace"
 )
 
 // BenchSpec returns the builtin benchmark task specification: a
@@ -70,7 +71,13 @@ type Comparison struct {
 // results with their ratios.
 func Compare(dcfg daemon.Config, cfg Config) (*Comparison, error) {
 	run := func(tr string) (*Result, error) {
-		addr, stop, err := SelfHost(tr, dcfg)
+		dc := dcfg
+		if cfg.Trace && dc.Trace == nil {
+			// A fresh collector per leg: stage stats must not bleed from
+			// one transport's run into the other's report.
+			dc.Trace = otrace.New(0)
+		}
+		addr, stop, err := SelfHost(tr, dc)
 		if err != nil {
 			return nil, err
 		}

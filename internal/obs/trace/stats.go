@@ -1,0 +1,66 @@
+package trace
+
+import "sort"
+
+// StageStat summarizes the recorded durations of one span name (one
+// serving-path stage). Count is the true total; the percentiles come
+// from a bounded reservoir of the most recent Sampled durations, so a
+// long run reports "p99 of the last ~8k" rather than evicting one
+// stage's sample with another's flood.
+type StageStat struct {
+	Stage   string  `json:"stage"`
+	Count   uint64  `json:"count"`
+	Sampled int     `json:"sampled"`
+	P50Ms   float64 `json:"p50_ms"`
+	P90Ms   float64 `json:"p90_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// NameStats returns one StageStat per span name recorded so far,
+// sorted by name for stable output.
+func (c *Collector) NameStats() []StageStat {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	type pending struct {
+		name    string
+		count   uint64
+		samples []int64
+	}
+	var ps []pending
+	for i, a := range c.aggs {
+		if a.count == 0 || c.names.vals[i] == "" {
+			continue
+		}
+		ps = append(ps, pending{
+			name:    c.names.vals[i],
+			count:   a.count,
+			samples: append([]int64(nil), a.samples...),
+		})
+	}
+	c.mu.Unlock()
+
+	out := make([]StageStat, 0, len(ps))
+	for _, p := range ps {
+		sort.Slice(p.samples, func(i, j int) bool { return p.samples[i] < p.samples[j] })
+		at := func(q float64) float64 {
+			if len(p.samples) == 0 {
+				return 0
+			}
+			i := int(q * float64(len(p.samples)-1))
+			return float64(p.samples[i]) / 1e6
+		}
+		st := StageStat{Stage: p.name, Count: p.count, Sampled: len(p.samples)}
+		st.P50Ms = at(0.50)
+		st.P90Ms = at(0.90)
+		st.P99Ms = at(0.99)
+		if n := len(p.samples); n > 0 {
+			st.MaxMs = float64(p.samples[n-1]) / 1e6
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteTree renders spans as an indented tree with per-span total and
+// self time (total minus the sum of child totals). Spans whose parent
+// is absent from the set — the trace root, or orphans whose parents
+// the ring evicted — render as roots. Backend-clock spans (virtual
+// time under sim) are flagged with '~'.
+func WriteTree(w io.Writer, spans []SpanRecord) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "(no spans)")
+		return
+	}
+	byID := make(map[uint64]int, len(spans))
+	for i, s := range spans {
+		byID[s.ID] = i
+	}
+	children := make(map[uint64][]int, len(spans))
+	var roots []int
+	for i, s := range spans {
+		if _, ok := byID[s.Parent]; ok && s.Parent != s.ID {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(ix []int) {
+		sort.Slice(ix, func(a, b int) bool {
+			if spans[ix[a]].Start != spans[ix[b]].Start {
+				return spans[ix[a]].Start < spans[ix[b]].Start
+			}
+			return spans[ix[a]].ID < spans[ix[b]].ID
+		})
+	}
+	byStart(roots)
+	for _, ix := range children {
+		byStart(ix)
+	}
+	var render func(i int, prefix string, last bool, top bool)
+	render = func(i int, prefix string, last bool, top bool) {
+		s := spans[i]
+		total := s.End - s.Start
+		self := total
+		for _, ci := range children[s.ID] {
+			self -= spans[ci].End - spans[ci].Start
+		}
+		if self < 0 {
+			self = 0 // overlapping children (parallel chunks) can exceed the parent
+		}
+		branch := ""
+		if !top {
+			branch = "├─ "
+			if last {
+				branch = "└─ "
+			}
+		}
+		clock := ""
+		if s.BackendClock {
+			clock = "~"
+		}
+		line := fmt.Sprintf("%s%s%s %s%s", prefix, branch, s.Name, clock, fdur(total))
+		if len(children[s.ID]) > 0 {
+			line += fmt.Sprintf(" (self %s%s)", clock, fdur(self))
+		}
+		if s.Err != "" {
+			line += fmt.Sprintf(" err=%q", s.Err)
+		}
+		fmt.Fprintln(w, line)
+		childPrefix := prefix
+		if !top {
+			if last {
+				childPrefix += "   "
+			} else {
+				childPrefix += "│  "
+			}
+		}
+		for ci, c := range children[s.ID] {
+			render(c, childPrefix, ci == len(children[s.ID])-1, false)
+		}
+	}
+	for _, r := range roots {
+		render(r, "", true, true)
+	}
+}
+
+// fdur formats nanoseconds compactly (µs below 10ms, otherwise the
+// stdlib's rounded duration form).
+func fdur(ns int64) string {
+	d := time.Duration(ns)
+	if d < 10*time.Millisecond {
+		return fmt.Sprintf("%.0fµs", float64(ns)/1e3)
+	}
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -1,11 +1,12 @@
 package obs
 
 // TransportMetrics is the serving-transport metric set: frame and byte
-// counters for both directions, the in-flight call gauge, connection-
-// pool hit accounting, and the overload fast-reject counter. One
-// instance is shared by every transport endpoint a process hosts (the
-// daemon's frame server and its live worker pools record into the same
-// set), so the totals describe the process's whole serving surface.
+// counters for both flow directions, the in-flight call gauge,
+// connection-pool hit accounting, and the overload fast-reject counter.
+// A process registers one set per transport role — the daemon has a
+// "server" set for its frame server and a "client" set for the calls it
+// originates (live worker links) — so /metrics can attribute traffic to
+// the side that moved it.
 //
 // All methods on the underlying metrics are nil-safe, so a nil
 // *TransportMetrics disables recording with no branches at call sites.
@@ -32,17 +33,20 @@ type TransportMetrics struct {
 	Overloaded *Counter
 }
 
-// NewTransportMetrics registers the transport metric set in r.
-func NewTransportMetrics(r *Registry) *TransportMetrics {
+// NewTransportMetrics registers a transport metric set in r for one
+// role ("server" or "client"); the role lands in the metric names, so a
+// process may register both without collision.
+func NewTransportMetrics(r *Registry, role string) *TransportMetrics {
+	n := func(suffix string) string { return "apstdv_transport_" + role + "_" + suffix }
 	return &TransportMetrics{
-		FramesSent: r.Counter("apstdv_transport_frames_sent_total", "Protocol frames written."),
-		FramesRecv: r.Counter("apstdv_transport_frames_recv_total", "Protocol frames read."),
-		BytesSent:  r.Counter("apstdv_transport_bytes_sent_total", "Frame bytes written, headers included."),
-		BytesRecv:  r.Counter("apstdv_transport_bytes_recv_total", "Frame bytes read, headers included."),
-		Writes:     r.Counter("apstdv_transport_writes_total", "Coalesced socket writes (frames per write = batching factor)."),
-		InFlight:   r.Gauge("apstdv_transport_inflight_calls", "Calls awaiting a response."),
-		PoolHits:   r.Counter("apstdv_transport_pool_hits_total", "Pool checkouts that reused a live connection."),
-		PoolMisses: r.Counter("apstdv_transport_pool_misses_total", "Pool checkouts that had to dial."),
-		Overloaded: r.Counter("apstdv_transport_overloaded_total", "Requests fast-rejected because the dispatch queue was full."),
+		FramesSent: r.Counter(n("frames_sent_total"), "Protocol frames written ("+role+" side)."),
+		FramesRecv: r.Counter(n("frames_recv_total"), "Protocol frames read ("+role+" side)."),
+		BytesSent:  r.Counter(n("bytes_sent_total"), "Frame bytes written, headers included ("+role+" side)."),
+		BytesRecv:  r.Counter(n("bytes_recv_total"), "Frame bytes read, headers included ("+role+" side)."),
+		Writes:     r.Counter(n("writes_total"), "Coalesced socket writes (frames per write = batching factor)."),
+		InFlight:   r.Gauge(n("inflight_calls"), "Calls awaiting a response or executing."),
+		PoolHits:   r.Counter(n("pool_hits_total"), "Pool checkouts that reused a live connection."),
+		PoolMisses: r.Counter(n("pool_misses_total"), "Pool checkouts that had to dial."),
+		Overloaded: r.Counter(n("overloaded_total"), "Requests fast-rejected because the dispatch queue was full."),
 	}
 }

@@ -109,6 +109,13 @@ func (c *Conn) Call(method uint16, args Appender, reply Decoder) error {
 // but the connection stays healthy, unlike net/rpc where the only
 // escape is closing the Client.
 func (c *Conn) CallTimeout(method uint16, args Appender, reply Decoder, timeout time.Duration) error {
+	return c.CallTimeoutTrace(method, args, reply, timeout, TraceContext{})
+}
+
+// CallTimeoutTrace is CallTimeout with a trace context propagated in
+// the frame header (see the package doc); a zero tc costs nothing on
+// the wire.
+func (c *Conn) CallTimeoutTrace(method uint16, args Appender, reply Decoder, timeout time.Duration, tc TraceContext) error {
 	// Acquire a window slot for the lifetime of the call.
 	var timer *time.Timer
 	var expired <-chan time.Time
@@ -139,7 +146,7 @@ func (c *Conn) CallTimeout(method uint16, args Appender, reply Decoder, timeout 
 	c.mu.Unlock()
 
 	buf := getBuf()
-	*buf = beginFrame(*buf, id, kindRequest)
+	*buf = beginTracedFrame(*buf, id, kindRequest, tc)
 	*buf = AppendUvarint(*buf, uint64(method))
 	if args != nil {
 		*buf = args.AppendWire(*buf)
@@ -178,7 +185,7 @@ func (c *Conn) readLoop() {
 		metrics: c.metrics,
 	}
 	for {
-		id, kind, payload, err := fr.next()
+		id, kind, _, payload, err := fr.next()
 		if err != nil {
 			var ov *errOversized
 			if asOversized(err, &ov) {

@@ -37,6 +37,21 @@ func beginFrame(b []byte, id uint64, kind byte) []byte {
 	return append(b, kind)
 }
 
+// beginTracedFrame is beginFrame plus an optional trace context: when
+// tc carries a trace, the kind byte gets the kindTraceFlag bit and the
+// trace/span ids follow as uvarints. An untraced tc produces a frame
+// byte-identical to beginFrame's.
+func beginTracedFrame(b []byte, id uint64, kind byte, tc TraceContext) []byte {
+	if !tc.Valid() {
+		return beginFrame(b, id, kind)
+	}
+	b = append(b, 0, 0, 0, 0)
+	b = binary.AppendUvarint(b, id)
+	b = append(b, kind|kindTraceFlag)
+	b = binary.AppendUvarint(b, tc.Trace)
+	return binary.AppendUvarint(b, tc.Span)
+}
+
 // finishFrame patches the length prefix once the payload is appended.
 func finishFrame(b []byte) []byte {
 	binary.BigEndian.PutUint32(b, uint32(len(b)-4))
@@ -73,37 +88,40 @@ type frameReader struct {
 	metrics *obs.TransportMetrics
 }
 
-// next reads one frame and returns its id, kind, and payload in a
-// pooled buffer the caller owns (release with putBuf). An oversized
-// frame is discarded in place and reported as *errOversized — a
-// per-frame error; every other error is fatal to the connection.
-func (fr *frameReader) next() (id uint64, kind byte, payload *[]byte, err error) {
+// next reads one frame and returns its id, kind, trace context
+// (zero when the frame carries none), and payload in a pooled buffer
+// the caller owns (release with putBuf). An oversized frame is
+// discarded in place — trace varints included — and reported as
+// *errOversized, a per-frame error; every other error is fatal to the
+// connection.
+func (fr *frameReader) next() (id uint64, kind byte, tc TraceContext, payload *[]byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, TraceContext{}, nil, err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > fr.max {
 		// Recover framing: read the id and kind off the stream, then
-		// drop the body.
+		// drop the body (including any trace varints — an oversized
+		// reject needs no context beyond the id).
 		id, err := binary.ReadUvarint(fr.br)
 		if err != nil {
-			return 0, 0, nil, err
+			return 0, 0, TraceContext{}, nil, err
 		}
 		kind, err := fr.br.ReadByte()
 		if err != nil {
-			return 0, 0, nil, err
+			return 0, 0, TraceContext{}, nil, err
 		}
 		rest := int64(n - uvarintLen(id) - 1)
 		if rest < 0 {
-			return 0, 0, nil, fmt.Errorf("transport: corrupt oversized frame header")
+			return 0, 0, TraceContext{}, nil, fmt.Errorf("transport: corrupt oversized frame header")
 		}
 		if _, err := io.CopyN(io.Discard, fr.br, rest); err != nil {
-			return 0, 0, nil, err
+			return 0, 0, TraceContext{}, nil, err
 		}
 		fr.metrics.FramesRecv.Inc()
 		fr.metrics.BytesRecv.Add(float64(n + 4))
-		return 0, 0, nil, &errOversized{id: id, kind: kind, size: n}
+		return 0, 0, TraceContext{}, nil, &errOversized{id: id, kind: kind &^ kindTraceFlag, size: n}
 	}
 	buf := getBuf()
 	*buf = grow(*buf, n)
@@ -112,19 +130,35 @@ func (fr *frameReader) next() (id uint64, kind byte, payload *[]byte, err error)
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF // truncated mid-frame
 		}
-		return 0, 0, nil, err
+		return 0, 0, TraceContext{}, nil, err
 	}
 	d := *buf
 	uid, un := binary.Uvarint(d)
 	if un <= 0 || un >= len(d) {
 		putBuf(buf)
-		return 0, 0, nil, fmt.Errorf("transport: corrupt frame header")
+		return 0, 0, TraceContext{}, nil, fmt.Errorf("transport: corrupt frame header")
 	}
 	kind = d[un]
-	*buf = d[un+1:]
+	rest := d[un+1:]
+	if kind&kindTraceFlag != 0 {
+		kind &^= kindTraceFlag
+		tv, tn := binary.Uvarint(rest)
+		if tn <= 0 {
+			putBuf(buf)
+			return 0, 0, TraceContext{}, nil, fmt.Errorf("transport: corrupt trace context")
+		}
+		sv, sn := binary.Uvarint(rest[tn:])
+		if sn <= 0 {
+			putBuf(buf)
+			return 0, 0, TraceContext{}, nil, fmt.Errorf("transport: corrupt trace context")
+		}
+		tc = TraceContext{Trace: tv, Span: sv}
+		rest = rest[tn+sn:]
+	}
+	*buf = rest
 	fr.metrics.FramesRecv.Inc()
 	fr.metrics.BytesRecv.Add(float64(n + 4))
-	return uid, kind, buf, nil
+	return uid, kind, tc, buf, nil
 }
 
 // sender is the shared coalescing writer: frames queued on ch while a

@@ -33,21 +33,26 @@ func NewPool(addr string, size int, cfg Config) *Pool {
 // Call issues a request on the next connection round-robin, dialing or
 // redialing the slot if its connection is down.
 func (p *Pool) Call(method uint16, args Appender, reply Decoder) error {
-	return p.call(method, args, reply, 0)
+	return p.call(method, args, reply, 0, TraceContext{})
 }
 
 // CallTimeout is Call with a per-call deadline (see Conn.CallTimeout).
 func (p *Pool) CallTimeout(method uint16, args Appender, reply Decoder, timeout time.Duration) error {
-	return p.call(method, args, reply, timeout)
+	return p.call(method, args, reply, timeout, TraceContext{})
 }
 
-func (p *Pool) call(method uint16, args Appender, reply Decoder, timeout time.Duration) error {
+// CallTrace is Call with a trace context carried in the frame header.
+func (p *Pool) CallTrace(method uint16, args Appender, reply Decoder, tc TraceContext) error {
+	return p.call(method, args, reply, 0, tc)
+}
+
+func (p *Pool) call(method uint16, args Appender, reply Decoder, timeout time.Duration, tc TraceContext) error {
 	slot := int(p.next.Add(1)) % len(p.conns)
 	c, err := p.conn(slot)
 	if err != nil {
 		return err
 	}
-	err = c.CallTimeout(method, args, reply, timeout)
+	err = c.CallTimeoutTrace(method, args, reply, timeout, tc)
 	if err != nil && !IsRemote(err) && err != ErrTimeout && err != ErrTooLarge {
 		// Connection-level failure: drop the slot so the next call
 		// redials instead of re-hitting a dead conn.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"apstdv/internal/obs"
+	otrace "apstdv/internal/obs/trace"
 )
 
 // ServerConfig tunes a frame server. The zero value uses the package
@@ -22,6 +23,10 @@ type ServerConfig struct {
 	MaxFrame int
 	// Metrics, when set, receives transport counters.
 	Metrics *obs.TransportMetrics
+	// Tracer, when set, records server-side transport spans for traced
+	// requests: argument decode time (RegisterTraced handlers) and
+	// terminal spans for overload fast-rejects. Nil disables.
+	Tracer *otrace.Collector
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -41,16 +46,18 @@ func (c ServerConfig) withDefaults() ServerConfig {
 }
 
 // Handler executes one request: decode args from d, do the work,
-// append the reply to b. Returning an error sends an error frame
-// instead of b (whatever was appended is discarded). Handlers run on
-// the shared worker pool — a handler must not block indefinitely.
-type Handler func(d *Dec, b []byte) ([]byte, error)
+// append the reply to b. tc is the request's trace context (zero for
+// untraced frames). Returning an error sends an error frame instead
+// of b (whatever was appended is discarded). Handlers run on the
+// shared worker pool — a handler must not block indefinitely.
+type Handler func(tc TraceContext, d *Dec, b []byte) ([]byte, error)
 
 // task is one decoded request frame awaiting a worker.
 type task struct {
 	sc      *srvConn
 	id      uint64
 	method  uint16
+	tc      TraceContext
 	payload *[]byte
 }
 
@@ -109,14 +116,32 @@ func Register[A, R any, PA interface {
 	*R
 	Appender
 }](s *Server, method uint16, fn func(*A, *R) error) {
-	s.Handle(method, func(d *Dec, b []byte) ([]byte, error) {
+	RegisterTraced[A, R, PA, PR](s, method, func(_ TraceContext, a *A, r *R) error {
+		return fn(a, r)
+	})
+}
+
+// RegisterTraced is Register for handlers that consume the request's
+// trace context. When the server has a Tracer, the argument decode of
+// each traced request is recorded as an "rpc.decode" span under the
+// caller's span.
+func RegisterTraced[A, R any, PA interface {
+	*A
+	Decoder
+}, PR interface {
+	*R
+	Appender
+}](s *Server, method uint16, fn func(TraceContext, *A, *R) error) {
+	s.Handle(method, func(tc TraceContext, d *Dec, b []byte) ([]byte, error) {
 		var args A
+		sp := s.cfg.Tracer.Begin(otrace.TraceID(tc.Trace), otrace.SpanID(tc.Span), "rpc.decode")
 		PA(&args).DecodeWire(d)
+		sp.End(d.Err())
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
 		var reply R
-		if err := fn(&args, &reply); err != nil {
+		if err := fn(tc, &args, &reply); err != nil {
 			return nil, err
 		}
 		return PR(&reply).AppendWire(b), nil
@@ -197,7 +222,7 @@ func (s *Server) handle(t task) {
 	if h == nil {
 		err = errMalformed
 	} else {
-		*buf, err = h(d, *buf)
+		*buf, err = h(t.tc, d, *buf)
 	}
 	putBuf(t.payload)
 	if err != nil {
@@ -273,7 +298,7 @@ func (sc *srvConn) readLoop() {
 		metrics: sc.srv.metrics,
 	}
 	for {
-		id, kind, payload, err := fr.next()
+		id, kind, tc, payload, err := fr.next()
 		if err != nil {
 			var ov *errOversized
 			if asOversized(err, &ov) {
@@ -299,16 +324,22 @@ func (sc *srvConn) readLoop() {
 		}
 		*payload = (*payload)[len(*payload)-d.Len():]
 		select {
-		case sc.srv.queue <- task{sc: sc, id: id, method: method, payload: payload}:
+		case sc.srv.queue <- task{sc: sc, id: id, method: method, tc: tc, payload: payload}:
 		case <-sc.srv.quit:
 			putBuf(payload)
 			sc.teardown(ErrClosed)
 			return
 		default:
 			// Dispatch queue full: shed this request immediately, no
-			// decode, no handler, so overload costs almost nothing.
+			// decode, no handler, so overload costs almost nothing. A
+			// traced request still gets a terminal span — a trace must
+			// never just stop at an overloaded server.
 			putBuf(payload)
 			sc.srv.metrics.Overloaded.Inc()
+			if tr := sc.srv.cfg.Tracer; tr != nil && tc.Valid() {
+				tr.RecordSince(otrace.TraceID(tc.Trace), otrace.SpanID(tc.Span),
+					"rpc.reject_overloaded", tr.Clock(), ErrOverloaded)
+			}
 			sc.srv.reject(sc, id, ErrOverloaded)
 		}
 	}

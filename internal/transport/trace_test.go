@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"apstdv/internal/errcode"
+	otrace "apstdv/internal/obs/trace"
+)
+
+// newTracedServer starts a frame server with a trace collector and a
+// RegisterTraced echo handler that captures the trace context it saw.
+func newTracedServer(t *testing.T, cfg ServerConfig) (*otrace.Collector, *atomic.Value, string) {
+	t.Helper()
+	col := otrace.New(0)
+	cfg.Tracer = col
+	s := NewServer(cfg)
+	var seen atomic.Value
+	seen.Store(TraceContext{})
+	RegisterTraced[echoArgs, echoReply](s, methodEcho, func(tc TraceContext, a *echoArgs, r *echoReply) error {
+		seen.Store(tc)
+		r.Text, r.N, r.F = a.Text, a.N, a.F
+		return nil
+	})
+	Register[echoArgs, echoReply](s, methodSlow, func(a *echoArgs, r *echoReply) error {
+		blockForTest()
+		r.Text = a.Text
+		return nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return col, &seen, ln.Addr().String()
+}
+
+// blockForTest gives the overload test a handler slow enough to fill a
+// one-deep dispatch queue without wiring a time import into the happy
+// paths.
+var blockForTest = func() {}
+
+// A trace context sent in the frame header must reach the handler
+// verbatim, and the server's collector must attribute the argument
+// decode to the caller's span. An untraced call on the same connection
+// must see a zero context and record nothing.
+func TestTraceContextRoundTrip(t *testing.T) {
+	col, seen, addr := newTracedServer(t, ServerConfig{})
+	c, err := Dial(addr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tc := TraceContext{Trace: 0x7777, Span: 0x99}
+	var reply echoReply
+	if err := c.CallTimeoutTrace(methodEcho, &echoArgs{Text: "hi", N: 3}, &reply, 0, tc); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Text != "hi" || reply.N != 3 {
+		t.Fatalf("traced echo mangled the payload: %+v", reply)
+	}
+	if got := seen.Load().(TraceContext); got != tc {
+		t.Fatalf("handler saw trace context %+v, want %+v", got, tc)
+	}
+	found := false
+	for _, sp := range col.Snapshot() {
+		if sp.Name != "rpc.decode" {
+			continue
+		}
+		found = true
+		if sp.Trace != tc.Trace || sp.Parent != tc.Span {
+			t.Fatalf("rpc.decode span on trace %#x parent %#x, want %#x/%#x",
+				sp.Trace, sp.Parent, tc.Trace, tc.Span)
+		}
+	}
+	if !found {
+		t.Fatal("no rpc.decode span recorded for the traced call")
+	}
+
+	before := col.Recorded()
+	if err := c.Call(methodEcho, &echoArgs{Text: "plain"}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if got := seen.Load().(TraceContext); got != (TraceContext{}) {
+		t.Fatalf("untraced call leaked a trace context: %+v", got)
+	}
+	if col.Recorded() != before {
+		t.Fatalf("untraced call recorded %d spans", col.Recorded()-before)
+	}
+}
+
+// A traced request larger than the server's MaxFrame is rejected with
+// ErrTooLarge, and the connection keeps carrying traced calls with
+// their contexts intact — the oversized-discard path must consume the
+// header's trace varints correctly or the stream desynchronizes.
+func TestTracedOversizedFrameRecovery(t *testing.T) {
+	_, seen, addr := newTracedServer(t, ServerConfig{MaxFrame: 4096})
+	c, err := Dial(addr, Config{MaxFrame: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	big := &echoArgs{Text: string(make([]byte, 8192))}
+	tc := TraceContext{Trace: 0xabc, Span: 0xdef}
+	err = c.CallTimeoutTrace(methodEcho, big, &echoReply{}, 0, tc)
+	if !errors.Is(errcode.Decode(err), ErrTooLarge) {
+		t.Fatalf("oversized traced request: got %v, want ErrTooLarge", err)
+	}
+	tc2 := TraceContext{Trace: 0x1234, Span: 0x56}
+	var reply echoReply
+	if err := c.CallTimeoutTrace(methodEcho, &echoArgs{Text: "alive"}, &reply, 0, tc2); err != nil {
+		t.Fatalf("connection did not survive oversized traced request: %v", err)
+	}
+	if reply.Text != "alive" {
+		t.Fatalf("reply = %+v", reply)
+	}
+	if got := seen.Load().(TraceContext); got != tc2 {
+		t.Fatalf("post-recovery call saw trace context %+v, want %+v", got, tc2)
+	}
+}
+
+// An overload fast-reject of a traced request must leave a terminal
+// "rpc.reject_overloaded" span on the caller's trace: the request died
+// before any handler ran, and the trace must say so.
+func TestOverloadFastRejectRecordsSpan(t *testing.T) {
+	unblock := make(chan struct{})
+	old := blockForTest
+	blockForTest = func() { <-unblock }
+	defer func() { blockForTest = old; close(unblock) }()
+
+	col, _, addr := newTracedServer(t, ServerConfig{Workers: 1, QueueDepth: 1})
+	c, err := Dial(addr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const calls = 16
+	var overloaded atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tc := TraceContext{Trace: uint64(1000 + i), Span: uint64(i + 1)}
+			err := c.CallTimeoutTrace(methodSlow, &echoArgs{Text: "x"}, &echoReply{}, 0, tc)
+			if errors.Is(errcode.Decode(err), ErrOverloaded) {
+				overloaded.Add(1)
+			}
+		}(i)
+	}
+	// All but worker+queue capacity must fast-reject while the one
+	// running handler blocks; then release it so the survivors finish.
+	for overloaded.Load() < calls-2 {
+		runtime.Gosched()
+	}
+	unblock <- struct{}{}
+	unblock <- struct{}{}
+	wg.Wait()
+
+	rejects := 0
+	for _, sp := range col.Snapshot() {
+		if sp.Name == "rpc.reject_overloaded" {
+			rejects++
+			if sp.Trace < 1000 || sp.Trace >= 1000+calls || sp.Err == "" {
+				t.Fatalf("malformed reject span: %+v", sp)
+			}
+		}
+	}
+	if int64(rejects) != overloaded.Load() {
+		t.Fatalf("%d reject spans for %d overloaded calls", rejects, overloaded.Load())
+	}
+}

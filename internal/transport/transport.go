@@ -12,10 +12,20 @@
 //
 //	uint32  length of the remainder, big-endian (bounded by MaxFrame)
 //	uvarint request id
-//	byte    kind: 0 request, 1 response, 2 error response
+//	byte    kind: 0 request, 1 response, 2 error response;
+//	        bit 0x80 set = trace context follows
+//	trace context (only when the 0x80 bit is set):
+//	        uvarint trace id, uvarint parent span id
 //	request:        uvarint method id, then the argument payload
 //	response:       the reply payload
 //	error response: uvarint length + error string
+//
+// Trace propagation rides the kind byte's high bit: a traced request
+// inserts two uvarints (trace id, caller span id) between the kind
+// byte and the method id, and servers hand them to handlers as a
+// TraceContext. Untraced frames pay zero extra bytes, and a server
+// predating the flag would reject the unknown kind rather than
+// misparse the payload.
 //
 // Payloads use the compact codec in codec.go — varints, fixed 8-byte
 // floats, length-prefixed strings — hand-written per message type, with
@@ -54,7 +64,23 @@ const (
 	kindRequest  = 0
 	kindResponse = 1
 	kindError    = 2
+
+	// kindTraceFlag marks a frame carrying a trace context (two
+	// uvarints after the kind byte). It is masked off before kind
+	// dispatch.
+	kindTraceFlag = 0x80
 )
+
+// TraceContext is the trace/span id pair a traced request carries
+// across the wire. The zero value means "untraced" and costs nothing
+// on the frame.
+type TraceContext struct {
+	Trace uint64 // trace id (0 = untraced)
+	Span  uint64 // caller's span id, the parent for server-side spans
+}
+
+// Valid reports whether the context carries a trace.
+func (tc TraceContext) Valid() bool { return tc.Trace != 0 }
 
 // Defaults, overridable per Config/ServerConfig.
 const (

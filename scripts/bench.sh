@@ -12,9 +12,13 @@
 # ring_overhead_pct / idle_overhead_pct come from the *Paired*
 # benchmarks (baseline and instrumented runs alternated within one
 # iteration loop), which cancel the ±10% window-to-window drift a
-# shared machine imposes on the sequential variants. When
-# BENCH_<n-1>.json exists, the obs-ring and retry-idle overheads are
-# also emitted as before/after deltas against it:
+# shared machine imposes on the sequential variants; the
+# trace_enabled/disabled overheads come from BenchmarkTraceOverheadPaired
+# (min-of-samples within a pass, minimum across passes). The serving
+# object carries per-stage latency attribution (decode, admission,
+# queue, lease, execute) from the daemons' trace collectors. When
+# BENCH_<n-1>.json exists, the obs-ring, retry-idle, and trace-enabled
+# overheads are also emitted as before/after deltas against it:
 #
 #   scripts/bench.sh        # writes BENCH_1.json
 #   scripts/bench.sh 7      # writes BENCH_7.json (deltas vs BENCH_6.json)
@@ -26,10 +30,11 @@ out="BENCH_${n}.json"
 
 # Previous snapshot, for before/after deltas.
 prev="BENCH_$((n - 1)).json"
-prev_ring=""; prev_idle=""
+prev_ring=""; prev_idle=""; prev_trace=""
 if [ -f "$prev" ]; then
     prev_ring=$(sed -n 's/.*"ring_overhead_pct": *\([0-9.+-]*\).*/\1/p' "$prev" | head -1)
     prev_idle=$(sed -n 's/.*"idle_overhead_pct": *\([0-9.+-]*\).*/\1/p' "$prev" | head -1)
+    prev_trace=$(sed -n 's/.*"trace_enabled_overhead_pct": *\([0-9.+-]*\).*/\1/p' "$prev" | head -1)
 fi
 
 # Three full passes over all benchmarks, interleaved at the pass level;
@@ -47,7 +52,8 @@ raw=$(for pass in 1 2 3; do
 echo "$raw"
 
 echo "$raw" | awk -v out="$out" -v prev="$prev" \
-                  -v prev_ring="$prev_ring" -v prev_idle="$prev_idle" '
+                  -v prev_ring="$prev_ring" -v prev_idle="$prev_idle" \
+                  -v prev_trace="$prev_trace" '
 # Pull the value preceding each unit label, wherever the column lands
 # (custom metrics shift positions).
 function metric(unit,   i) {
@@ -80,6 +86,18 @@ function variant(   parts) {
 }
 /^BenchmarkObsOverheadPaired/ { pr_sum += metric("ring-overhead-pct"); pr_n++ }
 /^BenchmarkFaultPathOverheadPaired/ { pi_sum += metric("idle-overhead-pct"); pi_n++ }
+# The trace paired benchmarks already report a min-of-samples estimate;
+# keep the minimum across passes, matching the ns/op treatment.
+/^BenchmarkTraceOverheadPaired\/enabled/ {
+    v = metric("trace-overhead-pct")
+    if (!te_n || v + 0 < te + 0) te = v
+    te_n++
+}
+/^BenchmarkTraceOverheadPaired\/disabled/ {
+    v = metric("trace-disabled-overhead-pct")
+    if (!td_n || v + 0 < td + 0) td = v
+    td_n++
+}
 /^cpu: / { sub(/^cpu: /, ""); cpu = $0 }
 END {
     if (order == "") { print "bench.sh: no BenchmarkRunnerParallelism results" > "/dev/stderr"; exit 1 }
@@ -131,6 +149,15 @@ END {
         if (prev_idle != "")
             printf ",\n    \"idle_overhead_pct_prev\": %s,\n    \"idle_overhead_pct_delta\": %.1f", \
                 prev_idle, idle_pct - prev_idle > out
+        printf "\n  }" > out
+    }
+    if (te_n > 0 || td_n > 0) {
+        printf ",\n  \"trace_overhead\": {\n" > out
+        printf "    \"trace_enabled_overhead_pct\": %.1f,\n", te > out
+        printf "    \"trace_disabled_overhead_pct\": %.1f", td > out
+        if (prev_trace != "")
+            printf ",\n    \"trace_enabled_overhead_pct_prev\": %s,\n    \"trace_enabled_overhead_pct_delta\": %.1f", \
+                prev_trace, te - prev_trace > out
         printf "\n  }" > out
     }
     if (prev_ring != "" || prev_idle != "")
