@@ -11,7 +11,7 @@ FUZZ_TARGETS = divide:FuzzUniformCutAfter divide:FuzzIndexCutAfter \
                divide:FuzzContinuousCutAfter divide:FuzzWorkUnitsCutAfter \
                divide:FuzzScanSeparators sim:FuzzHeapInvariant
 
-.PHONY: all build vet test race race-fault race-daemon race-transport race-trace fuzz-smoke bench-smoke lint check bench
+.PHONY: all build vet test race race-fault race-daemon race-transport race-trace race-cosched fuzz-smoke bench-smoke lint check bench
 
 all: check
 
@@ -49,6 +49,15 @@ race-daemon:
 # the race detector.
 race-transport:
 	$(GO) test -race ./internal/transport ./internal/client ./internal/loadgen
+
+# race-cosched drives the multi-load co-scheduling layer under the race
+# detector: the share pool's concurrent acquire/revise/release, the
+# daemon's policy transitions (grants, revisions, cancellation
+# returning shares to peers), the shared-world simulation's barrier
+# protocol, and the policy sweep.
+race-cosched:
+	$(GO) test -race -run 'Share|Cosched|MultiWorld|MultiJob' \
+		./internal/live ./internal/daemon ./internal/grid ./internal/experiment
 
 # race-trace drives the tracing layer under the race detector: the
 # collector's ring/stats locking, then every Trace-named test across
@@ -106,7 +115,7 @@ lint: vet
 		echo "lint: (install with: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-check: build vet race race-fault race-daemon race-transport race-trace fuzz-smoke bench-smoke lint
+check: build vet race race-fault race-daemon race-transport race-trace race-cosched fuzz-smoke bench-smoke lint
 
 # bench records the runner's sequential-vs-parallel wall time and the
 # observability layer's overhead into BENCH_<n>.json (see

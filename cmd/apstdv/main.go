@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"apstdv/internal/client"
@@ -114,11 +115,14 @@ func main() {
 	case "report":
 		showReport(c, *jobID, *csvPath, *gantt)
 	case "jobs":
-		jobs, err := c.Jobs()
+		reply, err := c.ListJobs()
 		if err != nil {
 			fatal(err)
 		}
-		for _, j := range jobs {
+		if reply.Policy != "" {
+			fmt.Printf("cosched policy: %s\n", reply.Policy)
+		}
+		for _, j := range reply.Jobs {
 			printJob(j)
 		}
 	case "events":
@@ -176,8 +180,31 @@ func printJob(j daemon.Job) {
 	case daemon.JobQueued:
 		fmt.Printf("job %d [%s/%s] %s at position %d (submitted %s ago)\n", j.ID, j.Algorithm, prio, j.State, j.QueuePos, time.Since(j.Submitted).Round(time.Millisecond))
 	default:
-		fmt.Printf("job %d [%s/%s] %s (submitted %s ago)\n", j.ID, j.Algorithm, prio, j.State, time.Since(j.Submitted).Round(time.Millisecond))
+		fmt.Printf("job %d [%s/%s] %s (submitted %s ago)%s\n", j.ID, j.Algorithm, prio, j.State, time.Since(j.Submitted).Round(time.Millisecond), shareSummary(j))
 	}
+}
+
+// shareSummary renders a running job's worker grant: which workers it
+// holds and, when the co-scheduler splits them, each fraction.
+func shareSummary(j daemon.Job) string {
+	if len(j.Leased) == 0 {
+		return ""
+	}
+	full := true
+	for _, s := range j.Shares {
+		if s != 1 {
+			full = false
+			break
+		}
+	}
+	if full || len(j.Shares) != len(j.Leased) {
+		return fmt.Sprintf(", workers %v", j.Leased)
+	}
+	parts := make([]string, len(j.Leased))
+	for i, w := range j.Leased {
+		parts[i] = fmt.Sprintf("%d:%.2f", w, j.Shares[i])
+	}
+	return ", worker shares " + strings.Join(parts, " ")
 }
 
 func showReport(c *client.Client, jobID int, csvPath string, gantt bool) {

@@ -52,12 +52,14 @@ func main() {
 		traceOn     = flag.Bool("trace", false, "record per-job spans; inspect via 'apstdv trace' or /debug/trace")
 		traceSpans  = flag.Int("trace-spans", 0, "span ring capacity (0 = default; implies -trace)")
 		traceOut    = flag.String("trace-out", "", "stream spans as Chrome-trace JSONL here, for Perfetto (implies -trace)")
+		cosched     = flag.String("cosched", "", "live mode: cross-job worker policy: partition (disjoint grants, default), fair (even time-sharing) or srpt (inverse-load weighted)")
 	)
 	flag.Parse()
 
 	cfg := daemon.Config{
 		Seed: *seed, SpecDir: *specDir,
 		MaxConcurrentJobs: *maxJobs, QueueDepth: *queueDepth,
+		CoschedPolicy: *cosched,
 	}
 	// The trace collector and its optional Chrome-trace stream. The
 	// exporter is flushed on the graceful-shutdown path; a crash loses

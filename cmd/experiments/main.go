@@ -164,8 +164,21 @@ func main() {
 		ran = true
 	}
 
+	// The multi-job sweep is explicit-only too: it measures the
+	// co-scheduling layer (beyond the paper's one-load-at-a-time scope)
+	// rather than reproducing a figure.
+	if want == "multijob" {
+		cells, err := experiment.DefaultMultiJobSweep().Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiment.RenderMultiJob(cells))
+		ran = true
+	}
+
 	if !ran {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures, serving)\n", *run)
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures, serving, multijob)\n", *run)
 		os.Exit(2)
 	}
 }

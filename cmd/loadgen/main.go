@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"apstdv/internal/daemon"
+	"apstdv/internal/experiment"
 	"apstdv/internal/loadgen"
 	otrace "apstdv/internal/obs/trace"
 	"apstdv/internal/workload"
@@ -51,8 +52,13 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit JSON instead of text")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run here")
 		traceOn     = flag.Bool("trace", true, "self-host: run the daemons with tracing so per-stage latency attribution lands in the result")
+		multijob    = flag.Bool("multijob", false, "run the multi-job co-scheduling sweep instead of the serving-path load test")
 	)
 	flag.Parse()
+	if *multijob {
+		runMultiJob(*jsonOut)
+		return
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -159,6 +165,27 @@ func printResult(r *loadgen.Result) {
 	for _, s := range r.Stages {
 		fmt.Printf("       stage %-10s p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  max %8.3fms (n=%d of %d)\n",
 			s.Stage, s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs, s.Sampled, s.Count)
+	}
+}
+
+// runMultiJob runs the multi-job co-scheduling sweep (simulated
+// shared-world policy comparison; scripts/bench.sh splices the JSON
+// into the benchmark snapshot as a "multijob" object).
+func runMultiJob(asJSON bool) {
+	cells, err := experiment.DefaultMultiJobSweep().Run()
+	if err != nil {
+		fatal(err)
+	}
+	if !asJSON {
+		fmt.Println(experiment.RenderMultiJob(cells))
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Cells []experiment.MultiJobCell `json:"cells"`
+	}{cells}); err != nil {
+		fatal(err)
 	}
 }
 

@@ -286,9 +286,16 @@ func (c *Client) Algorithms() ([]string, error) {
 
 // Jobs lists all jobs.
 func (c *Client) Jobs() ([]daemon.Job, error) {
+	reply, err := c.ListJobs()
+	return reply.Jobs, err
+}
+
+// ListJobs returns the full job listing reply, including the daemon's
+// co-scheduling policy alongside the job summaries.
+func (c *Client) ListJobs() (daemon.ListJobsReply, error) {
 	var reply daemon.ListJobsReply
 	err := c.call("APSTDV.ListJobs", &daemon.ListJobsArgs{}, &reply)
-	return reply.Jobs, err
+	return reply, err
 }
 
 // Trace fetches a job's retained span tree from the daemon. Fails with

@@ -61,9 +61,17 @@ type Config struct {
 	// submissions queue. 0 means the mode default: 1 in live mode
 	// (concurrent jobs would otherwise contend for the same worker
 	// CPUs and every cost estimate would be wrong) and unlimited in
-	// sim mode. In live mode the cap is also clamped to the worker
-	// count, since every running job leases at least one worker.
+	// sim mode. Under the partition policy the live cap is also
+	// clamped to the worker count, since every running job leases at
+	// least one whole worker; fair and srpt time-share workers, so
+	// the cap stands as configured.
 	MaxConcurrentJobs int
+	// CoschedPolicy selects how concurrently running live jobs split
+	// the worker pool: "partition" (default — disjoint whole-worker
+	// grants, the historical behaviour), "fair" (every job on every
+	// worker, even fractions) or "srpt" (fractions weighted toward the
+	// smallest job). See cosched.go.
+	CoschedPolicy string
 	// QueueDepth bounds the admission queue across all priority
 	// classes; submissions that would exceed it are rejected with
 	// ErrQueueFull. 0 means unbounded.
@@ -118,6 +126,12 @@ type Job struct {
 	// Leased holds the live-mode worker indexes leased to the running
 	// job; empty once released (and always in sim mode).
 	Leased []int
+	// Shares holds the job's CPU fraction on each leased worker,
+	// aligned with Leased (Shares[i] is the fraction on Leased[i]).
+	// Under partition every entry is 1; under fair/srpt the
+	// co-scheduler revises the fractions as peers arrive and finish.
+	// Empty once released (and always in sim mode).
+	Shares []float64
 	// TraceID identifies the job's trace when the daemon traces (see
 	// Config.Trace); 0 otherwise. Feed it to the Trace RPC or /debug/trace.
 	TraceID uint64
@@ -147,8 +161,13 @@ type Daemon struct {
 	pending  map[int]*pendingJob // queued or running jobs by id
 	draining bool
 	effCap   int // 0 = unlimited
-	leases   *live.LeasePool
-	idle     *sync.Cond // broadcast when running == queued == 0
+	// Live-mode worker allocation: the share pool (mechanism), the
+	// normalized co-scheduling policy name, and its share-vector
+	// function (nil for partition). See cosched.go.
+	shares    *live.SharePool
+	cosched   string
+	coschedFn grid.SharePolicy
+	idle      *sync.Cond // broadcast when running == queued == 0
 	// terminal is the retirement-order FIFO backing Config.RetainJobs
 	// eviction (unused when RetainJobs is 0).
 	terminal []int
@@ -182,6 +201,11 @@ type Daemon struct {
 	workersLeased                       *obs.Gauge
 	jobsRetained                        *obs.Gauge
 	jobsEvicted                         *obs.Counter
+	coschedReshares                     *obs.Counter
+	shareErrors                         *obs.Counter
+	// workerShareG publishes each worker's allocated fraction
+	// (apstdv_worker_share_w<i>); registered in live mode only.
+	workerShareG []*obs.Gauge
 	jobSeconds                          *obs.Histogram
 	waitSeconds, runSeconds             map[string]*obs.Histogram
 	// Transport counters are registered per direction so /metrics
@@ -222,6 +246,10 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.RetainJobs < 0 {
 		return nil, fmt.Errorf("daemon: negative retain jobs")
 	}
+	cosched, err := normalizeCosched(cfg.CoschedPolicy)
+	if err != nil {
+		return nil, err
+	}
 	reg := obs.NewRegistry()
 	d := &Daemon{
 		cfg:           cfg,
@@ -246,6 +274,12 @@ func New(cfg Config) (*Daemon, error) {
 		waitSeconds:   make(map[string]*obs.Histogram),
 		runSeconds:    make(map[string]*obs.Histogram),
 		tracer:        cfg.Trace,
+		cosched:       cosched,
+		coschedFn:     coschedPolicy(cosched),
+		coschedReshares: reg.Counter("apstdv_cosched_reshares_total",
+			"Share revisions performed by the co-scheduler."),
+		shareErrors: reg.Counter("apstdv_share_errors_total",
+			"Share-accounting violations surfaced as typed errors (double release, oversubscription)."),
 	}
 	d.transportMetrics = obs.NewTransportMetrics(reg, "server")
 	d.clientTransportMetrics = obs.NewTransportMetrics(reg, "client")
@@ -263,10 +297,18 @@ func New(cfg Config) (*Daemon, error) {
 		if d.effCap == 0 {
 			d.effCap = 1
 		}
-		if d.effCap > len(cfg.LiveWorkers) {
+		// The worker-count clamp is a partition invariant (every job
+		// leases at least one whole worker); fair/srpt time-share, so
+		// more jobs than workers is legitimate.
+		if d.coschedFn == nil && d.effCap > len(cfg.LiveWorkers) {
 			d.effCap = len(cfg.LiveWorkers)
 		}
-		d.leases = live.NewLeasePool(len(cfg.LiveWorkers))
+		d.shares = live.NewSharePool(len(cfg.LiveWorkers))
+		for i := range cfg.LiveWorkers {
+			d.workerShareG = append(d.workerShareG, reg.Gauge(
+				fmt.Sprintf("apstdv_worker_share_w%d", i),
+				fmt.Sprintf("Allocated CPU fraction of live worker %d across running jobs.", i)))
+		}
 	}
 	d.runFn = d.execute
 	return d, nil
@@ -562,14 +604,24 @@ func (d *Daemon) execute(ctx context.Context, p *pendingJob) (*trace.Trace, erro
 		return engine.Execute(ctx, req)
 	case ModeLive:
 		// The job runs on its leased workers only — that is the
-		// isolation leasing buys. (No recorded lease means the lease
-		// pool is disabled, so use the whole pool.)
+		// isolation leasing buys. (No recorded lease means the share
+		// pool is disabled, so use the whole pool.) Under fair/srpt the
+		// lease covers every worker and the fractions say how much.
 		conns := d.cfg.LiveWorkers
 		if leased := p.job.Leased; len(leased) > 0 {
 			conns = make([]live.WorkerConn, 0, len(leased))
 			for _, w := range leased {
 				conns = append(conns, d.cfg.LiveWorkers[w])
 			}
+		}
+		if d.shares != nil {
+			// Snapshot the job's fractions for deadline scaling. The
+			// dialed connections are fixed for the run, so a later
+			// revision only changes rates, not membership; shares can
+			// only grow as peers finish (deadlines stay conservative),
+			// and an arrival-shrink is absorbed by the retry layer's
+			// deadline slack.
+			req.Config.WorkerShares = sharesFor(d.shares.Shares(p.job.ID), p.job.Leased)
 		}
 		backend, err := live.Dial(conns, live.Config{Metrics: d.clientTransportMetrics})
 		if err != nil {
@@ -673,13 +725,20 @@ func (d *Daemon) Algorithms(args AlgorithmsArgs, reply *AlgorithmsReply) error {
 // ListJobsArgs is empty.
 type ListJobsArgs struct{}
 
-// ListJobsReply carries all job summaries.
-type ListJobsReply struct{ Jobs []Job }
+// ListJobsReply carries all job summaries plus the daemon's active
+// co-scheduling policy.
+type ListJobsReply struct {
+	Jobs []Job
+	// Policy is the normalized co-scheduling policy name (partition,
+	// fair or srpt).
+	Policy string
+}
 
 // ListJobs returns all job summaries in ascending ID order.
 func (d *Daemon) ListJobs(args ListJobsArgs, reply *ListJobsReply) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	reply.Policy = d.cosched
 	for id := 1; id <= d.nextID; id++ {
 		if j, ok := d.jobs[id]; ok {
 			cp := *j

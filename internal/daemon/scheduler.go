@@ -190,19 +190,7 @@ func (d *Daemon) startLocked(p *pendingJob) {
 	d.running++
 	d.jobsRunning.Inc()
 	ls := d.tracer.Begin(p.traceID, p.submitSpan, "job.lease")
-	if d.leases != nil {
-		// Each admitted job gets free/slotsRemaining workers (integer,
-		// at least 1): with cap C ≤ pool size, the pool always has at
-		// least one free worker per unfilled slot, so every job that a
-		// slot admits can lease, and lease sets are disjoint.
-		slots := d.effCap - (d.running - 1)
-		share := d.leases.Free() / slots
-		if share < 1 {
-			share = 1
-		}
-		job.Leased = d.leases.Acquire(share)
-		d.workersLeased.Set(float64(d.leases.Size() - d.leases.Free()))
-	}
+	d.allocSharesLocked(p)
 	ls.End(nil)
 	wait := job.Started.Sub(job.Submitted).Seconds()
 	d.waitSeconds[job.Priority].Observe(wait)
@@ -228,11 +216,6 @@ func (d *Daemon) runJob(p *pendingJob) {
 	job.Finished = time.Now()
 	d.running--
 	d.jobsRunning.Dec()
-	if d.leases != nil && len(job.Leased) > 0 {
-		d.leases.Release(job.Leased)
-		d.workersLeased.Set(float64(d.leases.Size() - d.leases.Free()))
-		job.Leased = nil
-	}
 	delete(d.pending, job.ID)
 	d.runSeconds[job.Priority].Observe(job.Finished.Sub(job.Started).Seconds())
 	switch {
@@ -259,6 +242,10 @@ func (d *Daemon) runJob(p *pendingJob) {
 		job.Code = errcode.Code(err)
 		d.jobsFailed.Inc()
 	}
+	// Release after the job left d.pending so the reshare it triggers
+	// redistributes only among the survivors, and before scheduleLocked
+	// so the next admission sees the freed capacity.
+	d.releaseSharesLocked(p)
 	d.retireLocked(job)
 	d.scheduleLocked()
 	d.notifyIfIdleLocked()

@@ -238,7 +238,7 @@ func (r *ListJobsReply) AppendWire(b []byte) []byte {
 	for i := range r.Jobs {
 		b = appendJob(b, &r.Jobs[i])
 	}
-	return b
+	return transport.AppendString(b, r.Policy)
 }
 
 // DecodeWire implements transport.Decoder.
@@ -251,6 +251,7 @@ func (r *ListJobsReply) DecodeWire(d *transport.Dec) {
 	for i := range r.Jobs {
 		decodeJob(d, &r.Jobs[i])
 	}
+	r.Policy = d.String()
 }
 
 // AppendWire implements transport.Appender.
@@ -306,7 +307,12 @@ func appendJob(b []byte, j *Job) []byte {
 	for _, w := range j.Leased {
 		b = transport.AppendVarint(b, int64(w))
 	}
-	return transport.AppendUvarint(b, j.TraceID)
+	b = transport.AppendUvarint(b, j.TraceID)
+	b = transport.AppendUvarint(b, uint64(len(j.Shares)))
+	for _, s := range j.Shares {
+		b = transport.AppendF64(b, s)
+	}
+	return b
 }
 
 func decodeJob(d *transport.Dec, j *Job) {
@@ -333,6 +339,16 @@ func decodeJob(d *transport.Dec, j *Job) {
 		}
 	}
 	j.TraceID = d.Uvarint()
+	n = int(d.Uvarint())
+	if d.Err() != nil || n > d.Len() {
+		return
+	}
+	if n > 0 {
+		j.Shares = make([]float64, n)
+		for i := range j.Shares {
+			j.Shares[i] = d.F64()
+		}
+	}
 }
 
 // The Event codec writes a presence bitmap then only the non-zero

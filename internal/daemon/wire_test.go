@@ -32,9 +32,12 @@ func fillNonZero(t *testing.T, v reflect.Value, salt int) {
 		case reflect.Bool:
 			f.SetBool(true)
 		case reflect.Slice:
-			if f.Type().Elem().Kind() == reflect.Int {
+			switch f.Type().Elem().Kind() {
+			case reflect.Int:
 				f.Set(reflect.ValueOf([]int{salt, salt + 1}))
-			} else {
+			case reflect.Float64:
+				f.Set(reflect.ValueOf([]float64{float64(salt) + 0.5, 0.25}))
+			default:
 				t.Fatalf("field %s: teach fillNonZero about %v slices",
 					v.Type().Field(i).Name, f.Type().Elem())
 			}

@@ -164,6 +164,15 @@ type Config struct {
 	TraceID     otrace.TraceID
 	TraceParent otrace.SpanID
 	TraceAnchor int64
+	// WorkerShares declares the CPU fraction this job holds on each
+	// worker under co-scheduling (one entry per backend worker, each in
+	// (0, 1]). The engine does not change how it schedules — the backend
+	// already realizes the slowdown — but stage deadlines and retry
+	// budgets are derived from share-scaled cost estimates, so a worker
+	// legitimately running at half speed is not misread as faulty. nil
+	// (or an all-ones vector) leaves every estimate untouched and the
+	// scheduling path byte-identical to a dedicated run.
+	WorkerShares []float64
 }
 
 // Request bundles one execution's inputs — the redesigned public entry
@@ -216,6 +225,16 @@ func Execute(ctx context.Context, req Request) (*trace.Trace, error) {
 	}
 	if b.Workers() == 0 {
 		return nil, errors.New("engine: backend has no workers")
+	}
+	if cfg.WorkerShares != nil {
+		if len(cfg.WorkerShares) != b.Workers() {
+			return nil, fmt.Errorf("engine: %d worker shares for %d workers", len(cfg.WorkerShares), b.Workers())
+		}
+		for w, s := range cfg.WorkerShares {
+			if s <= 0 || s > 1 {
+				return nil, fmt.Errorf("engine: share %g for worker %d outside (0, 1]", s, w)
+			}
+		}
 	}
 	if ctx.Err() != nil {
 		return nil, context.Cause(ctx)
@@ -655,6 +674,31 @@ func (e *execution) plan(ests []model.Estimate) {
 		// safety net, not scheduling input, so take them from the
 		// declared platform model — the algorithm stays blind.
 		e.dests = model.TrueEstimates(e.app, e.platform)
+	}
+	if shares := e.cfg.WorkerShares; len(shares) == len(e.dests) {
+		// Co-scheduled jobs run each worker at a fraction of its speed
+		// and the master link at a fraction of its bandwidth. Deadlines
+		// derived from dedicated-rate estimates would misread that
+		// slowdown as failure, so scale the per-unit costs by 1/share.
+		// e.dests aliases the slice the algorithm plans over — copy
+		// before scaling so scheduling input stays share-blind.
+		scaled := false
+		for _, s := range shares {
+			if s > 0 && s < 1 {
+				scaled = true
+				break
+			}
+		}
+		if scaled {
+			d := append([]model.Estimate(nil), e.dests...)
+			for w := range d {
+				if s := shares[w]; s > 0 && s < 1 {
+					d[w].UnitComp /= s
+					d[w].UnitComm /= s
+				}
+			}
+			e.dests = d
+		}
 	}
 	minChunk := float64(e.app.MinChunk)
 	err := e.alg.Plan(dls.Plan{TotalLoad: e.total, MinChunk: minChunk, Workers: ests})

@@ -1,0 +1,60 @@
+package experiment
+
+import "testing"
+
+// TestMultiJobSweepWorkConservingWins pins the sweep's headline claim:
+// at every concurrency level the work-conserving policies beat strict
+// partitioning on aggregate makespan, and every cell's fairness index
+// is well-formed.
+func TestMultiJobSweepWorkConservingWins(t *testing.T) {
+	s := DefaultMultiJobSweep()
+	s.JobCounts = []int{2, 3} // trim the sweep to keep the test quick
+	cells, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := map[int]float64{}
+	for _, c := range cells {
+		if c.Policy == "partition" {
+			part[c.Jobs] = c.Aggregate
+			if c.Reshares != 0 {
+				t.Errorf("partition at %d jobs performed %d reshares, want 0", c.Jobs, c.Reshares)
+			}
+		}
+	}
+	for _, c := range cells {
+		if c.Jain <= 0 || c.Jain > 1+1e-9 {
+			t.Errorf("%s at %d jobs: Jain index %g outside (0,1]", c.Policy, c.Jobs, c.Jain)
+		}
+		if len(c.Slowdowns) != c.Jobs {
+			t.Errorf("%s at %d jobs: %d slowdowns", c.Policy, c.Jobs, len(c.Slowdowns))
+		}
+		for i, sd := range c.Slowdowns {
+			if sd < 1 {
+				t.Errorf("%s at %d jobs: job %d slowdown %g below 1 (faster than solo)", c.Policy, c.Jobs, i, sd)
+			}
+		}
+		if c.Policy == "partition" {
+			continue
+		}
+		if c.Aggregate >= part[c.Jobs] {
+			t.Errorf("%s at %d jobs: aggregate %.0f not below partition %.0f",
+				c.Policy, c.Jobs, c.Aggregate, part[c.Jobs])
+		}
+		if c.Reshares < c.Jobs {
+			t.Errorf("%s at %d jobs: only %d reshares", c.Policy, c.Jobs, c.Reshares)
+		}
+	}
+
+	// The sweep is deterministic: a second run is identical.
+	again, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i].Aggregate != again[i].Aggregate {
+			t.Fatalf("non-deterministic sweep: cell %d aggregate %g vs %g",
+				i, cells[i].Aggregate, again[i].Aggregate)
+		}
+	}
+}

@@ -44,6 +44,18 @@ type Config struct {
 	// Faults injects deterministic worker failures (see FaultPlan). nil
 	// disables injection with zero overhead and no rng consumption.
 	Faults *FaultPlan
+	// Shares models concurrent occupancy of the workers: entry w is the
+	// fraction of worker w's CPU this job actually gets, in (0, 1].
+	// Compute times stretch by 1/share — a worker at share 0.5 runs this
+	// job's chunks at half its nominal Speed. nil means dedicated
+	// workers; the scheduling path is then byte-identical to a backend
+	// that predates shares (not a single extra float op).
+	Shares []float64
+	// UplinkShare models concurrent occupancy of the master's serialized
+	// uplink: the fraction of its bandwidth this job gets, in (0, 1].
+	// Transfer (and output-return) bandwidth scales by it; the per-link
+	// access latency does not. 0 means dedicated (1.0).
+	UplinkShare float64
 }
 
 // Backend simulates a Platform executing an Application.
@@ -80,6 +92,19 @@ func New(p *model.Platform, a *model.Application, cfg Config) (*Backend, error) 
 	}
 	if cfg.ProbeBias < 0 {
 		return nil, fmt.Errorf("grid: negative probe bias %g", cfg.ProbeBias)
+	}
+	if cfg.Shares != nil {
+		if len(cfg.Shares) != len(p.Workers) {
+			return nil, fmt.Errorf("grid: %d shares for %d workers", len(cfg.Shares), len(p.Workers))
+		}
+		for w, s := range cfg.Shares {
+			if s <= 0 || s > 1 {
+				return nil, fmt.Errorf("grid: share %g for worker %d outside (0, 1]", s, w)
+			}
+		}
+	}
+	if cfg.UplinkShare < 0 || cfg.UplinkShare > 1 {
+		return nil, fmt.Errorf("grid: uplink share %g outside (0, 1]", cfg.UplinkShare)
 	}
 	eng := sim.New()
 	b := &Backend{
@@ -142,7 +167,11 @@ func (b *Backend) CancelTimer(id uint64) {
 // at the crash instant when it dies mid-transfer.
 func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, err error)) {
 	wk := b.platform.Workers[w]
-	d := float64(wk.CommLatency) + bytes/float64(wk.Bandwidth)
+	bw := float64(wk.Bandwidth)
+	if b.cfg.UplinkShare > 0 {
+		bw *= b.cfg.UplinkShare
+	}
+	d := float64(wk.CommLatency) + bytes/bw
 	if b.cfg.CommJitter > 0 {
 		d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
 	}
@@ -180,6 +209,9 @@ func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end 
 	var opErr error
 	b.compute[w].Enqueue(func(start units.Seconds) units.Seconds {
 		base := size * float64(b.app.UnitCost) / wk.Speed
+		if b.cfg.Shares != nil {
+			base /= b.cfg.Shares[w]
+		}
 		if probe {
 			base *= b.cfg.ProbeBias
 		} else {
@@ -243,7 +275,11 @@ func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float6
 	wk := b.platform.Workers[w]
 	var opErr error
 	b.downlink.Enqueue(func(start units.Seconds) units.Seconds {
-		d := float64(wk.CommLatency) + bytes/float64(wk.Bandwidth)
+		bw := float64(wk.Bandwidth)
+		if b.cfg.UplinkShare > 0 {
+			bw *= b.cfg.UplinkShare
+		}
+		d := float64(wk.CommLatency) + bytes/bw
 		if b.cfg.CommJitter > 0 {
 			d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
 		}

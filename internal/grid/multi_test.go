@@ -1,0 +1,205 @@
+package grid
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/model"
+	"apstdv/internal/units"
+	"apstdv/internal/workload"
+)
+
+func mjApp(load units.Load) *model.Application {
+	return &model.Application{
+		Name:         "multijob",
+		TotalLoad:    load,
+		BytesPerUnit: 1000,
+		UnitCost:     0.402,
+		MinChunk:     10,
+	}
+}
+
+// runMultiWorld drives a world's jobs per the package protocol:
+// sequential launches, each waiting for the previous execution to enter
+// Run, with the last launched goroutine draining the shared heap.
+// Returns per-job makespans measured from each job's arrival.
+func runMultiWorld(t *testing.T, w *MultiWorld, views []*JobView, apps []*model.Application) []float64 {
+	t.Helper()
+	errs := make([]error, len(views))
+	var wg sync.WaitGroup
+	for i, v := range views {
+		wg.Add(1)
+		go func(i int, v *JobView) {
+			defer wg.Done()
+			_, err := engine.Execute(context.Background(), engine.Request{
+				Backend: v, Algorithm: dls.NewRUMR(), App: apps[i],
+			})
+			errs[i] = err
+		}(i, v)
+		select {
+		case <-v.Entered():
+		case <-time.After(30 * time.Second):
+			w.Abort()
+			t.Fatalf("job %d never entered Run", i)
+		}
+	}
+	wg.Wait()
+	makespans := make([]float64, len(views))
+	for i, v := range views {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		makespans[i] = w.FinishedAt(i) - v.Arrival()
+		if makespans[i] <= 0 {
+			t.Fatalf("job %d makespan %g, want > 0", i, makespans[i])
+		}
+	}
+	return makespans
+}
+
+// TestMultiWorldSingleJobMatchesBackend pins the zero-contention
+// baseline: one job alone in a MultiWorld completes in the same time as
+// the same job on the single-job Backend — the shared queues and share
+// machinery cost nothing when nobody shares.
+func TestMultiWorldSingleJobMatchesBackend(t *testing.T) {
+	app := mjApp(20000)
+	platform := workload.DAS2(4)
+
+	solo, err := New(platform, app, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := engine.Run(solo, dls.NewRUMR(), app, platform, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Makespan()
+
+	w, err := NewMultiWorld(platform, FairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.AddJob(app, []int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runMultiWorld(t, w, []*JobView{v}, []*model.Application{app})[0]
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("multi-world solo makespan %.6f, single-job backend %.6f", got, want)
+	}
+}
+
+// TestMultiWorldFairAndSRPTBeatPartition pins the headline co-scheduling
+// result: with heterogeneous loads, strict partitioning strands the
+// short job's workers idle after it finishes, while work-conserving
+// policies hand them to the survivor — lower aggregate makespan.
+func TestMultiWorldFairAndSRPTBeatPartition(t *testing.T) {
+	platform := workload.DAS2(8)
+	apps := []*model.Application{mjApp(40000), mjApp(8000)}
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	aggregate := func(policy SharePolicy, subsets [][]int) float64 {
+		w, err := NewMultiWorld(platform, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var views []*JobView
+		for i, app := range apps {
+			v, err := w.AddJob(app, subsets[i], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			views = append(views, v)
+		}
+		runMultiWorld(t, w, views, apps)
+		agg := 0.0
+		for i := range views {
+			if m := w.FinishedAt(i); m > agg {
+				agg = m
+			}
+		}
+		return agg
+	}
+
+	partition := aggregate(nil, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	fair := aggregate(FairPolicy(), [][]int{all, all})
+	srpt := aggregate(SRPTPolicy(), [][]int{all, all})
+	t.Logf("aggregate makespan: partition %.0fs, fair %.0fs, srpt %.0fs", partition, fair, srpt)
+	if fair >= partition {
+		t.Errorf("fair aggregate %.1f not below partition %.1f", fair, partition)
+	}
+	if srpt >= partition {
+		t.Errorf("srpt aggregate %.1f not below partition %.1f", srpt, partition)
+	}
+}
+
+// TestMultiWorldReshareOnCompletion pins the work-conserving hook: the
+// policy runs at each arrival and at the short job's completion, and
+// the short job finishes first.
+func TestMultiWorldReshareOnCompletion(t *testing.T) {
+	platform := workload.DAS2(4)
+	apps := []*model.Application{mjApp(30000), mjApp(5000)}
+	all := []int{0, 1, 2, 3}
+
+	w, err := NewMultiWorld(platform, FairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var views []*JobView
+	for _, app := range apps {
+		v, err := w.AddJob(app, all, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	runMultiWorld(t, w, views, apps)
+	// Two activations plus the first completion revise shares; the last
+	// job's completion leaves nobody to revise for.
+	if got := w.Reshares(); got < 3 {
+		t.Fatalf("reshares = %d, want >= 3", got)
+	}
+	if w.FinishedAt(1) >= w.FinishedAt(0) {
+		t.Fatalf("short job finished at %.1f, after long job's %.1f",
+			w.FinishedAt(1), w.FinishedAt(0))
+	}
+}
+
+// TestMultiWorldDeterministicAndStaggered pins determinism (two
+// identical worlds produce bit-identical finish times) with a staggered
+// arrival in the mix.
+func TestMultiWorldDeterministicAndStaggered(t *testing.T) {
+	platform := workload.DAS2(4)
+	apps := []*model.Application{mjApp(20000), mjApp(6000)}
+	all := []int{0, 1, 2, 3}
+	const arrival = 500.0
+
+	run := func() [2]float64 {
+		w, err := NewMultiWorld(platform, SRPTPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v0, err := w.AddJob(apps[0], all, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := w.AddJob(apps[1], all, arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runMultiWorld(t, w, []*JobView{v0, v1}, apps)
+		return [2]float64{w.FinishedAt(0), w.FinishedAt(1)}
+	}
+
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic finish times: %v vs %v", a, b)
+	}
+	if a[1] <= arrival {
+		t.Fatalf("staggered job finished at %.1f, before its own arrival %g", a[1], arrival)
+	}
+}

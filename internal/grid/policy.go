@@ -1,0 +1,82 @@
+package grid
+
+// Share policies for multi-job co-scheduling. They are pure share
+// arithmetic over MultiJobStatus, shared between the simulated world
+// (MultiWorld) and the live daemon's co-scheduler, which builds the
+// same statuses from its running jobs and installs the vectors in a
+// live.SharePool. Each policy is work-conserving within subsets: a
+// worker's share mass is split only among the active jobs entitled to
+// it, and a job's departure hands its mass back to the survivors at the
+// next revision.
+
+// srptShareFloor is the minimum share an active job keeps on each of
+// its workers under SRPT weighting. Pure SRPT drives the longest job's
+// share toward zero — starvation, and in the live daemon a deadline
+// stretch the retry layer would have to absorb; the floor bounds both.
+const srptShareFloor = 0.05
+
+// FairPolicy splits every worker evenly among the active jobs entitled
+// to it: processor-sharing across jobs, the natural fairness baseline.
+func FairPolicy() SharePolicy {
+	return func(active []MultiJobStatus, workers int) map[int][]float64 {
+		counts := make([]int, workers)
+		for _, j := range active {
+			for _, w := range j.Workers {
+				counts[w]++
+			}
+		}
+		out := make(map[int][]float64, len(active))
+		for _, j := range active {
+			vec := make([]float64, workers)
+			for _, w := range j.Workers {
+				vec[w] = 1 / float64(counts[w])
+			}
+			out[j.Job] = vec
+		}
+		return out
+	}
+}
+
+// SRPTPolicy weights each worker's split by the active jobs' inverse
+// remaining load — shortest-remaining gets the largest share, finishing
+// sooner and returning its whole share to the longer jobs — with a
+// per-job floor so nothing starves. With equal remaining loads it
+// degenerates to FairPolicy.
+func SRPTPolicy() SharePolicy {
+	return func(active []MultiJobStatus, workers int) map[int][]float64 {
+		const epsLoad = 1e-9
+		weight := make(map[int]float64, len(active))
+		for _, j := range active {
+			r := j.Remaining
+			if r < epsLoad {
+				r = epsLoad
+			}
+			weight[j.Job] = 1 / r
+		}
+		sum := make([]float64, workers)
+		counts := make([]int, workers)
+		for _, j := range active {
+			for _, w := range j.Workers {
+				sum[w] += weight[j.Job]
+				counts[w]++
+			}
+		}
+		out := make(map[int][]float64, len(active))
+		for _, j := range active {
+			vec := make([]float64, workers)
+			for _, w := range j.Workers {
+				// Blend the weighted split with a uniform floor: each of
+				// the k entitled jobs keeps at least `floor`, and the
+				// rest of the worker follows the SRPT weights. Shares
+				// sum to exactly 1 per worker either way.
+				floor := srptShareFloor
+				if k := counts[w]; floor > 1/float64(k) {
+					floor = 1 / float64(k)
+				}
+				vec[w] = floor + (1-floor*float64(counts[w]))*weight[j.Job]/sum[w]
+			}
+			out[j.Job] = vec
+		}
+		return out
+	}
+}

@@ -4,7 +4,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"apstdv/internal/errcode"
 )
+
+// ErrLeaseNotHeld reports a Release of a worker that is not leased — a
+// double release or a bad index. Lease accounting is a correctness
+// invariant, but a violation must not crash a daemon mid-drain, so it
+// surfaces as a typed error (errcode sentinel) the caller can record.
+var ErrLeaseNotHeld = errcode.New("lease_not_held", "live: release of unleased worker")
 
 // LeasePool tracks which workers of a fixed pool are leased out. The
 // daemon's job scheduler acquires a disjoint set of workers for each
@@ -61,18 +69,25 @@ func (p *LeasePool) Acquire(max int) []int {
 }
 
 // Release returns leased workers to the pool. Releasing a worker that
-// is not leased (double release, bad index) panics — lease accounting
-// is a correctness invariant, not a best-effort hint.
-func (p *LeasePool) Release(workers []int) {
+// is not leased (double release, bad index) returns ErrLeaseNotHeld;
+// the workers that were validly leased are still released, so a buggy
+// caller leaks nothing. This used to panic — a daemon bug mid-drain
+// would take the whole process down with it.
+func (p *LeasePool) Release(workers []int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var err error
 	for _, w := range workers {
 		if w < 0 || w >= len(p.leased) || !p.leased[w] {
-			panic(fmt.Sprintf("live: release of unleased worker %d", w))
+			if err == nil {
+				err = fmt.Errorf("live: release of unleased worker %d: %w", w, ErrLeaseNotHeld)
+			}
+			continue
 		}
 		p.leased[w] = false
 		p.free++
 	}
+	return err
 }
 
 // Leased returns the currently leased worker indexes, ascending — an

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"apstdv/internal/errcode"
 )
 
 func TestLeasePoolAcquireLowestFree(t *testing.T) {
@@ -44,16 +46,38 @@ func TestLeasePoolDisjointGrants(t *testing.T) {
 	}
 }
 
-func TestLeasePoolDoubleReleasePanics(t *testing.T) {
+// TestLeasePoolDoubleReleaseTypedError pins the double-release
+// contract: a typed, errcode-carrying error — never a panic — and the
+// pool's accounting stays consistent (valid releases in the same batch
+// still land).
+func TestLeasePoolDoubleReleaseTypedError(t *testing.T) {
 	p := NewLeasePool(2)
 	got := p.Acquire(1)
-	p.Release(got)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double release did not panic")
-		}
-	}()
-	p.Release(got)
+	if err := p.Release(got); err != nil {
+		t.Fatalf("first release: %v", err)
+	}
+	err := p.Release(got)
+	if !errors.Is(err, ErrLeaseNotHeld) {
+		t.Fatalf("double release err = %v, want ErrLeaseNotHeld", err)
+	}
+	if errcode.Code(err) != "lease_not_held" {
+		t.Fatalf("double release code = %q, want lease_not_held", errcode.Code(err))
+	}
+	if p.Free() != 2 {
+		t.Fatalf("free after double release = %d, want 2", p.Free())
+	}
+	// A batch mixing a stale index with a valid one releases the valid
+	// worker and still reports the violation.
+	both := p.Acquire(2)
+	if err := p.Release([]int{both[0]}); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := p.Release(both); !errors.Is(err, ErrLeaseNotHeld) {
+		t.Fatalf("mixed release err = %v, want ErrLeaseNotHeld", err)
+	}
+	if p.Free() != 2 {
+		t.Fatalf("free after mixed release = %d, want 2", p.Free())
+	}
 }
 
 func TestLeasePoolLeasedSnapshot(t *testing.T) {

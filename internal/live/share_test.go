@@ -1,0 +1,164 @@
+package live
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSharePoolSetReleaseAccounting(t *testing.T) {
+	p := NewSharePool(4)
+	if err := p.Set(1, []float64{1, 1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set(2, []float64{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.FreeWorkers(); got != 0 {
+		t.Fatalf("free workers = %d, want 0", got)
+	}
+	// Revision: both jobs move to half shares everywhere. The mass
+	// crosses between workers, so it must commit as one atomic
+	// transition — sequential Sets would transiently oversubscribe.
+	half := []float64{0.5, 0.5, 0.5, 0.5}
+	if err := p.Set(1, half); !errors.Is(err, ErrShareOversubscribed) {
+		t.Fatalf("sequential crossing revision err = %v, want ErrShareOversubscribed", err)
+	}
+	if err := p.SetAll(map[int][]float64{1: half, 2: half}); err != nil {
+		t.Fatal(err)
+	}
+	for w, tot := range p.Occupancy() {
+		if tot < 1-1e-9 || tot > 1+1e-9 {
+			t.Fatalf("worker %d occupancy = %g, want 1.0", w, tot)
+		}
+	}
+	if err := p.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Shares(1); got != nil {
+		t.Fatalf("released job still holds %v", got)
+	}
+	if got := p.Shares(2); len(got) != 4 || got[0] != 0.5 {
+		t.Fatalf("survivor shares = %v, want [0.5 0.5 0.5 0.5]", got)
+	}
+}
+
+func TestSharePoolOversubscriptionTypedError(t *testing.T) {
+	p := NewSharePool(2)
+	if err := p.Set(1, []float64{0.7, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Set(2, []float64{0.4, 0.1})
+	if !errors.Is(err, ErrShareOversubscribed) {
+		t.Fatalf("oversubscription err = %v, want ErrShareOversubscribed", err)
+	}
+	// The rejected revision must not have moved any accounting.
+	if got := p.Occupancy(); got[0] != 0.7 || got[1] != 0.2 {
+		t.Fatalf("occupancy after rejected set = %v, want [0.7 0.2]", got)
+	}
+	if got := p.Shares(2); got != nil {
+		t.Fatalf("rejected job holds %v, want nothing", got)
+	}
+	// A revision of an existing holder is judged against its own old
+	// vector, so a job may move its full share between workers.
+	if err := p.Set(1, []float64{0.2, 0.7}); err != nil {
+		t.Fatalf("self-revision rejected: %v", err)
+	}
+}
+
+func TestSharePoolDoubleReleaseTypedError(t *testing.T) {
+	p := NewSharePool(2)
+	if err := p.Set(7, []float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(7); !errors.Is(err, ErrShareNotHeld) {
+		t.Fatalf("double release err = %v, want ErrShareNotHeld", err)
+	}
+}
+
+// TestSharePoolConcurrentRevision races acquire/revise/release across
+// jobs under the race detector and asserts the invariant the pool
+// exists to enforce: at every observation point, no worker's shares
+// sum above 1.0.
+func TestSharePoolConcurrentRevision(t *testing.T) {
+	const (
+		workers = 5
+		jobs    = 8
+		rounds  = 200
+	)
+	p := NewSharePool(workers)
+	var jobWG, obsWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Observer: the invariant must hold at arbitrary interleavings, not
+	// just at quiescence.
+	obsWG.Add(1)
+	go func() {
+		defer obsWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for w, tot := range p.Occupancy() {
+				if tot > 1+1e-6 {
+					t.Errorf("worker %d oversubscribed at %.6f", w, tot)
+					return
+				}
+			}
+		}
+	}()
+	for j := 0; j < jobs; j++ {
+		jobWG.Add(1)
+		go func(id int) {
+			defer jobWG.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			held := false
+			for r := 0; r < rounds; r++ {
+				vec := make([]float64, workers)
+				for w := range vec {
+					vec[w] = rng.Float64() / jobs // sums stay ≤ 1 across jobs
+				}
+				switch {
+				case !held:
+					if err := p.Set(id, vec); err != nil {
+						t.Errorf("job %d set: %v", id, err)
+						return
+					}
+					held = true
+				case rng.Intn(3) == 0:
+					if err := p.Release(id); err != nil {
+						t.Errorf("job %d release: %v", id, err)
+						return
+					}
+					held = false
+				default:
+					if err := p.Set(id, vec); err != nil {
+						t.Errorf("job %d revise: %v", id, err)
+						return
+					}
+				}
+			}
+			if held {
+				if err := p.Release(id); err != nil {
+					t.Errorf("job %d final release: %v", id, err)
+				}
+			}
+		}(j)
+	}
+	jobWG.Wait()
+	close(stop)
+	obsWG.Wait()
+	if got := p.Holders(); got != 0 {
+		t.Fatalf("holders after drain = %d, want 0", got)
+	}
+	for w, tot := range p.Occupancy() {
+		if tot > 1e-6 {
+			t.Fatalf("worker %d occupancy after drain = %g, want 0", w, tot)
+		}
+	}
+}

@@ -80,6 +80,12 @@ const (
 	JobCancelled EventType = "job_cancelled"
 	// JobRejected: terminal — the admission queue was full.
 	JobRejected EventType = "job_rejected"
+	// JobReshared: the co-scheduler revised the job's worker shares (a
+	// peer arrived or finished). Workers carries the job's worker count
+	// and Size the sum of its new share vector — its effective worker
+	// count under contention. No new Event fields: reusing existing ones
+	// keeps the wire codec's field bitmap unchanged.
+	JobReshared EventType = "job_reshared"
 )
 
 // Event is one structured scheduler event. The field set is the union

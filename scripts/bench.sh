@@ -195,4 +195,20 @@ if [ -n "$prev_sr" ] && [ -n "$sr" ]; then
         "$(awk -v a="$sr" -v b="$prev_sr" 'BEGIN { printf "%.2f", a - b }')" >> "$out"
 fi
 printf '}\n' >> "$out"
+
+# Multi-job co-scheduling sweep: aggregate makespan, per-job slowdown,
+# and Jain fairness per (jobs, policy) cell from the deterministic
+# shared-world simulation; every non-partition cell carries its
+# aggregate-makespan delta vs the partition baseline (vs_partition_pct,
+# negative = faster). Spliced into the snapshot as a "multijob" object.
+echo "multi-job co-scheduling sweep (partition vs fair vs srpt)..."
+multijob=$(go run ./cmd/loadgen -multijob -json)
+
+sed -i '$d' "$out"          # drop the closing brace
+sed -i '$ s/$/,/' "$out"    # terminate what is now the last member
+{
+    printf '  "multijob": '
+    printf '%s\n' "$multijob" | sed '1!s/^/  /'
+} >> "$out"
+printf '}\n' >> "$out"
 echo "wrote $out"
