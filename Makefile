@@ -87,9 +87,20 @@ fuzz-smoke:
 # per pass, which the minimum discards (the same min-of-passes
 # estimator scripts/bench.sh uses for ns/op); TestTraceDisabledAllocFree
 # pins the structural claim that the disabled path allocates nothing.
+#
+# Two further gates guard the runner-scaling work:
+#   - TestObsEmitPathAllocFree asserts the daemon's always-on obs
+#     configuration adds ZERO allocations to a warm run — an exact
+#     count, immune to the timing noise that made the BENCH_6→BENCH_7
+#     overhead percentages look like a regression when they were not.
+#   - The width-4 runner speedup must reach 1.5× on a box with ≥4
+#     cores (skipped below that: widths beyond GOMAXPROCS exercise the
+#     concurrent path but cannot speed it up).
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^(BenchmarkSimEngineEvents|BenchmarkObsOverhead(Paired)?|BenchmarkFaultPathOverhead(Paired)?|BenchmarkTraceOverheadPaired)$$' \
 		-benchtime 100x .
+	@echo "bench-smoke: asserting the obs emit path allocates nothing"
+	$(GO) test -run '^TestObsEmitPathAllocFree$$' .
 	@echo "bench-smoke: asserting disabled-tracing overhead <= 1%"
 	@best=$$( for i in 1 2 3; do \
 		$(GO) test -run '^$$' -bench '^BenchmarkTraceOverheadPaired/disabled$$' -benchtime 100x . || exit 1; \
@@ -98,6 +109,18 @@ bench-smoke:
 	echo "bench-smoke: trace-disabled-overhead-pct best-of-3 = $$best"; \
 	awk -v b="$$best" 'BEGIN { exit !(b + 0 <= 1.0) }' || \
 		{ echo "bench-smoke: disabled-tracing overhead $$best% exceeds the 1% budget" >&2; exit 1; }
+	@procs=$${GOMAXPROCS:-$$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}; \
+	if [ "$$procs" -lt 4 ]; then \
+		echo "bench-smoke: $$procs core(s) < 4; skipping width-4 speedup gate"; \
+	else \
+		echo "bench-smoke: asserting width-4 runner speedup >= 1.5x"; \
+		$(GO) test -run '^$$' -bench '^BenchmarkRunnerParallelism/width=(1|4)$$' -benchtime 3x . | \
+		awk '/^BenchmarkRunnerParallelism\/width=1-/ { s = $$3 } \
+		     /^BenchmarkRunnerParallelism\/width=4-/ { p = $$3 } \
+		     END { if (!s || !p) { print "bench-smoke: missing runner rows" > "/dev/stderr"; exit 1 } \
+		           v = s / p; printf "bench-smoke: width-4 speedup = %.2fx\n", v; exit !(v >= 1.5) }' || \
+		{ echo "bench-smoke: width-4 runner speedup below the 1.5x budget" >&2; exit 1; }; \
+	fi
 
 # lint runs go vet always, and staticcheck when a binary is available
 # (PATH or GOPATH/bin). It never downloads anything: offline

@@ -175,7 +175,18 @@ func (d *Daemon) reshareLocked(trigger *pendingJob) {
 			Job: id, Remaining: p.divider.TotalLoad(), Workers: p.job.Leased,
 		})
 	}
-	vecs := d.coschedFn(act, n)
+	// The policy writes into rows parallel to act; SetAll copies the
+	// vectors it installs, so the rows are ours to build fresh here —
+	// revisions are rare daemon-side (job start/finish), a cold path.
+	rows := make([][]float64, len(act))
+	for i := range rows {
+		rows[i] = make([]float64, n)
+	}
+	d.coschedFn(act, n, rows)
+	vecs := make(map[int][]float64, len(ids))
+	for i, id := range ids {
+		vecs[id] = rows[i]
+	}
 	if err := d.shares.SetAll(vecs); err != nil {
 		d.shareErrors.Inc()
 		return

@@ -177,8 +177,18 @@ type SwitchObservable interface {
 // algorithms that search over plan parameters (UMR's number of rounds)
 // can compare candidates faithfully.
 func predictMakespan(ests []model.Estimate, seq []Decision) float64 {
+	return predictMakespanInto(ests, seq, make([]float64, len(ests)))
+}
+
+// predictMakespanInto is predictMakespan with caller-provided per-worker
+// scratch (len(ests) entries, contents ignored), so searches that call
+// it per candidate (UMR's round search) stay allocation-free.
+func predictMakespanInto(ests []model.Estimate, seq []Decision, compFree []float64) float64 {
 	linkFree := 0.0
-	compFree := make([]float64, len(ests))
+	compFree = compFree[:len(ests)]
+	for i := range compFree {
+		compFree[i] = 0
+	}
 	makespan := 0.0
 	for _, d := range seq {
 		e := ests[d.Worker]

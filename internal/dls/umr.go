@@ -3,6 +3,7 @@ package dls
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"apstdv/internal/model"
 )
@@ -61,7 +62,7 @@ func (u *UMR) Plan(p Plan) error {
 	}
 	u.Rounds = len(rounds)
 	u.PredictedMakespan = pred
-	var seq []Decision
+	seq := make([]Decision, 0, len(rounds)*len(p.Workers))
 	for _, r := range rounds {
 		seq = append(seq, r...)
 	}
@@ -111,36 +112,77 @@ func PlanUMRRounds(p Plan, load float64) ([][]Decision, float64, error) {
 		sumC += e.CompLatency / e.UnitComp
 	}
 	order := model.BySpeed(p.Workers)
+	w := len(order)
 
+	sc := umrScratchPool.Get().(*umrScratch)
 	bestM, bestPred := 0, math.Inf(1)
-	var bestRounds [][]Decision
 	for m := 1; m <= maxUMRRounds; m++ {
-		rounds, ok := umrCandidate(p, load, m, sumA, sumB, sumL, sumP, sumC, order)
+		flat, ok := umrCandidate(p, load, m, sumA, sumB, sumL, sumP, sumC, order, sc)
 		if !ok {
 			continue
 		}
-		var flat []Decision
-		for _, r := range rounds {
-			flat = append(flat, r...)
-		}
-		pred := predictMakespan(p.Workers, flat)
+		pred := predictMakespanInto(p.Workers, flat, sc.grow(&sc.compFree, len(p.Workers)))
 		if pred < bestPred {
-			bestM, bestPred, bestRounds = m, pred, rounds
+			bestM, bestPred = m, pred
 		}
 	}
 	if bestM == 0 {
+		umrScratchPool.Put(sc)
 		return nil, 0, fmt.Errorf("umr: no feasible round count for load %g on %d workers", load, len(p.Workers))
 	}
-	return bestRounds, bestPred, nil
+	// Re-derive the winning candidate (pure arithmetic, so the decisions
+	// are bit-identical to the search pass) and materialize it once: one
+	// backing array, one header per round.
+	flat, _ := umrCandidate(p, load, bestM, sumA, sumB, sumL, sumP, sumC, order, sc)
+	backing := make([]Decision, len(flat))
+	copy(backing, flat)
+	rounds := make([][]Decision, bestM)
+	for j := 0; j < bestM; j++ {
+		rounds[j] = backing[j*w : (j+1)*w : (j+1)*w]
+	}
+	umrScratchPool.Put(sc)
+	return rounds, bestPred, nil
 }
 
-// umrCandidate builds the M-round schedule, or reports ok=false when M is
-// infeasible (some round duration would require negative chunks, or
-// chunks fall below the division granularity).
-func umrCandidate(p Plan, load float64, m int, sumA, sumB, sumL, sumP, sumC float64, order []int) ([][]Decision, bool) {
+// umrScratch holds the buffers the candidate search reuses across all M
+// candidates; the pool carries them across plans, so the steady-state
+// search allocates nothing (the old per-candidate slices were ~80% of a
+// full simulated run's allocations).
+type umrScratch struct {
+	durations []float64
+	flat      []Decision
+	compFree  []float64
+}
+
+var umrScratchPool = sync.Pool{New: func() any { return new(umrScratch) }}
+
+// grow returns (*buf)[:n], reallocating only when capacity is short.
+func (sc *umrScratch) grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growFlat is grow for the Decision buffer.
+func (sc *umrScratch) growFlat(n int) []Decision {
+	if cap(sc.flat) < n {
+		sc.flat = make([]Decision, n)
+	}
+	sc.flat = sc.flat[:n]
+	return sc.flat
+}
+
+// umrCandidate builds the M-round schedule into sc's flat buffer (round
+// j occupies entries [j·W, (j+1)·W), workers fastest-first), or reports
+// ok=false when M is infeasible (some round duration would require
+// negative chunks, or chunks fall below the division granularity). The
+// returned slice aliases sc and is only valid until the next call.
+func umrCandidate(p Plan, load float64, m int, sumA, sumB, sumL, sumP, sumC float64, order []int, sc *umrScratch) ([]Decision, bool) {
 	// Round durations: T_j = r^j·(T0 − F) + F with r = 1/A.
 	// Total load constraint: sumP·ΣT_j − M·sumC = load.
-	durations := make([]float64, m)
+	durations := sc.grow(&sc.durations, m)
 	switch {
 	case sumA <= 0:
 		// Free communication: the recurrence degenerates; a pipelined
@@ -180,14 +222,14 @@ func umrCandidate(p Plan, load float64, m int, sumA, sumB, sumL, sumP, sumC floa
 		}
 	}
 
-	rounds := make([][]Decision, 0, m)
+	flat := sc.growFlat(m * len(order))
 	dispatched := 0.0
+	n := 0
 	for j := 0; j < m; j++ {
 		tj := durations[j]
 		if !(tj > 0) || math.IsInf(tj, 0) || math.IsNaN(tj) {
 			return nil, false
 		}
-		round := make([]Decision, 0, len(p.Workers))
 		for _, w := range order {
 			e := p.Workers[w]
 			size := (tj - e.CompLatency) / e.UnitComp
@@ -200,10 +242,10 @@ func umrCandidate(p Plan, load float64, m int, sumA, sumB, sumL, sumP, sumC floa
 			if m > 1 && p.MinChunk > 0 && size < p.MinChunk {
 				return nil, false
 			}
-			round = append(round, Decision{Worker: w, Size: size})
+			flat[n] = Decision{Worker: w, Size: size}
+			n++
 			dispatched += size
 		}
-		rounds = append(rounds, round)
 	}
 
 	// Absorb floating-point drift into the last round, spread across all
@@ -211,7 +253,7 @@ func umrCandidate(p Plan, load float64, m int, sumA, sumB, sumL, sumP, sumC floa
 	// is preserved.
 	drift := load - dispatched
 	if math.Abs(drift) > load*1e-12 {
-		last := rounds[m-1]
+		last := flat[(m-1)*len(order):]
 		lastTotal := sumSizes(last)
 		if lastTotal <= 0 || lastTotal+drift < 0 {
 			return nil, false
@@ -221,5 +263,5 @@ func umrCandidate(p Plan, load float64, m int, sumA, sumB, sumL, sumP, sumC floa
 			last[i].Size *= scale
 		}
 	}
-	return rounds, true
+	return flat, true
 }

@@ -167,11 +167,11 @@ func umrSinglePrediction(p Plan) (float64, bool) {
 		sumP += 1 / e.UnitComp
 		sumC += e.CompLatency / e.UnitComp
 	}
-	rounds, ok := umrCandidate(p, p.TotalLoad, 1, sumA, sumB, sumL, sumP, sumC, model.BySpeed(p.Workers))
+	flat, ok := umrCandidate(p, p.TotalLoad, 1, sumA, sumB, sumL, sumP, sumC, model.BySpeed(p.Workers), new(umrScratch))
 	if !ok {
 		return 0, false
 	}
-	return predictMakespan(p.Workers, rounds[0]), true
+	return predictMakespan(p.Workers, flat), true
 }
 
 func TestUMRPartialLoadForRUMRPhases(t *testing.T) {

@@ -61,6 +61,40 @@ type Backend interface {
 // (the live runtime); the simulator simply drains its event queue.
 type Stopper interface{ Stop() }
 
+// OpBackend is an optional Backend interface offering closure-free forms
+// of the three per-chunk operations: the engine passes an opaque op
+// token and one long-lived callback instead of building a completion
+// closure per operation, so the hot dispatch path of a run allocates
+// nothing. The backend must hand op back to done verbatim; the engine
+// fences stale completions by decoding it (chunk slot + launch epoch).
+// Backends that do not implement it are driven through the closure
+// forms, with identical semantics.
+type OpBackend interface {
+	TransferOp(w int, bytes float64, op uint64, done func(op uint64, start, end float64, err error))
+	ExecuteOp(w int, size float64, probe bool, op uint64, done func(op uint64, start, end float64, err error))
+	ReturnOutputOp(w int, bytes float64, op uint64, done func(op uint64, start, end float64, err error))
+}
+
+// Arena is a reusable execution workspace: chunk records, retry state,
+// per-worker accounting, estimate buffers, the trace, and the engine's
+// callback scratch all live in it and are recycled run to run, so a
+// long-lived runner slot (a bench loop, one worker of the parallel
+// experiment runner) executes repeated runs nearly allocation-free.
+//
+// An Arena may serve one Execute at a time; give each concurrent runner
+// its own. The trace Execute returns, and the estimate slices handed to
+// the algorithm, are borrowed from the arena — they are valid until the
+// next Execute on the same arena. Reuse is invisible to output: chunk
+// slots carry monotonic epochs, the backend clock and event sequence
+// restart per run, and equal inputs produce byte-identical event streams
+// and traces with or without an arena.
+type Arena struct {
+	e *execution
+}
+
+// NewArena returns an empty arena, ready to pass in a Request.
+func NewArena() *Arena { return &Arena{} }
+
 // TimerID identifies a timer armed through a Timer backend; 0 means "no
 // timer". It is an alias for uint64 so backends can implement Timer
 // without importing this package (the engine's own tests depend on the
@@ -184,6 +218,10 @@ type Request struct {
 	App       *model.Application
 	Platform  *model.Platform
 	Config    Config
+	// Arena, when non-nil, supplies the execution's reusable workspace
+	// (see Arena). nil allocates a fresh workspace per call, exactly as
+	// before arenas existed.
+	Arena *Arena
 }
 
 // Run executes the application on the backend under the algorithm's
@@ -207,7 +245,7 @@ func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.P
 // context.Canceled / context.DeadlineExceeded works). The partial trace
 // accumulated so far is returned alongside the error.
 func Execute(ctx context.Context, req Request) (*trace.Trace, error) {
-	b, alg, app, platform, cfg := req.Backend, req.Algorithm, req.App, req.Platform, req.Config
+	b, alg, app, cfg := req.Backend, req.Algorithm, req.App, req.Config
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -239,55 +277,16 @@ func Execute(ctx context.Context, req Request) (*trace.Trace, error) {
 	if ctx.Err() != nil {
 		return nil, context.Cause(ctx)
 	}
-	e := &execution{
-		backend:  b,
-		alg:      alg,
-		app:      app,
-		platform: platform,
-		cfg:      cfg,
-		trace:    trace.New(alg.Name(), platformName(platform)),
-		total:    float64(app.TotalLoad),
-		sink:     cfg.Events,
-		met:      cfg.Metrics,
-	}
-	e.switchObs, _ = alg.(dls.SwitchObservable)
-	e.sinkPtr, _ = cfg.Events.(obs.PtrSink)
-	if cfg.Trace != nil && cfg.TraceID != 0 {
-		e.traceOn = true
-		e.tracer = cfg.Trace
-		e.traceID = cfg.TraceID
-		e.traceParent = cfg.TraceParent
-		e.traceAnchor = cfg.TraceAnchor
-	}
-	e.remaining = e.total
-	n := b.Workers()
-	e.pending = make([]float64, n)
-	e.pendingChunks = make([]int, n)
-	e.chunks = make(map[int]*chunk)
-	e.dead = make([]bool, n)
-	e.consecFail = make([]int, n)
-	e.alive = n
-	if cfg.Retry != nil {
-		e.retryOn = true
-		e.retry = cfg.Retry.withDefaults()
-		e.timer, _ = b.(Timer)
-		if e.timer != nil {
-			// One handler serves every deadline (see onDeadline), so
-			// arming a timer never builds a closure.
-			e.timeoutFn = e.onDeadline
+	var e *execution
+	if req.Arena != nil {
+		if req.Arena.e == nil {
+			req.Arena.e = &execution{}
 		}
-		e.lossAware, _ = alg.(dls.WorkerLossAware)
-	}
-	if cfg.ProbeLoad <= 0 {
-		e.probeLoad = e.total / 100
+		e = req.Arena.e
 	} else {
-		e.probeLoad = cfg.ProbeLoad
+		e = &execution{}
 	}
-	e.probeBPU = float64(app.BytesPerUnit)
-	if cfg.ProbeBytesPerUnit > 0 {
-		e.probeBPU = cfg.ProbeBytesPerUnit
-	}
-	e.eventSeq = cfg.SeqBase
+	e.beginRun(req)
 
 	if ctx.Done() != nil {
 		// Cancellation aborts through the normal failure path: the first
@@ -354,12 +353,15 @@ type execution struct {
 	sending       bool
 	chunkID       int
 
-	// Chunk-lifecycle state: every in-flight attempt as a tracked record
-	// (keyed by chunk ID), the FIFO of failed attempts awaiting
-	// re-dispatch, and the per-worker health used for blacklisting. All
-	// of it stays empty/idle when cfg.Retry is nil.
-	chunks     map[int]*chunk
-	retryQ     []*chunk
+	// Chunk-lifecycle state: every tracked attempt lives in a slot of the
+	// chunk arena (chunkSlots + free list, epochs monotonic across reuse
+	// so stale callbacks fence — see chunk.epoch), the FIFO of failed
+	// attempts awaiting re-dispatch holds slot indices, and the
+	// per-worker health drives blacklisting. All of it stays empty/idle
+	// when cfg.Retry is nil.
+	chunkSlots []chunk
+	chunkFree  []int32
+	retryQ     []int32
 	dead       []bool
 	consecFail []int
 	alive      int
@@ -370,6 +372,23 @@ type execution struct {
 	ests       []model.Estimate
 	dests      []model.Estimate // deadline estimates (see plan)
 	lossAware  dls.WorkerLossAware
+
+	// Indexed dispatch: when the backend implements OpBackend, the three
+	// stage-completion handlers below (method values, built once per
+	// workspace) replace the per-operation closures on the hot
+	// Transfer/Execute/ReturnOutput paths.
+	opBackend      OpBackend
+	transferDoneFn func(op uint64, start, end float64, err error)
+	computeDoneFn  func(op uint64, start, end float64, err error)
+	returnDoneFn   func(op uint64, start, end float64, err error)
+	// runGen fences callbacks that outlive a run (probing/calibration
+	// closures hold no chunk epoch): it increments every beginRun, and
+	// stale closures no-op on mismatch.
+	runGen uint64
+	// estBuf/destBuf back the per-run estimate slices when the workspace
+	// is arena-reused.
+	estBuf  []model.Estimate
+	destBuf []model.Estimate
 
 	probeLoad float64
 	probeBPU  float64
@@ -404,6 +423,171 @@ type execution struct {
 	traceID     otrace.TraceID
 	traceParent otrace.SpanID
 	traceAnchor int64
+}
+
+// beginRun initializes the workspace for one execution, recycling every
+// buffer a previous run on the same workspace left behind. It performs
+// the exact setup the pre-arena Execute did; the only difference is that
+// slices are resized in place and the trace is reset instead of
+// reallocated.
+func (e *execution) beginRun(req Request) {
+	b, alg, app, cfg := req.Backend, req.Algorithm, req.App, req.Config
+	e.runGen++
+	e.backend = b
+	e.alg = alg
+	e.app = app
+	e.platform = req.Platform
+	e.cfg = cfg
+	if e.trace == nil {
+		e.trace = trace.New(alg.Name(), platformName(req.Platform))
+	} else {
+		e.trace.Reset(alg.Name(), platformName(req.Platform))
+	}
+	e.total = float64(app.TotalLoad)
+	e.remaining = e.total
+	e.offset, e.completed = 0, 0
+	e.inflight, e.sending, e.chunkID = 0, false, 0
+	e.sink = cfg.Events
+	e.met = cfg.Metrics
+	e.switchObs, _ = alg.(dls.SwitchObservable)
+	e.sinkPtr, _ = cfg.Events.(obs.PtrSink)
+	e.opBackend, _ = b.(OpBackend)
+	if e.transferDoneFn == nil {
+		// The three stage handlers serve every chunk operation of every
+		// run on this workspace; built once, like timeoutFn.
+		e.transferDoneFn = e.transferDone
+		e.computeDoneFn = e.computeDone
+		e.returnDoneFn = e.returnDone
+	}
+	e.traceOn = false
+	e.tracer = nil
+	e.traceID = 0
+	e.traceParent = 0
+	e.traceAnchor = 0
+	if cfg.Trace != nil && cfg.TraceID != 0 {
+		e.traceOn = true
+		e.tracer = cfg.Trace
+		e.traceID = cfg.TraceID
+		e.traceParent = cfg.TraceParent
+		e.traceAnchor = cfg.TraceAnchor
+	}
+	n := b.Workers()
+	e.pending = resizeFloats(e.pending, n)
+	e.pendingChunks = resizeInts(e.pendingChunks, n)
+	e.dead = resizeBools(e.dead, n)
+	e.consecFail = resizeInts(e.consecFail, n)
+	e.alive = n
+	// Recycle the chunk arena: every slot returns to the free list with
+	// its epoch bumped, so op tokens from a previous run can never match
+	// a chunk of this one.
+	e.chunkFree = e.chunkFree[:0]
+	for i := range e.chunkSlots {
+		c := &e.chunkSlots[i]
+		c.used = false
+		c.epoch++
+		e.chunkFree = append(e.chunkFree, int32(i))
+	}
+	e.retryQ = e.retryQ[:0]
+	e.retryOn = false
+	e.retry = RetryPolicy{}
+	e.timer = nil
+	e.lossAware = nil
+	if cfg.Retry != nil {
+		e.retryOn = true
+		e.retry = cfg.Retry.withDefaults()
+		e.timer, _ = b.(Timer)
+		if e.timer != nil && e.timeoutFn == nil {
+			// One handler serves every deadline (see onDeadline), so
+			// arming a timer never builds a closure.
+			e.timeoutFn = e.onDeadline
+		}
+		e.lossAware, _ = alg.(dls.WorkerLossAware)
+	}
+	if cfg.ProbeLoad <= 0 {
+		e.probeLoad = e.total / 100
+	} else {
+		e.probeLoad = cfg.ProbeLoad
+	}
+	e.probeBPU = float64(app.BytesPerUnit)
+	if cfg.ProbeBytesPerUnit > 0 {
+		e.probeBPU = cfg.ProbeBytesPerUnit
+	}
+	e.probes = e.probes[:0]
+	e.probesLeft = 0
+	e.planned = false
+	e.err = nil
+	e.stopNotified = false
+	e.lastCal, e.calWorker, e.calibrating, e.calCount = 0, 0, false, 0
+	e.ests, e.dests = nil, nil
+	e.eventSeq = cfg.SeqBase
+}
+
+// resizeFloats returns s with length n and every element zeroed, growing
+// only when capacity is short; resizeInts and resizeBools are its int
+// and bool twins.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// allocChunk reserves a chunk-arena slot, preserving the slot's epoch
+// across reuse (the fence against stale callbacks) and zeroing the rest.
+func (e *execution) allocChunk() *chunk {
+	var slot int32
+	if n := len(e.chunkFree); n > 0 {
+		slot = e.chunkFree[n-1]
+		e.chunkFree = e.chunkFree[:n-1]
+	} else {
+		slot = int32(len(e.chunkSlots))
+		e.chunkSlots = append(e.chunkSlots, chunk{})
+	}
+	c := &e.chunkSlots[slot]
+	epoch := c.epoch
+	*c = chunk{slot: slot, epoch: epoch, used: true}
+	return c
+}
+
+// releaseChunk returns a retired chunk's slot to the free list, bumping
+// its epoch so outstanding callbacks and tokens go stale.
+func (e *execution) releaseChunk(c *chunk) {
+	c.used = false
+	c.epoch++
+	e.chunkFree = append(e.chunkFree, c.slot)
+}
+
+// inFlightChunk reports whether the slot holds a dispatched attempt the
+// backend is working on (what the pre-arena code kept in its in-flight
+// map): retry-queued and retired slots are excluded.
+func (c *chunk) inFlightChunk() bool {
+	return c.used && c.state >= stateTransferring && c.state <= stateReturning
 }
 
 // traceNs places a backend timestamp (seconds since backend start) on
@@ -481,11 +665,21 @@ func (e *execution) initialEstimates() []model.Estimate {
 	if e.cfg.Oracle && e.platform != nil {
 		return model.TrueEstimates(e.app, e.platform)
 	}
-	ests := make([]model.Estimate, e.backend.Workers())
+	e.estBuf = resizeEstimates(e.estBuf, e.backend.Workers())
+	ests := e.estBuf
 	for i := range ests {
 		ests[i] = model.Estimate{Worker: i, UnitComp: 1, UnitComm: 0}
 	}
 	return ests
+}
+
+// resizeEstimates returns s with length n, growing only when capacity is
+// short; callers overwrite every element.
+func resizeEstimates(s []model.Estimate, n int) []model.Estimate {
+	if cap(s) < n {
+		return make([]model.Estimate, n)
+	}
+	return s[:n]
 }
 
 // startProbing launches the probing round (§3.5): for each worker, an
@@ -494,7 +688,14 @@ func (e *execution) initialEstimates() []model.Estimate {
 // serialize on the uplink; computations overlap across workers.
 func (e *execution) startProbing() {
 	n := e.backend.Workers()
-	e.probes = make([]probeResult, n)
+	if cap(e.probes) < n {
+		e.probes = make([]probeResult, n)
+	} else {
+		e.probes = e.probes[:n]
+		for i := range e.probes {
+			e.probes[i] = probeResult{}
+		}
+	}
 	e.probesLeft = n
 	e.emit(obs.Event{
 		Type: obs.ProbeStart, Worker: -1, Workers: n,
@@ -509,10 +710,17 @@ func (e *execution) startProbing() {
 // policy) or aborts the run; a transfer-stage failure still advances
 // the chain so the remaining workers get probed.
 func (e *execution) probeWorker(w int) {
+	// Probing closures carry no chunk epoch, so they fence on the run
+	// generation instead: a completion surviving from a previous run on
+	// this reused workspace must not touch the current one.
+	gen := e.runGen
 	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Probe: true})
 	e.backend.Transfer(w, 0, func(start, end float64, err error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		if e.runGen != gen {
+			return
+		}
 		if err != nil {
 			e.uplinkFreed(w, 0, true, start, end)
 			e.probeFailed(w, err)
@@ -526,6 +734,9 @@ func (e *execution) probeWorker(w int) {
 		e.backend.Execute(w, 0, true, func(s2, e2 float64, err error) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
+			if e.runGen != gen {
+				return
+			}
 			if err != nil {
 				e.probeFailed(w, err)
 				return
@@ -538,6 +749,9 @@ func (e *execution) probeWorker(w int) {
 		e.backend.Transfer(w, e.probeLoad*e.probeBPU, func(s3, e3 float64, err error) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
+			if e.runGen != gen {
+				return
+			}
 			if err != nil {
 				e.uplinkFreed(w, 0, true, s3, e3)
 				e.probeFailed(w, err)
@@ -550,6 +764,9 @@ func (e *execution) probeWorker(w int) {
 			e.backend.Execute(w, e.probeLoad, true, func(s4, e4 float64, err error) {
 				e.mu.Lock()
 				defer e.mu.Unlock()
+				if e.runGen != gen {
+					return
+				}
 				if err != nil {
 					e.probeFailed(w, err)
 					return
@@ -621,7 +838,11 @@ func (e *execution) probeExecDone(w int) {
 // slowest survivor's estimate as a placeholder — loss-aware algorithms
 // never target them, and the engine redirects any decision that does.
 func (e *execution) estimatesFromProbes() []model.Estimate {
-	ests := make([]model.Estimate, len(e.probes))
+	e.estBuf = resizeEstimates(e.estBuf, len(e.probes))
+	ests := e.estBuf
+	for i := range ests {
+		ests[i] = model.Estimate{}
+	}
 	for w, pr := range e.probes {
 		if pr.failed {
 			continue
@@ -690,7 +911,9 @@ func (e *execution) plan(ests []model.Estimate) {
 			}
 		}
 		if scaled {
-			d := append([]model.Estimate(nil), e.dests...)
+			e.destBuf = resizeEstimates(e.destBuf, len(e.dests))
+			copy(e.destBuf, e.dests)
+			d := e.destBuf
 			for w := range d {
 				if s := shares[w]; s > 0 && s < 1 {
 					d[w].UnitComp /= s
@@ -744,13 +967,16 @@ func (e *execution) tryDispatch() {
 		return
 	}
 	if e.retryOn && len(e.retryQ) > 0 {
-		c := e.retryQ[0]
+		c := &e.chunkSlots[e.retryQ[0]]
 		w, ok := e.pickAliveWorker()
 		if !ok {
 			e.failNoWorkers()
 			return
 		}
-		e.retryQ = e.retryQ[1:]
+		// Shift rather than re-slice so the queue's backing array keeps
+		// its full capacity across arena reuse.
+		copy(e.retryQ, e.retryQ[1:])
+		e.retryQ = e.retryQ[:len(e.retryQ)-1]
 		c.worker = w
 		c.attempt++
 		e.remaining -= c.size
@@ -827,14 +1053,13 @@ func (e *execution) tryDispatch() {
 		actual = e.remaining
 	}
 
-	c := &chunk{
-		id:      e.nextChunkID(),
-		worker:  d.Worker,
-		offset:  e.offset,
-		size:    actual,
-		bytes:   actual * float64(e.app.BytesPerUnit),
-		attempt: 1,
-	}
+	c := e.allocChunk()
+	c.id = e.nextChunkID()
+	c.worker = d.Worker
+	c.offset = e.offset
+	c.size = actual
+	c.bytes = actual * float64(e.app.BytesPerUnit)
+	c.attempt = 1
 	e.offset += actual
 	e.remaining -= actual
 	e.pending[d.Worker] += actual
@@ -865,10 +1090,14 @@ func (e *execution) recalibrate() {
 	e.calibrating = true
 	e.lastCal = e.backend.Now()
 	e.calCount++
+	gen := e.runGen // fence stale completions, as in probeWorker
 	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: w, Probe: true})
 	e.backend.Transfer(w, 0, func(s1, e1 float64, err error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		if e.runGen != gen {
+			return
+		}
 		commLat := e1 - s1
 		e.calibrating = false
 		e.uplinkFreed(w, 0, true, s1, e1)
@@ -880,6 +1109,9 @@ func (e *execution) recalibrate() {
 		e.backend.Execute(w, 0, true, func(s2, e2 float64, err error) {
 			e.mu.Lock()
 			defer e.mu.Unlock()
+			if e.runGen != gen {
+				return
+			}
 			if err != nil {
 				e.calibrationFailed(w, err)
 				e.tryDispatch()

@@ -53,9 +53,18 @@ func (s chunkState) String() string {
 // size) plus the mutable lifecycle of its current attempt. The id and
 // offset survive retries; the timeline, worker assignment, and epoch
 // are per-attempt.
+//
+// Chunks live in the execution's slot arena (chunkSlots): slot names the
+// record's position there and used whether it currently holds a live
+// chunk. A *chunk is only valid until the next allocChunk — growing the
+// arena moves every record — so callbacks identify chunks by op token,
+// never by pointer.
 type chunk struct {
 	id     int
 	worker int
+	// slot is the record's index in the chunk arena; used marks it live.
+	slot int32
+	used bool
 	// offset and size locate the chunk within the load (load units);
 	// bytes is its input volume on the uplink.
 	offset, size float64
@@ -69,8 +78,11 @@ type chunk struct {
 	// for deadline bookkeeping and stall diagnostics.
 	stageStart float64
 	// epoch increments every time the attempt is (re)launched or
-	// abandoned; callbacks and timers capture it and no-op on mismatch.
-	epoch int
+	// abandoned, and when the slot is recycled; op tokens and timers
+	// capture it and no-op on mismatch. It is monotonic across the
+	// arena's whole life — never reset between runs — so a callback
+	// surviving from a previous run can never match a current chunk.
+	epoch uint32
 	// Deadline state for the current stage: the backend timer id, the
 	// armed duration (for the timeout event/error), and whether a
 	// deadline is currently armed. The handler itself is shared by the
@@ -86,6 +98,70 @@ type chunk struct {
 	traceStart float64
 }
 
+// opToken packs a chunk's identity for the round-trip through the
+// backend: arena slot in the high half, launch epoch in the low.
+// chunkFromOp rejects any token whose epoch no longer matches the slot
+// — the attempt was abandoned, retried, or belongs to a previous run on
+// this workspace.
+func opToken(c *chunk) uint64 {
+	return uint64(uint32(c.slot))<<32 | uint64(c.epoch)
+}
+
+// chunkFromOp resolves an op token back to its chunk, or nil when the
+// token is stale. Caller holds the mutex.
+func (e *execution) chunkFromOp(op uint64) *chunk {
+	slot := int(op >> 32)
+	if slot >= len(e.chunkSlots) {
+		return nil
+	}
+	c := &e.chunkSlots[slot]
+	if !c.used || c.epoch != uint32(op) {
+		return nil
+	}
+	return c
+}
+
+// dispatchTransfer, dispatchExecute and dispatchReturn issue one stage
+// operation: on an OpBackend through the indexed form — the op token
+// plus a shared method-value handler, no per-operation closure —
+// otherwise through the classic closure form wrapping the same handler.
+// Caller holds the mutex.
+func (e *execution) dispatchTransfer(c *chunk) {
+	op := opToken(c)
+	if e.opBackend != nil {
+		e.opBackend.TransferOp(c.worker, c.bytes, op, e.transferDoneFn)
+		return
+	}
+	done := e.transferDoneFn
+	e.backend.Transfer(c.worker, c.bytes, func(start, end float64, err error) {
+		done(op, start, end, err)
+	})
+}
+
+func (e *execution) dispatchExecute(c *chunk) {
+	op := opToken(c)
+	if e.opBackend != nil {
+		e.opBackend.ExecuteOp(c.worker, c.size, false, op, e.computeDoneFn)
+		return
+	}
+	done := e.computeDoneFn
+	e.backend.Execute(c.worker, c.size, false, func(start, end float64, err error) {
+		done(op, start, end, err)
+	})
+}
+
+func (e *execution) dispatchReturn(c *chunk, outBytes float64) {
+	op := opToken(c)
+	if e.opBackend != nil {
+		e.opBackend.ReturnOutputOp(c.worker, outBytes, op, e.returnDoneFn)
+		return
+	}
+	done := e.returnDoneFn
+	e.backend.ReturnOutput(c.worker, outBytes, func(start, end float64, err error) {
+		done(op, start, end, err)
+	})
+}
+
 // launch starts (or restarts) a chunk attempt: the bookkeeping —
 // remaining, pending, inflight, sending — is already done by the
 // caller. Caller holds the mutex.
@@ -94,8 +170,6 @@ func (e *execution) launch(c *chunk) {
 	c.epoch++
 	c.stageStart = e.backend.Now()
 	c.sendStart, c.sendEnd, c.compStart, c.compEnd = 0, 0, 0, 0
-	e.chunks[c.id] = c
-	epoch := c.epoch
 	if e.traceOn && c.span == 0 {
 		c.span = e.tracer.NextSpanID()
 		c.traceStart = c.stageStart
@@ -112,47 +186,7 @@ func (e *execution) launch(c *chunk) {
 	e.emit(obs.Event{Type: obs.UplinkBusy, Worker: c.worker, Chunk: c.id, Bytes: c.bytes})
 	e.met.Dispatched(c.bytes)
 	e.armDeadline(c, e.sendEstimate(c))
-	e.backend.Transfer(c.worker, c.bytes, func(sendStart, sendEnd float64, err error) {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		if c.epoch != epoch {
-			return
-		}
-		e.cancelDeadline(c)
-		e.sending = false
-		e.uplinkFreed(c.worker, c.id, false, sendStart, sendEnd)
-		if err != nil {
-			e.chunkFailed(c, err, false)
-			e.tryDispatch()
-			return
-		}
-		c.sendStart, c.sendEnd = sendStart, sendEnd
-		if e.traceOn {
-			e.recordStageSpan(c, "chunk.transfer", sendStart, sendEnd, "")
-		}
-		c.state = stateComputing
-		c.stageStart = e.backend.Now()
-		e.armDeadline(c, e.compEstimate(c))
-		e.backend.Execute(c.worker, c.size, false, func(compStart, compEnd float64, err error) {
-			e.mu.Lock()
-			defer e.mu.Unlock()
-			if c.epoch != epoch {
-				return
-			}
-			e.cancelDeadline(c)
-			if err != nil {
-				e.chunkFailed(c, err, false)
-				e.tryDispatch()
-				return
-			}
-			c.compStart, c.compEnd = compStart, compEnd
-			if e.traceOn {
-				e.recordStageSpan(c, "chunk.compute", compStart, compEnd, "")
-			}
-			e.finishChunk(c, epoch)
-		})
-		e.tryDispatch()
-	})
+	e.dispatchTransfer(c)
 	if e.cfg.ParallelUplink {
 		// With the serialization rule lifted, keep dispatching while the
 		// algorithm offers work.
@@ -161,9 +195,79 @@ func (e *execution) launch(c *chunk) {
 	}
 }
 
+// transferDone advances a chunk whose input transfer completed or
+// failed. It is the one handler behind every transfer the execution
+// issues; stale completions fence on the op token.
+func (e *execution) transferDone(op uint64, start, end float64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.chunkFromOp(op)
+	if c == nil {
+		return
+	}
+	e.cancelDeadline(c)
+	e.sending = false
+	e.uplinkFreed(c.worker, c.id, false, start, end)
+	if err != nil {
+		e.chunkFailed(c, err, false)
+		e.tryDispatch()
+		return
+	}
+	c.sendStart, c.sendEnd = start, end
+	if e.traceOn {
+		e.recordStageSpan(c, "chunk.transfer", start, end, "")
+	}
+	c.state = stateComputing
+	c.stageStart = e.backend.Now()
+	e.armDeadline(c, e.compEstimate(c))
+	e.dispatchExecute(c)
+	e.tryDispatch()
+}
+
+// computeDone advances a chunk whose computation completed or failed.
+func (e *execution) computeDone(op uint64, start, end float64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.chunkFromOp(op)
+	if c == nil {
+		return
+	}
+	e.cancelDeadline(c)
+	if err != nil {
+		e.chunkFailed(c, err, false)
+		e.tryDispatch()
+		return
+	}
+	c.compStart, c.compEnd = start, end
+	if e.traceOn {
+		e.recordStageSpan(c, "chunk.compute", start, end, "")
+	}
+	e.finishChunk(c)
+}
+
+// returnDone retires a chunk whose output return completed or failed.
+func (e *execution) returnDone(op uint64, _, outEnd float64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.chunkFromOp(op)
+	if c == nil {
+		return
+	}
+	e.cancelDeadline(c)
+	if err != nil {
+		e.chunkFailed(c, err, false)
+		e.tryDispatch()
+		return
+	}
+	if e.traceOn {
+		e.recordStageSpan(c, "chunk.return", c.stageStart, outEnd, "")
+	}
+	e.completeChunk(c, outEnd)
+}
+
 // finishChunk handles a completed computation: return output if any,
 // then complete. Caller holds the mutex.
-func (e *execution) finishChunk(c *chunk, epoch int) {
+func (e *execution) finishChunk(c *chunk) {
 	outBytes := c.size * float64(e.app.OutputBytesPerUnit)
 	if outBytes <= 0 {
 		e.completeChunk(c, c.compEnd)
@@ -172,23 +276,7 @@ func (e *execution) finishChunk(c *chunk, epoch int) {
 	c.state = stateReturning
 	c.stageStart = e.backend.Now()
 	e.armDeadline(c, e.returnEstimate(c))
-	e.backend.ReturnOutput(c.worker, outBytes, func(_, outEnd float64, err error) {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		if c.epoch != epoch {
-			return
-		}
-		e.cancelDeadline(c)
-		if err != nil {
-			e.chunkFailed(c, err, false)
-			e.tryDispatch()
-			return
-		}
-		if e.traceOn {
-			e.recordStageSpan(c, "chunk.return", c.stageStart, outEnd, "")
-		}
-		e.completeChunk(c, outEnd)
-	})
+	e.dispatchReturn(c, outBytes)
 }
 
 // completeChunk retires a successful attempt: accounting, trace record,
@@ -196,7 +284,6 @@ func (e *execution) finishChunk(c *chunk, epoch int) {
 // the mutex.
 func (e *execution) completeChunk(c *chunk, outputEnd float64) {
 	c.state = stateDone
-	delete(e.chunks, c.id)
 	w := c.worker
 	e.pending[w] -= c.size
 	if e.pending[w] < 0 {
@@ -233,25 +320,34 @@ func (e *execution) completeChunk(c *chunk, outputEnd float64) {
 		done.Attempt = c.attempt
 	}
 	e.emit(done)
-	e.met.ChunkFinished(c.size, c.compEnd-c.compStart)
+	size, compDur := c.size, c.compEnd-c.compStart
+	// Free the slot before dispatching: tryDispatch may allocate the
+	// next chunk, which can both reuse this slot and grow the arena out
+	// from under c.
+	e.releaseChunk(c)
+	e.met.ChunkFinished(size, compDur)
 	e.tryDispatch()
 }
 
 // stallDetail renders the in-flight chunks for the stall error: which
 // worker holds which chunk, in which lifecycle stage, for how long.
 func (e *execution) stallDetail() string {
-	if len(e.chunks) == 0 {
+	idx := make([]int, 0, e.inflight)
+	for i := range e.chunkSlots {
+		if e.chunkSlots[i].inFlightChunk() {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
 		return ""
 	}
-	ids := make([]int, 0, len(e.chunks))
-	for id := range e.chunks {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
+	sort.Slice(idx, func(a, b int) bool {
+		return e.chunkSlots[idx[a]].id < e.chunkSlots[idx[b]].id
+	})
 	now := e.backend.Now()
-	parts := make([]string, 0, len(ids))
-	for _, id := range ids {
-		c := e.chunks[id]
+	parts := make([]string, 0, len(idx))
+	for _, i := range idx {
+		c := &e.chunkSlots[i]
 		parts = append(parts, fmt.Sprintf("worker %d: chunk %d %s for %.1fs",
 			c.worker, c.id, c.state, now-c.stageStart))
 	}

@@ -42,10 +42,10 @@ func TestLifecycleStallDetailListsInFlightChunks(t *testing.T) {
 	// The stall diagnostic must name each in-flight chunk with its
 	// worker, lifecycle stage, and age, ordered by chunk id, so a wedged
 	// run points straight at the chunk that never came back.
-	e := &execution{backend: stallBackend(t), chunks: map[int]*chunk{
-		7: {id: 7, worker: 2, state: stateComputing, stageStart: -12.25},
-		3: {id: 3, worker: 0, state: stateTransferring, stageStart: -3.5},
-	}}
+	e := &execution{backend: stallBackend(t), chunkSlots: []chunk{
+		{id: 7, worker: 2, slot: 0, used: true, state: stateComputing, stageStart: -12.25},
+		{id: 3, worker: 0, slot: 1, used: true, state: stateTransferring, stageStart: -3.5},
+	}, inflight: 2}
 	got := e.stallDetail()
 	want := " (worker 0: chunk 3 transferring for 3.5s; worker 2: chunk 7 computing for 12.2s)"
 	if got != want {

@@ -104,8 +104,9 @@ func (e *execution) onDeadline(id TimerID) {
 		return
 	}
 	var c *chunk
-	for _, cand := range e.chunks {
-		if cand.deadlineArmed && cand.deadline == id {
+	for i := range e.chunkSlots {
+		cand := &e.chunkSlots[i]
+		if cand.used && cand.deadlineArmed && cand.deadline == id {
 			c = cand
 			break
 		}
@@ -175,7 +176,6 @@ func (e *execution) chunkFailed(c *chunk, cause error, holdsUplink bool) {
 	}
 	c.epoch++
 	e.cancelDeadline(c)
-	delete(e.chunks, c.id)
 	w := c.worker
 	if holdsUplink {
 		if !e.cfg.ParallelUplink {
@@ -208,7 +208,7 @@ func (e *execution) chunkFailed(c *chunk, cause error, holdsUplink bool) {
 	}
 	c.state = stateFailed
 	e.remaining += c.size
-	e.retryQ = append(e.retryQ, c)
+	e.retryQ = append(e.retryQ, c.slot)
 	e.emit(obs.Event{
 		Type: obs.ChunkRetry, Worker: w, Chunk: c.id, Size: c.size,
 		Attempt: c.attempt, Err: cause.Error(), Remaining: e.remaining,
@@ -231,31 +231,32 @@ func (e *execution) blacklistWorker(w int) {
 	e.dead[w] = true
 	e.alive--
 	e.emit(obs.Event{Type: obs.WorkerBlacklisted, Worker: w, Workers: e.alive})
-	// Abandon the worker's in-flight chunks in id order (map iteration
-	// is randomized; the event stream must not be).
-	var victims []*chunk
-	for _, c := range e.chunks {
-		if c.worker == w {
-			victims = append(victims, c)
+	// Abandon the worker's in-flight chunks in id order (slot order is
+	// allocation order, not id order; the event stream must be stable).
+	var victims []int32
+	for i := range e.chunkSlots {
+		if c := &e.chunkSlots[i]; c.inFlightChunk() && c.worker == w {
+			victims = append(victims, int32(i))
 		}
 	}
 	for i := range victims {
 		for j := i + 1; j < len(victims); j++ {
-			if victims[j].id < victims[i].id {
+			if e.chunkSlots[victims[j]].id < e.chunkSlots[victims[i]].id {
 				victims[i], victims[j] = victims[j], victims[i]
 			}
 		}
 	}
 	cause := fmt.Errorf("worker %d blacklisted after %d consecutive failures", w, e.consecFail[w])
-	for _, c := range victims {
+	for _, slot := range victims {
+		c := &e.chunkSlots[slot]
 		e.chunkFailed(c, cause, c.state == stateTransferring)
 		if e.err != nil {
 			return
 		}
 	}
 	returned := 0.0
-	for _, c := range e.retryQ {
-		if c.worker == w {
+	for _, slot := range e.retryQ {
+		if c := &e.chunkSlots[slot]; c.worker == w {
 			returned += c.size
 		}
 	}

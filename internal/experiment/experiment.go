@@ -88,6 +88,44 @@ type Result struct {
 	Cells []Cell
 }
 
+// runScratch is one pool slot's reusable simulation state: the grid
+// backend and engine arena are built on the slot's first run and reset
+// in place for every later one, so a long experiment allocates heavy
+// state once per pool slot instead of once per run. Reuse is invisible
+// in the results — Reset re-derives every backend stream and queue from
+// (app, config) exactly as construction would, and the engine arena
+// fences all cross-run state by epoch.
+type runScratch struct {
+	backend *grid.Backend
+	arena   *engine.Arena
+}
+
+// gridBackend returns the slot's backend, constructing it on first use
+// (fixing the platform) and resetting it in place afterwards.
+func (sc *runScratch) gridBackend(p *model.Platform, app *model.Application, cfg grid.Config) (*grid.Backend, error) {
+	if sc.backend == nil {
+		b, err := grid.New(p, app, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sc.backend = b
+		return b, nil
+	}
+	if err := sc.backend.Reset(app, cfg); err != nil {
+		return nil, err
+	}
+	return sc.backend, nil
+}
+
+// engineArena returns the slot's engine workspace, creating it on first
+// use.
+func (sc *runScratch) engineArena() *engine.Arena {
+	if sc.arena == nil {
+		sc.arena = engine.NewArena()
+	}
+	return sc.arena
+}
+
 // runResult is one simulation's outputs, collected into a slot of a
 // preallocated slice so parallel execution aggregates identically to
 // sequential.
@@ -114,13 +152,15 @@ func (s *Spec) Run() (*Result, error) {
 		return res, nil
 	}
 
-	// Fan out over the flat (γ, algorithm, run) index space.
+	// Fan out over the flat (γ, algorithm, run) index space, one
+	// reusable scratch (backend + engine arena) per pool slot.
 	runs := make([]runResult, len(s.Gammas)*nAlg*s.Runs)
-	err := parallel.ForEach(len(runs), s.Parallelism, func(idx int) error {
+	scratch := make([]runScratch, parallel.Width(len(runs), s.Parallelism))
+	err := parallel.ForEachSlot(len(runs), s.Parallelism, func(slot, idx int) error {
 		gi := idx / (nAlg * s.Runs)
 		ai := idx % (nAlg * s.Runs) / s.Runs
 		run := idx % s.Runs
-		return s.runOnce(s.Gammas[gi], ai, run, &runs[idx])
+		return s.runOnce(s.Gammas[gi], ai, run, &runs[idx], &scratch[slot])
 	})
 	if err != nil {
 		return nil, err
@@ -173,7 +213,7 @@ func (s *Spec) Run() (*Result, error) {
 // outputs into out. It shares nothing mutable with concurrent runs: the
 // algorithm, application, and backend are constructed fresh, and the
 // platform is read-only during execution.
-func (s *Spec) runOnce(gamma float64, ai, run int, out *runResult) error {
+func (s *Spec) runOnce(gamma float64, ai, run int, out *runResult, sc *runScratch) error {
 	alg := s.Algorithms()[ai]
 	app := s.App(gamma)
 	seed := s.Seed + uint64(run)*1000003
@@ -181,7 +221,7 @@ func (s *Spec) runOnce(gamma float64, ai, run int, out *runResult) error {
 	if s.GridConfig != nil {
 		gcfg = s.GridConfig(seed)
 	}
-	backend, err := grid.New(s.Platform, app, gcfg)
+	backend, err := sc.gridBackend(s.Platform, app, gcfg)
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.ID, err)
 	}
@@ -199,6 +239,7 @@ func (s *Spec) runOnce(gamma float64, ai, run int, out *runResult) error {
 	}
 	tr, err := engine.Execute(context.Background(), engine.Request{
 		Backend: backend, Algorithm: alg, App: app, Platform: s.Platform, Config: ecfg,
+		Arena: sc.engineArena(),
 	})
 	if err != nil {
 		return fmt.Errorf("%s: %s γ=%g run %d: %w", s.ID, alg.Name(), gamma, run, err)

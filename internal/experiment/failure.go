@@ -92,10 +92,13 @@ func (fs *FailureSweep) Run() ([]FailureCell, error) {
 	proto := dls.PaperSet()
 	nAlg := len(proto)
 
-	// Pass 1: crash-free baselines.
+	// Pass 1: crash-free baselines. Both passes share per-slot scratch:
+	// the platform is fixed for the whole sweep.
 	base := make([]failureRun, nAlg*fs.Runs)
-	err := parallel.ForEach(len(base), fs.Parallelism, func(idx int) error {
-		return fs.runOnce(idx/fs.Runs, idx%fs.Runs, nil, &base[idx])
+	nGrid := len(fs.CrashProbs) * nAlg * fs.Runs
+	scratch := make([]runScratch, parallel.Width(max(len(base), nGrid), fs.Parallelism))
+	err := parallel.ForEachSlot(len(base), fs.Parallelism, func(slot, idx int) error {
+		return fs.runOnce(idx/fs.Runs, idx%fs.Runs, nil, &base[idx], &scratch[slot])
 	})
 	if err != nil {
 		return nil, err
@@ -115,8 +118,8 @@ func (fs *FailureSweep) Run() ([]FailureCell, error) {
 	}
 
 	// Pass 2: the crash grid, timed against each algorithm's baseline.
-	runs := make([]failureRun, len(fs.CrashProbs)*nAlg*fs.Runs)
-	err = parallel.ForEach(len(runs), fs.Parallelism, func(idx int) error {
+	runs := make([]failureRun, nGrid)
+	err = parallel.ForEachSlot(len(runs), fs.Parallelism, func(slot, idx int) error {
 		pi := idx / (nAlg * fs.Runs)
 		ai := idx % (nAlg * fs.Runs) / fs.Runs
 		run := idx % fs.Runs
@@ -126,7 +129,7 @@ func (fs *FailureSweep) Run() ([]FailureCell, error) {
 			plan = grid.RandomCrashPlan(faultSeed, len(fs.Platform.Workers), prob,
 				0.15*baseline[ai], 0.60*baseline[ai])
 		}
-		return fs.runOnce(ai, run, plan, &runs[idx])
+		return fs.runOnce(ai, run, plan, &runs[idx], &scratch[slot])
 	})
 	if err != nil {
 		return nil, err
@@ -164,10 +167,10 @@ func (fs *FailureSweep) Run() ([]FailureCell, error) {
 
 // runOnce executes one independently seeded simulation with the retry
 // layer enabled and the given fault plan (nil = fault-free).
-func (fs *FailureSweep) runOnce(ai, run int, plan *grid.FaultPlan, out *failureRun) error {
+func (fs *FailureSweep) runOnce(ai, run int, plan *grid.FaultPlan, out *failureRun, sc *runScratch) error {
 	alg := dls.PaperSet()[ai]
 	app := fs.App(fs.Gamma)
-	backend, err := grid.New(fs.Platform, app, grid.Config{
+	backend, err := sc.gridBackend(fs.Platform, app, grid.Config{
 		Seed:   fs.Seed + uint64(run)*1000003,
 		Faults: plan,
 	})
@@ -182,6 +185,7 @@ func (fs *FailureSweep) runOnce(ai, run int, plan *grid.FaultPlan, out *failureR
 			Metrics:   met,
 			Retry:     &engine.RetryPolicy{},
 		},
+		Arena: sc.engineArena(),
 	})
 	out.workersLost = met.WorkersLost.Value()
 	out.retries = met.ChunkRetries.Value()

@@ -125,6 +125,9 @@ func (rs *RobustnessSweep) runCell(nodes int, scale, gamma float64) (SweepCell, 
 		Makespans: map[string]float64{},
 	}
 	proto := dls.PaperSet()
+	// One scratch per cell: the platform is fixed within it, so every
+	// (algorithm, run) iteration reuses the same backend and arena.
+	sc := &runScratch{}
 	for ai := range proto {
 		name := proto[ai].Name()
 		spans := make([]float64, 0, rs.Runs)
@@ -132,7 +135,7 @@ func (rs *RobustnessSweep) runCell(nodes int, scale, gamma float64) (SweepCell, 
 			app := workload.Synthetic(gamma)
 			app.TotalLoad = units.Load(float64(app.TotalLoad) * scale)
 			alg := dls.PaperSet()[ai]
-			backend, err := grid.New(platform, app, grid.Config{
+			backend, err := sc.gridBackend(platform, app, grid.Config{
 				Seed: rs.Seed + uint64(run)*104729,
 			})
 			if err != nil {
@@ -141,6 +144,7 @@ func (rs *RobustnessSweep) runCell(nodes int, scale, gamma float64) (SweepCell, 
 			tr, err := engine.Execute(context.Background(), engine.Request{
 				Backend: backend, Algorithm: alg, App: app, Platform: platform,
 				Config: engine.Config{ProbeLoad: 200},
+				Arena:  sc.engineArena(),
 			})
 			if err != nil {
 				return cell, fmt.Errorf("sweep %d nodes ×%.1f γ=%g %s: %w", nodes, scale, gamma, name, err)

@@ -27,15 +27,23 @@ type batchState struct {
 
 func newBatchState(cfg *model.BatchQueue, src *rng.Source) *batchState {
 	b := &batchState{cfg: cfg, src: src}
-	if cfg.CycleInterval > 0 {
-		b.cycleOffset = src.Uniform(0, float64(cfg.CycleInterval))
+	b.reset()
+	return b
+}
+
+// reset re-derives the batch state from its (re-seeded) source, drawing
+// exactly as construction does.
+func (b *batchState) reset() {
+	b.cycleOffset = 0
+	b.extBusyUntil = 0
+	if b.cfg.CycleInterval > 0 {
+		b.cycleOffset = b.src.Uniform(0, float64(b.cfg.CycleInterval))
 	}
-	if cfg.ExternalRate > 0 {
-		b.nextArrival = src.Exp(1 / cfg.ExternalRate)
+	if b.cfg.ExternalRate > 0 {
+		b.nextArrival = b.src.Exp(1 / b.cfg.ExternalRate)
 	} else {
 		b.nextArrival = math.Inf(1)
 	}
-	return b
 }
 
 // startDelay returns how long a job submitted at time t waits before its

@@ -58,6 +58,38 @@ type Config struct {
 	UplinkShare float64
 }
 
+// opKind distinguishes the three operation flavours tracked in the
+// backend's op table.
+type opKind uint8
+
+const (
+	opTransfer opKind = iota
+	opExecute
+	opReturn
+)
+
+// gridOp is one in-flight backend operation: the state its duration and
+// completion callbacks need, held in a reusable table slot so issuing an
+// operation allocates nothing. Slots are freed exactly when the
+// operation completes (every op completes — the simulation drains), so
+// no generation fencing is needed.
+type gridOp struct {
+	kind  opKind
+	w     int32
+	probe bool
+	// size is load units for opExecute, bytes for opReturn.
+	size float64
+	// op is the caller's opaque token, handed back through done.
+	op   uint64
+	done func(op uint64, start, end float64, err error)
+	// err is set by the duration callback (crash truncation) and
+	// consumed by the completion callback.
+	err error
+	// start is the transfer's start time (opTransfer only; queue-served
+	// kinds get their window from the queue).
+	start units.Seconds
+}
+
 // Backend simulates a Platform executing an Application.
 type Backend struct {
 	eng      *sim.Engine
@@ -74,6 +106,16 @@ type Backend struct {
 	bg      []*bgProcess
 	batch   []*batchState
 	faults  []faultState // nil when no faults are injected
+
+	// Op table (see gridOp) and the long-lived callbacks all operations
+	// dispatch through, built once in New.
+	ops            []gridOp
+	opFree         []int32
+	transferFireFn func(uint64)
+	execDurFn      func(uint64, units.Seconds) units.Seconds
+	execDoneFn     func(uint64, units.Seconds, units.Seconds)
+	returnDurFn    func(uint64, units.Seconds) units.Seconds
+	returnDoneFn   func(uint64, units.Seconds, units.Seconds)
 }
 
 // New validates the models and returns a backend positioned at time zero.
@@ -81,58 +123,113 @@ func New(p *model.Platform, a *model.Application, cfg Config) (*Backend, error) 
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.CommJitter < 0 {
-		return nil, fmt.Errorf("grid: negative comm jitter %g", cfg.CommJitter)
-	}
-	if cfg.ProbeBias == 0 {
-		cfg.ProbeBias = 1
-	}
-	if cfg.ProbeBias < 0 {
-		return nil, fmt.Errorf("grid: negative probe bias %g", cfg.ProbeBias)
-	}
-	if cfg.Shares != nil {
-		if len(cfg.Shares) != len(p.Workers) {
-			return nil, fmt.Errorf("grid: %d shares for %d workers", len(cfg.Shares), len(p.Workers))
-		}
-		for w, s := range cfg.Shares {
-			if s <= 0 || s > 1 {
-				return nil, fmt.Errorf("grid: share %g for worker %d outside (0, 1]", s, w)
-			}
-		}
-	}
-	if cfg.UplinkShare < 0 || cfg.UplinkShare > 1 {
-		return nil, fmt.Errorf("grid: uplink share %g outside (0, 1]", cfg.UplinkShare)
-	}
 	eng := sim.New()
 	b := &Backend{
 		eng:      eng,
 		timers:   sim.NewTimers(eng, 0),
 		platform: p,
-		app:      a,
-		cfg:      cfg,
 		downlink: sim.NewFCFSQueue(eng),
-		commRNG:  rng.Stream(cfg.Seed, "comm"),
+		commRNG:  rng.New(0),
 	}
+	b.transferFireFn = b.transferFire
+	b.execDurFn = b.execDur
+	b.execDoneFn = b.execDone
+	b.returnDurFn = b.returnDur
+	b.returnDoneFn = b.returnDone
 	for i := range p.Workers {
 		b.compute = append(b.compute, sim.NewFCFSQueue(eng))
-		b.compRNG = append(b.compRNG, rng.Stream(cfg.Seed, fmt.Sprintf("comp/%d", i)))
+		b.compRNG = append(b.compRNG, rng.New(0))
 		w := p.Workers[i]
 		if w.Background != nil {
-			b.bg = append(b.bg, newBGProcess(w.Background, rng.Stream(cfg.Seed, fmt.Sprintf("bg/%d", i))))
+			b.bg = append(b.bg, &bgProcess{cfg: w.Background, src: rng.New(0)})
 		} else {
 			b.bg = append(b.bg, nil)
 		}
 		if w.Batch != nil {
-			b.batch = append(b.batch, newBatchState(w.Batch, rng.Stream(cfg.Seed, fmt.Sprintf("batch/%d", i))))
+			b.batch = append(b.batch, &batchState{cfg: w.Batch, src: rng.New(0)})
 		} else {
 			b.batch = append(b.batch, nil)
 		}
 	}
-	b.faults = compileFaults(cfg.Faults, len(p.Workers))
+	if err := b.Reset(a, cfg); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// Reset rewinds the backend to time zero for a fresh run of app under
+// cfg on the same platform, reusing every structure New built: the event
+// arena, timer wheel, FCFS queues, rng streams (reseeded in place), and
+// the op table. A reset backend produces output bit-identical to a
+// freshly constructed one with the same arguments — stream seeds are
+// derived from the same labels, the clock and event sequence restart
+// from zero, and every stochastic process re-initializes exactly as in
+// New. Call it only between runs (never while the engine is mid-drain).
+func (b *Backend) Reset(a *model.Application, cfg Config) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if cfg.CommJitter < 0 {
+		return fmt.Errorf("grid: negative comm jitter %g", cfg.CommJitter)
+	}
+	if cfg.ProbeBias == 0 {
+		cfg.ProbeBias = 1
+	}
+	if cfg.ProbeBias < 0 {
+		return fmt.Errorf("grid: negative probe bias %g", cfg.ProbeBias)
+	}
+	if cfg.Shares != nil {
+		if len(cfg.Shares) != len(b.platform.Workers) {
+			return fmt.Errorf("grid: %d shares for %d workers", len(cfg.Shares), len(b.platform.Workers))
+		}
+		for w, s := range cfg.Shares {
+			if s <= 0 || s > 1 {
+				return fmt.Errorf("grid: share %g for worker %d outside (0, 1]", s, w)
+			}
+		}
+	}
+	if cfg.UplinkShare < 0 || cfg.UplinkShare > 1 {
+		return fmt.Errorf("grid: uplink share %g outside (0, 1]", cfg.UplinkShare)
+	}
+	b.app = a
+	b.cfg = cfg
+	b.eng.Reset()
+	b.timers.Reset()
+	b.downlink.Reset()
+	b.commRNG.Seed(rng.StreamSeed(cfg.Seed, "comm"))
+	for i := range b.platform.Workers {
+		b.compute[i].Reset()
+		b.compRNG[i].Seed(rng.IndexedStreamSeed(cfg.Seed, "comp/", i))
+		if b.bg[i] != nil {
+			b.bg[i].src.Seed(rng.IndexedStreamSeed(cfg.Seed, "bg/", i))
+			b.bg[i].reset()
+		}
+		if b.batch[i] != nil {
+			b.batch[i].src.Seed(rng.IndexedStreamSeed(cfg.Seed, "batch/", i))
+			b.batch[i].reset()
+		}
+	}
+	b.faults = compileFaults(cfg.Faults, len(b.platform.Workers))
+	b.ops = b.ops[:0]
+	b.opFree = b.opFree[:0]
+	return nil
+}
+
+// allocOp reserves an op-table slot.
+func (b *Backend) allocOp() int32 {
+	if n := len(b.opFree); n > 0 {
+		slot := b.opFree[n-1]
+		b.opFree = b.opFree[:n-1]
+		return slot
+	}
+	b.ops = append(b.ops, gridOp{})
+	return int32(len(b.ops) - 1)
+}
+
+// freeOp returns a slot to the table, dropping callback references.
+func (b *Backend) freeOp(slot int32) {
+	b.ops[slot] = gridOp{}
+	b.opFree = append(b.opFree, slot)
 }
 
 // Now implements engine.Backend.
@@ -160,12 +257,14 @@ func (b *Backend) CancelTimer(id uint64) {
 	b.timers.Cancel(id)
 }
 
-// Transfer implements engine.Backend: move bytes to worker w over the
-// master uplink. The engine guarantees at most one outstanding Transfer,
-// which is how the model realizes the serialized uplink. A transfer to
-// a crashed worker fails — immediately when the worker is already down,
-// at the crash instant when it dies mid-transfer.
-func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, err error)) {
+// TransferOp moves bytes to worker w over the master uplink, reporting
+// completion as done(op, start, end, err) through a long-lived callback
+// — the closure-free form of Transfer the engine's hot dispatch path
+// uses (engine.OpBackend). The engine issues at most one outstanding
+// transfer, which is how the model realizes the serialized uplink. A
+// transfer to a crashed worker fails — immediately when the worker is
+// already down, at the crash instant when it dies mid-transfer.
+func (b *Backend) TransferOp(w int, bytes float64, op uint64, done func(op uint64, start, end float64, err error)) {
 	wk := b.platform.Workers[w]
 	bw := float64(wk.Bandwidth)
 	if b.cfg.UplinkShare > 0 {
@@ -176,74 +275,122 @@ func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, e
 		d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
 	}
 	start := b.eng.Now()
+	slot := b.allocOp()
+	o := &b.ops[slot]
+	o.kind = opTransfer
+	o.w = int32(w)
+	o.op = op
+	o.done = done
+	o.start = start
+	delay := units.Seconds(d)
 	if b.faults != nil {
 		crashAt := b.faults[w].crashAt
 		if float64(start) >= crashAt {
-			b.eng.After(0, func() {
-				now := float64(b.eng.Now())
-				done(now, now, crashErr(w, crashAt))
-			})
-			return
-		}
-		if float64(start)+d > crashAt {
-			b.eng.After(units.Seconds(crashAt-float64(start)), func() {
-				done(float64(start), float64(b.eng.Now()), crashErr(w, crashAt))
-			})
-			return
+			o.err = crashErr(w, crashAt)
+			delay = 0
+		} else if float64(start)+d > crashAt {
+			o.err = crashErr(w, crashAt)
+			delay = units.Seconds(crashAt - float64(start))
 		}
 	}
-	b.eng.After(units.Seconds(d), func() {
-		done(float64(start), float64(b.eng.Now()), nil)
+	b.eng.AfterArg(delay, b.transferFireFn, uint64(slot))
+}
+
+// transferFire completes a transfer-style op: every TransferOp (and the
+// zero-byte ReturnOutputOp fast path) fires through this one callback.
+func (b *Backend) transferFire(arg uint64) {
+	slot := int32(arg)
+	o := &b.ops[slot]
+	done, op, start, err := o.done, o.op, o.start, o.err
+	b.freeOp(slot)
+	done(op, float64(start), float64(b.eng.Now()), err)
+}
+
+// Transfer implements engine.Backend: the closure form of TransferOp,
+// kept for the probing/calibration paths and non-arena callers.
+func (b *Backend) Transfer(w int, bytes float64, done func(start, end float64, err error)) {
+	b.TransferOp(w, bytes, 0, func(_ uint64, start, end float64, err error) {
+		done(start, end, err)
 	})
 }
 
-// Execute implements engine.Backend: run size load units on worker w's
-// CPU (FIFO behind whatever the worker is already doing). size 0 models a
-// no-op calibration job that costs only the computation start-up latency.
+// ExecuteOp runs size load units on worker w's CPU (FIFO behind whatever
+// the worker is already doing), reporting completion as
+// done(op, start, end, err) through a long-lived callback — the
+// closure-free form of Execute (engine.OpBackend). size 0 models a no-op
+// calibration job that costs only the computation start-up latency.
 // Probe work computes a fixed, representative input (the user's probe
 // file), so it sees the host's time-varying background load but not the
 // application's data-dependent cost variability.
-func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64, err error)) {
-	wk := b.platform.Workers[w]
+func (b *Backend) ExecuteOp(w int, size float64, probe bool, op uint64, done func(op uint64, start, end float64, err error)) {
 	b.cfg.Metrics.EnqueueCompute(b.compute[w].QueueLength())
-	var opErr error
-	b.compute[w].Enqueue(func(start units.Seconds) units.Seconds {
-		base := size * float64(b.app.UnitCost) / wk.Speed
-		if b.cfg.Shares != nil {
-			base /= b.cfg.Shares[w]
+	slot := b.allocOp()
+	o := &b.ops[slot]
+	o.kind = opExecute
+	o.w = int32(w)
+	o.probe = probe
+	o.size = size
+	o.op = op
+	o.done = done
+	b.compute[w].EnqueueArg(uint64(slot), b.execDurFn, b.execDoneFn)
+}
+
+// execDur is every compute service's duration callback: the cost model
+// evaluated at service start, with crash windows truncating the job.
+func (b *Backend) execDur(arg uint64, start units.Seconds) units.Seconds {
+	o := &b.ops[int32(arg)]
+	w := int(o.w)
+	wk := b.platform.Workers[w]
+	base := o.size * float64(b.app.UnitCost) / wk.Speed
+	if b.cfg.Shares != nil {
+		base /= b.cfg.Shares[w]
+	}
+	if o.probe {
+		base *= b.cfg.ProbeBias
+	} else {
+		base *= b.noise(w, o.size)
+	}
+	hold := 0.0
+	if b.batch[w] != nil {
+		hold = b.batch[w].startDelay(float64(start))
+		b.cfg.Metrics.BatchHold(hold)
+	}
+	stretched := base
+	if b.bg[w] != nil && base > 0 {
+		stretched = b.bg[w].finish(float64(start)+hold, base)
+	}
+	dur := hold + float64(wk.CompLatency) + stretched
+	if b.faults != nil {
+		fs := &b.faults[w]
+		if fs.crashAt <= float64(start) {
+			o.err = crashErr(w, fs.crashAt)
+			return 0
 		}
-		if probe {
-			base *= b.cfg.ProbeBias
-		} else {
-			base *= b.noise(w, size)
+		// Stall/slowdown windows stretch the computation; a crash
+		// mid-job truncates it into a failure at the crash instant.
+		dur = hold + float64(wk.CompLatency) + fs.stretch(float64(start)+hold+float64(wk.CompLatency), stretched)
+		if float64(start)+dur > fs.crashAt {
+			o.err = crashErr(w, fs.crashAt)
+			return units.Seconds(fs.crashAt - float64(start))
 		}
-		hold := 0.0
-		if b.batch[w] != nil {
-			hold = b.batch[w].startDelay(float64(start))
-			b.cfg.Metrics.BatchHold(hold)
-		}
-		stretched := base
-		if b.bg[w] != nil && base > 0 {
-			stretched = b.bg[w].finish(float64(start)+hold, base)
-		}
-		dur := hold + float64(wk.CompLatency) + stretched
-		if b.faults != nil {
-			fs := &b.faults[w]
-			if fs.crashAt <= float64(start) {
-				opErr = crashErr(w, fs.crashAt)
-				return 0
-			}
-			// Stall/slowdown windows stretch the computation; a crash
-			// mid-job truncates it into a failure at the crash instant.
-			dur = hold + float64(wk.CompLatency) + fs.stretch(float64(start)+hold+float64(wk.CompLatency), stretched)
-			if float64(start)+dur > fs.crashAt {
-				opErr = crashErr(w, fs.crashAt)
-				return units.Seconds(fs.crashAt - float64(start))
-			}
-		}
-		return units.Seconds(dur)
-	}, func(start, end units.Seconds) {
-		done(float64(start), float64(end), opErr)
+	}
+	return units.Seconds(dur)
+}
+
+// execDone is every compute service's completion callback.
+func (b *Backend) execDone(arg uint64, start, end units.Seconds) {
+	slot := int32(arg)
+	o := &b.ops[slot]
+	done, op, err := o.done, o.op, o.err
+	b.freeOp(slot)
+	done(op, float64(start), float64(end), err)
+}
+
+// Execute implements engine.Backend: the closure form of ExecuteOp, kept
+// for the probing/calibration paths and non-arena callers.
+func (b *Backend) Execute(w int, size float64, probe bool, done func(start, end float64, err error)) {
+	b.ExecuteOp(w, size, probe, 0, func(_ uint64, start, end float64, err error) {
+		done(start, end, err)
 	})
 }
 
@@ -263,41 +410,70 @@ func (b *Backend) noise(w int, size float64) float64 {
 	return b.compRNG[w].TruncNormal(1, cv, 0.1)
 }
 
-// ReturnOutput implements engine.Backend: move output bytes from worker w
-// back to the master over the downlink (FIFO, parallel to the uplink).
-// Zero bytes complete immediately without occupying the downlink.
-func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float64, err error)) {
+// ReturnOutputOp moves output bytes from worker w back to the master
+// over the downlink (FIFO, parallel to the uplink), reporting completion
+// as done(op, start, end, err) through a long-lived callback — the
+// closure-free form of ReturnOutput (engine.OpBackend). Zero bytes
+// complete immediately without occupying the downlink.
+func (b *Backend) ReturnOutputOp(w int, bytes float64, op uint64, done func(op uint64, start, end float64, err error)) {
+	slot := b.allocOp()
+	o := &b.ops[slot]
+	o.w = int32(w)
+	o.op = op
+	o.done = done
 	if bytes <= 0 {
-		now := float64(b.eng.Now())
-		b.eng.After(0, func() { done(now, now, nil) })
+		o.kind = opTransfer // transfer-style fire: done(now, now, nil)
+		o.start = b.eng.Now()
+		b.eng.AfterArg(0, b.transferFireFn, uint64(slot))
 		return
 	}
+	o.kind = opReturn
+	o.size = bytes
+	b.downlink.EnqueueArg(uint64(slot), b.returnDurFn, b.returnDoneFn)
+}
+
+// returnDur is every downlink service's duration callback.
+func (b *Backend) returnDur(arg uint64, start units.Seconds) units.Seconds {
+	o := &b.ops[int32(arg)]
+	w := int(o.w)
 	wk := b.platform.Workers[w]
-	var opErr error
-	b.downlink.Enqueue(func(start units.Seconds) units.Seconds {
-		bw := float64(wk.Bandwidth)
-		if b.cfg.UplinkShare > 0 {
-			bw *= b.cfg.UplinkShare
+	bw := float64(wk.Bandwidth)
+	if b.cfg.UplinkShare > 0 {
+		bw *= b.cfg.UplinkShare
+	}
+	d := float64(wk.CommLatency) + o.size/bw
+	if b.cfg.CommJitter > 0 {
+		d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
+	}
+	if b.faults != nil {
+		fs := &b.faults[w]
+		if fs.crashAt <= float64(start) {
+			o.err = crashErr(w, fs.crashAt)
+			return 0
 		}
-		d := float64(wk.CommLatency) + bytes/bw
-		if b.cfg.CommJitter > 0 {
-			d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
+		if float64(start)+d > fs.crashAt {
+			o.err = crashErr(w, fs.crashAt)
+			return units.Seconds(fs.crashAt - float64(start))
 		}
-		if b.faults != nil {
-			fs := &b.faults[w]
-			if fs.crashAt <= float64(start) {
-				opErr = crashErr(w, fs.crashAt)
-				return 0
-			}
-			if float64(start)+d > fs.crashAt {
-				opErr = crashErr(w, fs.crashAt)
-				return units.Seconds(fs.crashAt - float64(start))
-			}
-		}
-		return units.Seconds(d)
-	}, func(start, end units.Seconds) {
-		b.cfg.Metrics.DownlinkBusy(float64(end - start))
-		done(float64(start), float64(end), opErr)
+	}
+	return units.Seconds(d)
+}
+
+// returnDone is every downlink service's completion callback.
+func (b *Backend) returnDone(arg uint64, start, end units.Seconds) {
+	slot := int32(arg)
+	o := &b.ops[slot]
+	done, op, err := o.done, o.op, o.err
+	b.freeOp(slot)
+	b.cfg.Metrics.DownlinkBusy(float64(end - start))
+	done(op, float64(start), float64(end), err)
+}
+
+// ReturnOutput implements engine.Backend: the closure form of
+// ReturnOutputOp, kept for non-arena callers.
+func (b *Backend) ReturnOutput(w int, bytes float64, done func(start, end float64, err error)) {
+	b.ReturnOutputOp(w, bytes, 0, func(_ uint64, start, end float64, err error) {
+		done(start, end, err)
 	})
 }
 
@@ -314,12 +490,19 @@ type bgProcess struct {
 
 func newBGProcess(cfg *model.BackgroundLoad, src *rng.Source) *bgProcess {
 	p := &bgProcess{cfg: cfg, src: src}
+	p.reset()
+	return p
+}
+
+// reset re-derives the process's initial state from its (re-seeded)
+// source, drawing exactly as construction does.
+func (p *bgProcess) reset() {
+	p.t = 0
 	// Start in the stationary distribution so early chunks see the same
 	// load climate as late ones.
-	pOn := float64(cfg.MeanOn) / float64(cfg.MeanOn+cfg.MeanOff)
+	pOn := float64(p.cfg.MeanOn) / float64(p.cfg.MeanOn+p.cfg.MeanOff)
 	p.on = p.src.Float64() < pOn
 	p.nextSwitch = p.src.Exp(p.meanSojourn())
-	return p
 }
 
 func (p *bgProcess) meanSojourn() float64 {

@@ -56,12 +56,16 @@ type MultiJobStatus struct {
 }
 
 // SharePolicy decides the active jobs' share vectors at every
-// membership change (arrival, completion). It returns per-job vectors
-// over ALL the platform's workers; jobs absent from the result keep
-// their current shares. nil disables revision entirely — each job keeps
-// the full share of its own subset, which is the strict-partition
-// baseline when subsets are disjoint.
-type SharePolicy func(active []MultiJobStatus, workers int) map[int][]float64
+// membership change (arrival, completion). shares is parallel to
+// active: shares[i] is active[i]'s vector over ALL the platform's
+// workers, and the policy must overwrite EVERY element of every row —
+// the caller passes its live vectors in place, so stale entries
+// survive anything the policy skips. Policy values may keep internal
+// scratch between calls and are therefore not safe for concurrent use;
+// construct one per consumer. nil disables revision entirely — each
+// job keeps the full share of its own subset, which is the
+// strict-partition baseline when subsets are disjoint.
+type SharePolicy func(active []MultiJobStatus, workers int, shares [][]float64)
 
 // minShare floors the sampled share so a revision to (or near) zero
 // stretches a chunk enormously instead of dividing by zero. Policies
@@ -84,6 +88,11 @@ type MultiWorld struct {
 	finished   []bool
 	finishedAt []float64
 	reshares   int
+
+	// reshare scratch, reused across revisions so the event path stays
+	// allocation-free once every job has arrived.
+	actBuf []MultiJobStatus
+	rowBuf [][]float64
 
 	mu       sync.Mutex // guards the Run barrier only
 	runCalls int
@@ -167,21 +176,21 @@ func (w *MultiWorld) reshare() {
 	if w.policy == nil {
 		return
 	}
-	var act []MultiJobStatus
+	act := w.actBuf[:0]
+	rows := w.rowBuf[:0]
 	for i, v := range w.views {
 		if w.active[i] && !w.finished[i] {
 			act = append(act, MultiJobStatus{Job: i, Remaining: w.remaining[i], Workers: v.workers})
+			rows = append(rows, w.share[i])
 		}
 	}
+	w.actBuf, w.rowBuf = act, rows
 	if len(act) == 0 {
 		return
 	}
-	n := len(w.platform.Workers)
-	for id, vec := range w.policy(act, n) {
-		if id >= 0 && id < len(w.share) && len(vec) == n {
-			w.share[id] = vec
-		}
-	}
+	// The policy rewrites the live share vectors in place — no vectors
+	// change hands, so a revision allocates nothing.
+	w.policy(act, len(w.platform.Workers), rows)
 	w.reshares++
 	// Preempt: in-flight chunks of every surviving job progress at the
 	// revised rate from this instant (finished jobs have no in-flight

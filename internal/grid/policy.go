@@ -8,6 +8,11 @@ package grid
 // worker's share mass is split only among the active jobs entitled to
 // it, and a job's departure hands its mass back to the survivors at the
 // next revision.
+//
+// Policies write into caller-provided rows rather than returning fresh
+// vectors, so a revision allocates nothing on the world's event path; a
+// policy value may keep internal scratch between calls, which is why
+// each concurrent consumer constructs its own (see SharePolicy).
 
 // srptShareFloor is the minimum share an active job keeps on each of
 // its workers under SRPT weighting. Pure SRPT drives the longest job's
@@ -15,25 +20,50 @@ package grid
 // stretch the retry layer would have to absorb; the floor bounds both.
 const srptShareFloor = 0.05
 
+// growCounts returns s with length n and every element zeroed, growing
+// only when capacity is short; growShares is its float64 twin.
+func growCounts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growShares(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // FairPolicy splits every worker evenly among the active jobs entitled
 // to it: processor-sharing across jobs, the natural fairness baseline.
 func FairPolicy() SharePolicy {
-	return func(active []MultiJobStatus, workers int) map[int][]float64 {
-		counts := make([]int, workers)
+	var counts []int
+	return func(active []MultiJobStatus, workers int, shares [][]float64) {
+		counts = growCounts(counts, workers)
 		for _, j := range active {
 			for _, w := range j.Workers {
 				counts[w]++
 			}
 		}
-		out := make(map[int][]float64, len(active))
-		for _, j := range active {
-			vec := make([]float64, workers)
+		for i, j := range active {
+			vec := shares[i]
+			for w := range vec {
+				vec[w] = 0
+			}
 			for _, w := range j.Workers {
 				vec[w] = 1 / float64(counts[w])
 			}
-			out[j.Job] = vec
 		}
-		return out
 	}
 }
 
@@ -43,27 +73,31 @@ func FairPolicy() SharePolicy {
 // per-job floor so nothing starves. With equal remaining loads it
 // degenerates to FairPolicy.
 func SRPTPolicy() SharePolicy {
-	return func(active []MultiJobStatus, workers int) map[int][]float64 {
+	var weight, sum []float64
+	var counts []int
+	return func(active []MultiJobStatus, workers int, shares [][]float64) {
 		const epsLoad = 1e-9
-		weight := make(map[int]float64, len(active))
-		for _, j := range active {
+		weight = growShares(weight, len(active))
+		for i, j := range active {
 			r := j.Remaining
 			if r < epsLoad {
 				r = epsLoad
 			}
-			weight[j.Job] = 1 / r
+			weight[i] = 1 / r
 		}
-		sum := make([]float64, workers)
-		counts := make([]int, workers)
-		for _, j := range active {
+		sum = growShares(sum, workers)
+		counts = growCounts(counts, workers)
+		for i, j := range active {
 			for _, w := range j.Workers {
-				sum[w] += weight[j.Job]
+				sum[w] += weight[i]
 				counts[w]++
 			}
 		}
-		out := make(map[int][]float64, len(active))
-		for _, j := range active {
-			vec := make([]float64, workers)
+		for i, j := range active {
+			vec := shares[i]
+			for w := range vec {
+				vec[w] = 0
+			}
 			for _, w := range j.Workers {
 				// Blend the weighted split with a uniform floor: each of
 				// the k entitled jobs keeps at least `floor`, and the
@@ -73,10 +107,8 @@ func SRPTPolicy() SharePolicy {
 				if k := counts[w]; floor > 1/float64(k) {
 					floor = 1 / float64(k)
 				}
-				vec[w] = floor + (1-floor*float64(counts[w]))*weight[j.Job]/sum[w]
+				vec[w] = floor + (1-floor*float64(counts[w]))*weight[i]/sum[w]
 			}
-			out[j.Job] = vec
 		}
-		return out
 	}
 }

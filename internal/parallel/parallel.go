@@ -23,6 +23,24 @@ import (
 // non-positive width: one worker per available CPU.
 func DefaultWidth() int { return runtime.GOMAXPROCS(0) }
 
+// Width resolves the effective pool width ForEach and ForEachSlot use
+// for n tasks: non-positive means DefaultWidth, and the pool never
+// exceeds the task count. Callers sizing per-slot scratch (one reusable
+// workspace per worker goroutine) use it to allocate exactly one slot
+// per worker.
+func Width(n, width int) int {
+	if width <= 0 {
+		width = DefaultWidth()
+	}
+	if width > n {
+		width = n
+	}
+	if width < 1 {
+		width = 1
+	}
+	return width
+}
+
 // ForEach runs fn(i) for every i in [0, n) on a pool of `width` worker
 // goroutines (width <= 0 means DefaultWidth). It returns after every
 // started task has finished.
@@ -38,18 +56,25 @@ func DefaultWidth() int { return runtime.GOMAXPROCS(0) }
 // tasks run in index order on the calling goroutine and the first
 // error returns immediately.
 func ForEach(n, width int, fn func(i int) error) error {
+	return ForEachSlot(n, width, func(_, i int) error { return fn(i) })
+}
+
+// ForEachSlot is ForEach with worker identity: fn receives the worker
+// slot (0 ≤ slot < Width(n, width)) alongside the task index. A slot
+// runs at most one task at a time, so per-slot scratch — a reusable
+// backend, an engine arena — may be mutated freely by the task without
+// synchronization, which is what lets repeated simulated runs recycle
+// their allocations across the pool. Task-to-slot assignment is
+// scheduling-dependent; determinism must come from the tasks, never
+// from which slot ran them.
+func ForEachSlot(n, width int, fn func(slot, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	if width <= 0 {
-		width = DefaultWidth()
-	}
-	if width > n {
-		width = n
-	}
+	width = Width(n, width)
 	if width == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -67,7 +92,7 @@ func ForEach(n, width int, fn func(i int) error) error {
 	)
 	for w := 0; w < width; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				if stopped.Load() {
@@ -77,7 +102,7 @@ func ForEach(n, width int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(slot, i); err != nil {
 					mu.Lock()
 					if i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -87,7 +112,7 @@ func ForEach(n, width int, fn func(i int) error) error {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

@@ -11,7 +11,6 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math"
 	"math/bits"
 )
@@ -28,36 +27,92 @@ type Source struct {
 // recommended initialization for xoshiro.
 func New(seed uint64) *Source {
 	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed re-initializes the source in place from a 64-bit seed, exactly as
+// New does, so long-lived components (a reusable grid backend) can
+// reseed their streams across runs without allocating.
+func (s *Source) Seed(seed uint64) {
 	sm := seed
-	next := func() uint64 {
+	for i := range s.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-	for i := range src.s {
-		src.s[i] = next()
+		s.s[i] = z ^ (z >> 31)
 	}
 	// xoshiro must not start from the all-zero state.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
+}
+
+// fnv64a hash parameters (FNV-1a, 64-bit), inlined so stream derivation
+// never allocates a hash.Hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvSeed feeds the parent seed's eight little-endian bytes into a fresh
+// FNV-1a state — the common prefix of every stream-label hash.
+func fnvSeed(seed uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(seed >> (8 * i)))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvString mixes a string into an FNV-1a state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// StreamSeed returns the derived 64-bit seed Stream would use for the
+// given (seed, label) pair, so a caller holding a live Source can reseed
+// it in place instead of allocating a new one.
+func StreamSeed(seed uint64, label string) uint64 {
+	return fnvString(fnvSeed(seed), label)
+}
+
+// IndexedStreamSeed is StreamSeed for labels of the form
+// prefix + decimal(i) — e.g. ("comp/", 3) hashes identically to the
+// label "comp/3" — without formatting the label. Negative i panics.
+func IndexedStreamSeed(seed uint64, prefix string, i int) uint64 {
+	if i < 0 {
+		panic("rng: IndexedStreamSeed with negative index")
+	}
+	h := fnvString(fnvSeed(seed), prefix)
+	var buf [20]byte
+	n := len(buf)
+	for {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+		if i == 0 {
+			break
+		}
+	}
+	for ; n < len(buf); n++ {
+		h ^= uint64(buf[n])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // Stream derives an independent child source from a parent seed and a
 // textual label. Identical (seed, label) pairs always yield identical
 // streams.
 func Stream(seed uint64, label string) *Source {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(seed >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(label))
-	return New(h.Sum64())
+	return New(StreamSeed(seed, label))
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -247,5 +248,28 @@ func TestPermShuffles(t *testing.T) {
 	}
 	if identity > 2 {
 		t.Errorf("identity permutation appeared %d/100 times", identity)
+	}
+}
+
+func TestIndexedStreamSeedMatchesFormattedLabel(t *testing.T) {
+	for _, seed := range []uint64{0, 7, 1 << 40} {
+		for _, i := range []int{0, 1, 9, 10, 42, 12345} {
+			want := StreamSeed(seed, fmt.Sprintf("comp/%d", i))
+			if got := IndexedStreamSeed(seed, "comp/", i); got != want {
+				t.Fatalf("seed=%d i=%d: got %#x want %#x", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSeedReinitializesInPlace(t *testing.T) {
+	fresh := New(99)
+	s := New(1)
+	s.Uint64()
+	s.Seed(99)
+	for i := 0; i < 16; i++ {
+		if got, want := s.Uint64(), fresh.Uint64(); got != want {
+			t.Fatalf("draw %d: reseeded source diverged: %#x vs %#x", i, got, want)
+		}
 	}
 }

@@ -6,6 +6,11 @@ import "apstdv/internal/units"
 // arrival order — a worker CPU, a download link. The master uplink is
 // serialized at the engine layer instead (at most one outstanding
 // transfer), so the simulator only needs per-worker queues.
+//
+// Service completion fires through one method value built at
+// construction (engine AtArg dispatch), and EnqueueArg offers a
+// closure-free request form, so a queue on a hot path can serve without
+// touching the heap at all.
 type FCFSQueue struct {
 	eng  *Engine
 	busy bool
@@ -16,27 +21,67 @@ type FCFSQueue struct {
 	pending []request
 	head    int
 	served  int
+	// cur is the request in service, with its service window; fireFn is
+	// the queue's only engine callback, built once in NewFCFSQueue.
+	cur              request
+	curStart, curEnd units.Seconds
+	fireFn           func(uint64)
 }
 
+// request is one queued service demand, in exactly one of two forms:
+// closures (durFn/done) or long-lived callbacks dispatched with arg
+// (durArgFn/doneArgFn, see EnqueueArg).
 type request struct {
 	// durFn is evaluated when service begins, not at enqueue time, so
 	// time-varying effects (background load) see the correct clock.
 	durFn func(start units.Seconds) units.Seconds
 	done  func(start, end units.Seconds)
+
+	durArgFn  func(arg uint64, start units.Seconds) units.Seconds
+	doneArgFn func(arg uint64, start, end units.Seconds)
+	arg       uint64
 }
 
 // NewFCFSQueue returns an idle queue on the given engine.
 func NewFCFSQueue(eng *Engine) *FCFSQueue {
-	return &FCFSQueue{eng: eng}
+	q := &FCFSQueue{eng: eng}
+	q.fireFn = q.fire
+	return q
 }
 
 // Enqueue requests service for a duration that may depend on the service
 // start time. done(start, end) fires when service completes.
 func (q *FCFSQueue) Enqueue(durFn func(start units.Seconds) units.Seconds, done func(start, end units.Seconds)) {
-	q.pending = append(q.pending, request{durFn, done})
+	q.pending = append(q.pending, request{durFn: durFn, done: done})
 	if !q.busy {
 		q.startNext()
 	}
+}
+
+// EnqueueArg is Enqueue's closure-free form: durFn and done are
+// long-lived callbacks that receive arg back, so enqueuing many
+// requests through one pair of callbacks allocates nothing beyond the
+// queue's own amortized growth.
+func (q *FCFSQueue) EnqueueArg(arg uint64, durFn func(arg uint64, start units.Seconds) units.Seconds, done func(arg uint64, start, end units.Seconds)) {
+	q.pending = append(q.pending, request{durArgFn: durFn, doneArgFn: done, arg: arg})
+	if !q.busy {
+		q.startNext()
+	}
+}
+
+// Reset returns the queue to idle with no history, keeping the pending
+// buffer's capacity. Call it alongside Engine.Reset — any in-service
+// completion event died with the engine's schedule.
+func (q *FCFSQueue) Reset() {
+	for i := range q.pending {
+		q.pending[i] = request{}
+	}
+	q.pending = q.pending[:0]
+	q.head = 0
+	q.served = 0
+	q.busy = false
+	q.cur = request{}
+	q.curStart, q.curEnd = 0, 0
 }
 
 func (q *FCFSQueue) startNext() {
@@ -51,16 +96,34 @@ func (q *FCFSQueue) startNext() {
 	q.head++
 	q.busy = true
 	start := q.eng.Now()
-	d := req.durFn(start)
+	var d units.Seconds
+	if req.durFn != nil {
+		d = req.durFn(start)
+	} else {
+		d = req.durArgFn(req.arg, start)
+	}
 	if d < 0 {
 		d = 0
 	}
 	end := start + d
-	q.eng.At(end, func() {
-		q.served++
+	q.cur = req
+	q.curStart, q.curEnd = start, end
+	q.eng.AtArg(end, q.fireFn, 0)
+}
+
+// fire completes the in-service request: it is the engine callback for
+// every service end, dispatched without a closure.
+func (q *FCFSQueue) fire(uint64) {
+	req := q.cur
+	start, end := q.curStart, q.curEnd
+	q.cur = request{}
+	q.served++
+	if req.done != nil {
 		req.done(start, end)
-		q.startNext()
-	})
+	} else {
+		req.doneArgFn(req.arg, start, end)
+	}
+	q.startNext()
 }
 
 // Busy reports whether the resource is serving or has waiting requests.

@@ -89,14 +89,21 @@ func (e *Engine) At(t units.Seconds, fn func()) Handle {
 	return h
 }
 
-// atArg schedules fnArg(arg) at time t: the closure-free internal form,
-// for callers that schedule many events through one shared callback.
-func (e *Engine) atArg(t units.Seconds, fnArg func(uint64), arg uint64) Handle {
+// AtArg schedules fnArg(arg) at time t: the closure-free form, for
+// callers that schedule many events through one long-lived callback
+// dispatched by argument (the timer wheel, the grid backend's op
+// table). It is At without the per-event closure allocation.
+func (e *Engine) AtArg(t units.Seconds, fnArg func(uint64), arg uint64) Handle {
 	h := e.schedule(t)
 	ev := &e.arena[h.slot]
 	ev.fnArg = fnArg
 	ev.arg = arg
 	return h
+}
+
+// AfterArg schedules fnArg(arg) d seconds from now. Negative d panics.
+func (e *Engine) AfterArg(d units.Seconds, fnArg func(uint64), arg uint64) Handle {
+	return e.AtArg(e.now+d, fnArg, arg)
 }
 
 // schedule allocates and files a slot at time t with no callback yet.
@@ -132,6 +139,26 @@ func (e *Engine) After(d units.Seconds, fn func()) Handle {
 // Pending returns the number of live scheduled events. Cancellation is
 // eager, so this is the heap length — O(1), never a scan.
 func (e *Engine) Pending() int { return len(e.order) }
+
+// Reset returns the engine to its initial state — clock at zero,
+// sequence counter at zero, no pending events — while keeping the arena,
+// heap, and free-list capacity, so a reset engine schedules without
+// allocating. Every arena generation is bumped, so handles from before
+// the reset go stale. Because (at, seq) restart from zero, a reset
+// engine replays an identical schedule of calls into identical firing
+// order: resets are invisible to deterministic output.
+func (e *Engine) Reset() {
+	e.now, e.seq = 0, 0
+	e.order = e.order[:0]
+	e.free = e.free[:0]
+	for i := range e.arena {
+		ev := &e.arena[i]
+		ev.fn, ev.fnArg, ev.arg = nil, nil, 0
+		ev.pos = -1
+		ev.gen++
+		e.free = append(e.free, int32(i))
+	}
+}
 
 // Step fires the earliest event and advances the clock to it. It returns
 // false when no live events remain.

@@ -155,6 +155,30 @@ func (w *Timers) Cancel(id TimerID) {
 // Pending returns the number of armed timers.
 func (w *Timers) Pending() int { return w.armed }
 
+// Reset disarms every timer and empties every bucket while keeping the
+// arena and free-list capacity, bumping generations so pre-reset ids go
+// stale. Call it alongside Engine.Reset — the bucket boundary events the
+// wheel had scheduled die with the engine's schedule, so the wheel must
+// not believe they are still pending.
+func (w *Timers) Reset() {
+	w.armed = 0
+	w.free = w.free[:0]
+	for i := range w.arena {
+		tm := &w.arena[i]
+		tm.fn = nil
+		tm.next = 0
+		tm.exact = false
+		tm.exactH = Handle{}
+		tm.gen++
+		w.free = append(w.free, int32(i))
+	}
+	for l := range w.levels {
+		for b := range w.levels[l].buckets {
+			w.levels[l].buckets[b] = bucket{}
+		}
+	}
+}
+
 // release returns a timer slot to the free list, invalidating
 // outstanding ids.
 func (w *Timers) release(slot int32) {
@@ -192,7 +216,7 @@ func (w *Timers) file(slot int32) {
 		if at < now {
 			at = now // float guard; a filed timer is never logically past
 		}
-		tm.exactH = w.eng.atArg(at, w.fireFn, uint64(slot))
+		tm.exactH = w.eng.AtArg(at, w.fireFn, uint64(slot))
 		return
 	}
 	// Pick the finest level whose span covers d: width(l) =
@@ -221,7 +245,7 @@ func (w *Timers) file(slot int32) {
 		if start < now {
 			start = now // float guard, see above
 		}
-		b.openH = w.eng.atArg(start, w.openFn, uint64(level)<<32|uint64(uint32(idx)))
+		b.openH = w.eng.AtArg(start, w.openFn, uint64(level)<<32|uint64(uint32(idx)))
 	}
 	b.live++
 	if b.head == 0 {

@@ -55,6 +55,13 @@ func New(algorithm, platform string) *Trace {
 	return &Trace{Algorithm: algorithm, Platform: platform}
 }
 
+// Reset empties the trace and relabels it, keeping the record buffer's
+// capacity so a reused trace accumulates without reallocating.
+func (t *Trace) Reset(algorithm, platform string) {
+	t.Algorithm, t.Platform = algorithm, platform
+	t.recs = t.recs[:0]
+}
+
 // Add appends a record.
 func (t *Trace) Add(r Record) { t.recs = append(t.recs, r) }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the race build tag so exact allocation-count
+// assertions can skip themselves: race instrumentation allocates on
+// paths that are allocation-free in a normal build, which would fail
+// counts that are correct claims about the shipped code.
+const raceEnabled = true

@@ -8,13 +8,16 @@
 # BenchmarkFaultPathOverhead (the chunk-lifecycle retry layer disabled,
 # armed-but-idle, and exercised by a crash) under -benchmem, and writes
 # BENCH_<n>.json at the repository root — ns/op, B/op, and allocs/op per
-# variant — so the perf trajectory is tracked PR over PR. The recorded
-# ring_overhead_pct / idle_overhead_pct come from the *Paired*
-# benchmarks (baseline and instrumented runs alternated within one
-# iteration loop), which cancel the ±10% window-to-window drift a
-# shared machine imposes on the sequential variants; the
-# trace_enabled/disabled overheads come from BenchmarkTraceOverheadPaired
-# (min-of-samples within a pass, minimum across passes). The serving
+# variant — so the perf trajectory is tracked PR over PR; runner rows
+# also carry b_per_op / allocs_per_op deltas against the previous
+# snapshot, tracking the runner's allocation trajectory alongside its
+# wall time. The recorded ring_overhead_pct / idle_overhead_pct /
+# trace_* overheads come from the *Paired* benchmarks: baseline and
+# instrumented runs alternated within one iteration loop (cancelling
+# the ±10% window-to-window drift a shared machine imposes on the
+# sequential variants), compared on the minimum sample of each side
+# (discarding GC pauses, which land asymmetrically on the allocating
+# side and bias a mean by several points). The serving
 # object carries per-stage latency attribution (decode, admission,
 # queue, lease, execute) from the daemons' trace collectors. When
 # BENCH_<n-1>.json exists, the obs-ring, retry-idle, and trace-enabled
@@ -30,11 +33,15 @@ out="BENCH_${n}.json"
 
 # Previous snapshot, for before/after deltas.
 prev="BENCH_$((n - 1)).json"
-prev_ring=""; prev_idle=""; prev_trace=""
+prev_ring=""; prev_idle=""; prev_trace=""; prev_runner=""
 if [ -f "$prev" ]; then
     prev_ring=$(sed -n 's/.*"ring_overhead_pct": *\([0-9.+-]*\).*/\1/p' "$prev" | head -1)
     prev_idle=$(sed -n 's/.*"idle_overhead_pct": *\([0-9.+-]*\).*/\1/p' "$prev" | head -1)
     prev_trace=$(sed -n 's/.*"trace_enabled_overhead_pct": *\([0-9.+-]*\).*/\1/p' "$prev" | head -1)
+    # Per-width "width:b_per_op:allocs_per_op" triples from the runner
+    # rows, so the allocation trajectory of the runner itself is tracked
+    # PR over PR alongside its wall time.
+    prev_runner=$(sed -n 's/.*"width": *\([0-9]*\),.*"b_per_op": *\([0-9]*\), *"allocs_per_op": *\([0-9]*\).*/\1:\2:\3/p' "$prev" | tr '\n' ' ')
 fi
 
 # Three full passes over all benchmarks, interleaved at the pass level;
@@ -53,7 +60,7 @@ echo "$raw"
 
 echo "$raw" | awk -v out="$out" -v prev="$prev" \
                   -v prev_ring="$prev_ring" -v prev_idle="$prev_idle" \
-                  -v prev_trace="$prev_trace" '
+                  -v prev_trace="$prev_trace" -v prev_runner="$prev_runner" '
 # Pull the value preceding each unit label, wherever the column lands
 # (custom metrics shift positions).
 function metric(unit,   i) {
@@ -84,10 +91,18 @@ function variant(   parts) {
     if (!(m in fault) || v + 0 < fault[m] + 0) fault[m] = v
     faultB[m] = metric("B/op"); faultA[m] = metric("allocs/op")
 }
-/^BenchmarkObsOverheadPaired/ { pr_sum += metric("ring-overhead-pct"); pr_n++ }
-/^BenchmarkFaultPathOverheadPaired/ { pi_sum += metric("idle-overhead-pct"); pi_n++ }
-# The trace paired benchmarks already report a min-of-samples estimate;
+# Every paired benchmark reports a min-of-samples estimate per pass;
 # keep the minimum across passes, matching the ns/op treatment.
+/^BenchmarkObsOverheadPaired/ {
+    v = metric("ring-overhead-pct")
+    if (!pr_n || v + 0 < pr + 0) pr = v
+    pr_n++
+}
+/^BenchmarkFaultPathOverheadPaired/ {
+    v = metric("idle-overhead-pct")
+    if (!pi_n || v + 0 < pi + 0) pi = v
+    pi_n++
+}
 /^BenchmarkTraceOverheadPaired\/enabled/ {
     v = metric("trace-overhead-pct")
     if (!te_n || v + 0 < te + 0) te = v
@@ -102,12 +117,23 @@ function variant(   parts) {
 END {
     if (order == "") { print "bench.sh: no BenchmarkRunnerParallelism results" > "/dev/stderr"; exit 1 }
     split(order, ws, " ")
+    # Previous snapshot runner rows (width:b_per_op:allocs_per_op).
+    nprev = split(prev_runner, prevRows, " ")
+    for (i = 1; i <= nprev; i++) {
+        split(prevRows[i], rowF, ":")
+        prevB[rowF[1]] = rowF[2]; prevA[rowF[1]] = rowF[3]
+    }
     printf "{\n  \"benchmark\": \"BenchmarkRunnerParallelism\",\n" > out
     printf "  \"cpu\": \"%s\",\n  \"results\": [\n", cpu > out
     for (i = 1; i <= length(ws); i++) {
         w = ws[i]
-        printf "    {\"width\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            w, ns[w], bytes[w], allocs[w], (i < length(ws) ? "," : "") > out
+        printf "    {\"width\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s", \
+            w, ns[w], bytes[w], allocs[w] > out
+        if (w in prevA && prevA[w] + 0 > 0)
+            printf ", \"b_per_op_prev\": %s, \"b_per_op_delta_pct\": %.1f, \"allocs_per_op_prev\": %s, \"allocs_per_op_delta_pct\": %.1f", \
+                prevB[w], (bytes[w] / prevB[w] - 1) * 100, \
+                prevA[w], (allocs[w] / prevA[w] - 1) * 100 > out
+        printf "}%s\n", (i < length(ws) ? "," : "") > out
     }
     printf "  ],\n" > out
     seq = ns[ws[1]]; par = ns[ws[length(ws)]]
@@ -115,7 +141,7 @@ END {
     if ("none" in obs) {
         # Paired measurement when present; ratio of sequential minimums
         # (drift-prone) as the fallback.
-        if (pr_n > 0) ring_pct = pr_sum / pr_n
+        if (pr_n > 0) ring_pct = pr
         else ring_pct = (obs["none"] > 0 ? (obs["ring"] / obs["none"] - 1) * 100 : 0)
         printf ",\n  \"obs_overhead\": {\n" > out
         printf "    \"none_ns_per_op\": %s,\n", obs["none"] > out
@@ -133,7 +159,7 @@ END {
         printf "\n  }" > out
     }
     if ("off" in fault) {
-        if (pi_n > 0) idle_pct = pi_sum / pi_n
+        if (pi_n > 0) idle_pct = pi
         else idle_pct = (fault["off"] > 0 ? (fault["idle"] / fault["off"] - 1) * 100 : 0)
         printf ",\n  \"fault_path\": {\n" > out
         printf "    \"retry_off_ns_per_op\": %s,\n", fault["off"] > out
