@@ -11,7 +11,7 @@ FUZZ_TARGETS = divide:FuzzUniformCutAfter divide:FuzzIndexCutAfter \
                divide:FuzzContinuousCutAfter divide:FuzzWorkUnitsCutAfter \
                divide:FuzzScanSeparators sim:FuzzHeapInvariant
 
-.PHONY: all build vet test race race-fault race-daemon race-transport race-trace race-cosched fuzz-smoke bench-smoke lint check bench
+.PHONY: all build vet test race race-fault race-daemon race-transport race-trace race-cosched race-net fuzz-smoke bench-smoke lint check bench
 
 all: check
 
@@ -66,6 +66,15 @@ race-cosched:
 race-trace:
 	$(GO) test -race ./internal/obs/trace
 	$(GO) test -race -run 'Trace' ./internal/transport ./internal/daemon ./internal/client ./internal/engine
+
+# race-net drives the link-graph network model and peer redistribution
+# under the race detector: topology construction and validation, the
+# fluid fair-share rescaling in the grid backend, peer transfers with
+# crash truncation, the engine's redistribution retry path, and the
+# redistribution sweep across parallel runner widths.
+race-net:
+	$(GO) test -race -run 'Topology|Link|Peer|Redistrib|NewPlatform' \
+		./internal/model ./internal/grid ./internal/engine ./internal/experiment
 
 # fuzz-smoke gives every fuzz target a 2-second run: long enough to
 # catch a freshly broken invariant, short enough for every `make check`.
@@ -138,7 +147,7 @@ lint: vet
 		echo "lint: (install with: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-check: build vet race race-fault race-daemon race-transport race-trace race-cosched fuzz-smoke bench-smoke lint
+check: build vet race race-fault race-daemon race-transport race-trace race-cosched race-net fuzz-smoke bench-smoke lint
 
 # bench records the runner's sequential-vs-parallel wall time and the
 # observability layer's overhead into BENCH_<n>.json (see

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures")
+		run       = flag.String("run", "all", "experiment to run: all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures, serving, multijob, redistrib")
 		runs      = flag.Int("runs", 10, "repetitions per (algorithm, γ) cell (paper: 10)")
 		seed      = flag.Uint64("seed", 0, "base seed override (0 = experiment default)")
 		csvDir    = flag.String("csvdir", "", "also write per-experiment plot data CSVs into this directory")
@@ -40,6 +41,7 @@ func main() {
 		parWidth  = flag.Int("parallel", 0, "worker-pool width for the run fan-out (0 = one per CPU; output is identical at every width)")
 		eventsDir = flag.String("events-dir", "", "dump every run's scheduler event stream as JSONL into this directory")
 		derived   = flag.Bool("derived", false, "also print the derived-metrics table (uplink utilization, worker idle fraction, measured γ)")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of a table (redistrib only)")
 	)
 	flag.Parse()
 
@@ -177,8 +179,41 @@ func main() {
 		ran = true
 	}
 
+	// The redistribution sweep is explicit-only as well: it compares the
+	// engine's two retry paths (master re-staging vs worker-to-worker
+	// redistribution) on the star and tree topologies, beyond the paper's
+	// reliable-testbed scope.
+	if want == "redistrib" {
+		rs := experiment.DefaultRedistributionSweep()
+		rs.Runs = *runs
+		rs.Parallelism = *parWidth
+		if *seed != 0 {
+			rs.Seed = *seed
+		}
+		cells, err := rs.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			out := struct {
+				Cells                []experiment.RedistributionCell `json:"cells"`
+				MeanPeerAdvantagePct float64                         `json:"mean_peer_advantage_pct"`
+			}{cells, experiment.MeanPeerAdvantagePct(cells)}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(experiment.RenderRedistribution(cells))
+		}
+		ran = true
+	}
+
 	if !ran {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures, serving, multijob)\n", *run)
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all, table1, fig2, fig3, fig4, casestudy, discussion, sweep, extended, failures, serving, multijob, redistrib)\n", *run)
 		os.Exit(2)
 	}
 }

@@ -355,7 +355,7 @@ func decodeJob(d *transport.Dec, j *Job) {
 // fields: a typical scheduler event has 4–6 of the 31 fields set, and
 // bool fields live entirely in the bitmap. Bit positions are the wire
 // contract; append new fields at the next free bit.
-const eventWireFields = 31 // keep equal to the obs.Event field count
+const eventWireFields = 33 // keep equal to the obs.Event field count
 
 func appendEvent(b []byte, ev *obs.Event) []byte {
 	var bits uint64
@@ -452,6 +452,12 @@ func appendEvent(b []byte, ev *obs.Event) []byte {
 	if ev.Switched {
 		bits |= 1 << 30
 	}
+	if ev.Src != 0 {
+		bits |= 1 << 31
+	}
+	if ev.Link != "" {
+		bits |= 1 << 32
+	}
 	b = transport.AppendUvarint(b, bits)
 	if bits&(1<<0) != 0 {
 		b = transport.AppendVarint(b, ev.Seq)
@@ -539,6 +545,12 @@ func appendEvent(b []byte, ev *obs.Event) []byte {
 	}
 	if bits&(1<<29) != 0 {
 		b = transport.AppendF64(b, ev.Remaining)
+	}
+	if bits&(1<<31) != 0 {
+		b = transport.AppendVarint(b, int64(ev.Src))
+	}
+	if bits&(1<<32) != 0 {
+		b = transport.AppendString(b, ev.Link)
 	}
 	return b
 }
@@ -634,6 +646,12 @@ func decodeEvent(d *transport.Dec, ev *obs.Event) {
 		ev.Remaining = d.F64()
 	}
 	ev.Switched = bits&(1<<30) != 0
+	if bits&(1<<31) != 0 {
+		ev.Src = int(d.Varint())
+	}
+	if bits&(1<<32) != 0 {
+		ev.Link = d.String()
+	}
 }
 
 // AppendWire implements transport.Appender.

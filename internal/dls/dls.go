@@ -145,6 +145,22 @@ type WorkerLossAware interface {
 	WorkerLost(worker int, returnedLoad float64)
 }
 
+// RedistributionAware extends WorkerLossAware for algorithms that want
+// to see the engine's peer redistributions: when a failed attempt's
+// input is moved worker-to-worker to a survivor instead of re-staged
+// through the master (engine.RetryPolicy.Redistribute), the engine
+// reports the move at launch time. Like returned load, the moved load
+// is engine-owned — it never re-enters State.Remaining while in flight
+// — so implementations should only adjust their view of worker
+// backlogs, not re-plan the load itself. Purely optional; algorithms
+// without it run identically.
+type RedistributionAware interface {
+	WorkerLossAware
+	// ChunkRedistributed reports load units moving from the failed
+	// worker's site to a surviving worker over the peer path.
+	ChunkRedistributed(from, to int, load float64)
+}
+
 // SwitchDecision records one evaluation of a two-phase algorithm's
 // phase-switch condition — the quantity behind the paper's central
 // diagnostic (RUMR's switch firing too late, or never).

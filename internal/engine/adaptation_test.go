@@ -43,7 +43,7 @@ func TestAdaptationBeatsStaticUnderProbeBias(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tr, err := engine.Run(backend, mk(), app, platform, engine.Config{ProbeLoad: 100})
+			tr, err := runEngine(backend, mk(), app, platform, engine.Config{ProbeLoad: 100})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,7 +87,7 @@ func TestUniformBiasDoesNotBreakUMR(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr, err := engine.Run(backend, dls.NewUMR(), app, platform, engine.Config{ProbeLoad: 100})
+		tr, err := runEngine(backend, dls.NewUMR(), app, platform, engine.Config{ProbeLoad: 100})
 		if err != nil {
 			t.Fatal(err)
 		}

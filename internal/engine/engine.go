@@ -75,6 +75,19 @@ type OpBackend interface {
 	ReturnOutputOp(w int, bytes float64, op uint64, done func(op uint64, start, end float64, err error))
 }
 
+// PeerBackend is an optional Backend interface for worker-to-worker
+// data movement: PeerTransferOp moves bytes from worker `from`'s site
+// directly to worker `to`, bypassing the master and its uplink. The
+// engine uses it — only when RetryPolicy.Redistribute is set — to move
+// a failed chunk's already-staged input to a surviving worker instead
+// of re-staging it through the master. The source's *site* holds the
+// data, so a crashed source does not invalidate the transfer; backends
+// fail it only if the destination dies. Completion reports exactly as
+// TransferOp does.
+type PeerBackend interface {
+	PeerTransferOp(from, to int, bytes float64, op uint64, done func(op uint64, start, end float64, err error))
+}
+
 // Arena is a reusable execution workspace: chunk records, retry state,
 // per-worker accounting, estimate buffers, the trace, and the engine's
 // callback scratch all live in it and are recycled run to run, so a
@@ -224,18 +237,6 @@ type Request struct {
 	Arena *Arena
 }
 
-// Run executes the application on the backend under the algorithm's
-// schedule and returns the execution trace.
-//
-// Deprecated: Run is the pre-Request form, kept for one release so
-// existing call sites compile. Use Execute, which takes a
-// context.Context (cancellation, deadlines) and a Request.
-func Run(b Backend, alg dls.Algorithm, app *model.Application, platform *model.Platform, cfg Config) (*trace.Trace, error) {
-	return Execute(context.Background(), Request{
-		Backend: b, Algorithm: alg, App: app, Platform: platform, Config: cfg,
-	})
-}
-
 // Execute runs the application on the backend under the algorithm's
 // schedule and returns the execution trace.
 //
@@ -372,6 +373,12 @@ type execution struct {
 	ests       []model.Estimate
 	dests      []model.Estimate // deadline estimates (see plan)
 	lossAware  dls.WorkerLossAware
+	// Redistribution (RetryPolicy.Redistribute on a PeerBackend): failed
+	// attempts whose input already reached a site re-dispatch over the
+	// peer path instead of the master uplink.
+	peerBackend PeerBackend
+	redistAware dls.RedistributionAware
+	peerDoneFn  func(op uint64, start, end float64, err error)
 
 	// Indexed dispatch: when the backend implements OpBackend, the three
 	// stage-completion handlers below (method values, built once per
@@ -492,6 +499,8 @@ func (e *execution) beginRun(req Request) {
 	e.retry = RetryPolicy{}
 	e.timer = nil
 	e.lossAware = nil
+	e.peerBackend = nil
+	e.redistAware = nil
 	if cfg.Retry != nil {
 		e.retryOn = true
 		e.retry = cfg.Retry.withDefaults()
@@ -502,6 +511,13 @@ func (e *execution) beginRun(req Request) {
 			e.timeoutFn = e.onDeadline
 		}
 		e.lossAware, _ = alg.(dls.WorkerLossAware)
+		if e.retry.Redistribute {
+			e.peerBackend, _ = b.(PeerBackend)
+			e.redistAware, _ = alg.(dls.RedistributionAware)
+			if e.peerDoneFn == nil {
+				e.peerDoneFn = e.peerDone
+			}
+		}
 	}
 	if cfg.ProbeLoad <= 0 {
 		e.probeLoad = e.total / 100
@@ -571,7 +587,7 @@ func (e *execution) allocChunk() *chunk {
 	}
 	c := &e.chunkSlots[slot]
 	epoch := c.epoch
-	*c = chunk{slot: slot, epoch: epoch, used: true}
+	*c = chunk{slot: slot, epoch: epoch, used: true, dataAt: -1}
 	return c
 }
 
@@ -983,10 +999,19 @@ func (e *execution) tryDispatch() {
 		e.pending[w] += c.size
 		e.pendingChunks[w]++
 		e.inflight++
-		e.sending = true
 		// The algorithm is not re-consulted: the engine owns re-dispatch
 		// (see dls.WorkerLossAware), so alg.Dispatched is not called and
 		// the load re-enters the accounting only through remaining.
+		if e.peerBackend != nil && c.dataAt >= 0 {
+			// Redistribution: this attempt's input already reached the
+			// failed worker's site, so move it peer-to-peer instead of
+			// re-staging through the master. The uplink stays free —
+			// keep dispatching fresh load behind it.
+			e.launchPeer(c)
+			e.tryDispatch()
+			return
+		}
+		e.sending = true
 		e.launch(c)
 		return
 	}

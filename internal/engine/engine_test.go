@@ -54,7 +54,7 @@ func TestProbingRecoversTrueCosts(t *testing.T) {
 		t.Fatal(err)
 	}
 	cap := &probeCapture{Algorithm: dls.NewUMR()}
-	if _, err := engine.Run(backend, cap, app, platform, engine.Config{ProbeLoad: 50}); err != nil {
+	if _, err := runEngine(backend, cap, app, platform, engine.Config{ProbeLoad: 50}); err != nil {
 		t.Fatal(err)
 	}
 	truth := model.TrueEstimates(app, platform)
@@ -79,7 +79,7 @@ func TestOracleSkipsProbing(t *testing.T) {
 	platform := simplePlatform(2)
 	app := simpleApp()
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
-	tr, err := engine.Run(backend, dls.NewUMR(), app, platform, engine.Config{Oracle: true})
+	tr, err := runEngine(backend, dls.NewUMR(), app, platform, engine.Config{Oracle: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestDisableProbingGivesBlindEstimates(t *testing.T) {
 	app := simpleApp()
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
 	cap := &probeCapture{Algorithm: dls.NewUMR()}
-	if _, err := engine.Run(backend, cap, app, platform, engine.Config{DisableProbing: true}); err != nil {
+	if _, err := runEngine(backend, cap, app, platform, engine.Config{DisableProbing: true}); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range cap.got {
@@ -108,7 +108,7 @@ func TestProbeRecordsInTrace(t *testing.T) {
 	platform := simplePlatform(4)
 	app := simpleApp()
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
-	tr, err := engine.Run(backend, dls.NewUMR(), app, platform, engine.Config{ProbeLoad: 20})
+	tr, err := runEngine(backend, dls.NewUMR(), app, platform, engine.Config{ProbeLoad: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestDividerAlignsChunks(t *testing.T) {
 		t.Fatal(err)
 	}
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
-	tr, err := engine.Run(backend, dls.NewWeightedFactoring(), app, platform, engine.Config{
+	tr, err := runEngine(backend, dls.NewWeightedFactoring(), app, platform, engine.Config{
 		ProbeLoad: 10, Divider: u,
 	})
 	if err != nil {
@@ -157,7 +157,7 @@ func TestChunksArePartition(t *testing.T) {
 	platform := simplePlatform(4)
 	app := simpleApp()
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 5})
-	tr, err := engine.Run(backend, dls.NewFixedRUMR(), app, platform, engine.Config{ProbeLoad: 10})
+	tr, err := runEngine(backend, dls.NewFixedRUMR(), app, platform, engine.Config{ProbeLoad: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestOutputReturnExtendsMakespan(t *testing.T) {
 	app := simpleApp()
 	app.OutputBytesPerUnit = 500 // half the input volume comes back
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
-	tr, err := engine.Run(backend, dls.NewUMR(), app, platform, engine.Config{ProbeLoad: 10})
+	tr, err := runEngine(backend, dls.NewUMR(), app, platform, engine.Config{ProbeLoad: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestStallDetection(t *testing.T) {
 	platform := simplePlatform(2)
 	app := simpleApp()
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
-	_, err := engine.Run(backend, &stallAlg{dls.NewSimple(1)}, app, platform, engine.Config{})
+	_, err := runEngine(backend, &stallAlg{dls.NewSimple(1)}, app, platform, engine.Config{})
 	if err == nil || !strings.Contains(err.Error(), "declined to dispatch") {
 		t.Errorf("stalled run returned %v", err)
 	}
@@ -240,7 +240,7 @@ func TestInvalidWorkerRejected(t *testing.T) {
 	platform := simplePlatform(2)
 	app := simpleApp()
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
-	_, err := engine.Run(backend, &rogueAlg{dls.NewSimple(1)}, app, platform, engine.Config{})
+	_, err := runEngine(backend, &rogueAlg{dls.NewSimple(1)}, app, platform, engine.Config{})
 	if err == nil || !strings.Contains(err.Error(), "invalid worker") {
 		t.Errorf("rogue dispatch returned %v", err)
 	}
@@ -254,7 +254,7 @@ func TestSubGranularityRemnantAbsorbed(t *testing.T) {
 	app.TotalLoad = 1003
 	app.MinChunk = 10
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 2})
-	tr, err := engine.Run(backend, dls.NewWeightedFactoring(), app, platform, engine.Config{ProbeLoad: 10})
+	tr, err := runEngine(backend, dls.NewWeightedFactoring(), app, platform, engine.Config{ProbeLoad: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestMakespanIncludesProbing(t *testing.T) {
 		if !probe {
 			cfg.Oracle = true
 		}
-		tr, err := engine.Run(backend, dls.NewUMR(), app, platform, cfg)
+		tr, err := runEngine(backend, dls.NewUMR(), app, platform, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -295,7 +295,7 @@ func TestEngineRejectsInvalidApp(t *testing.T) {
 	app := simpleApp()
 	app.TotalLoad = 0
 	backend, _ := grid.New(platform, simpleApp(), grid.Config{Seed: 1})
-	if _, err := engine.Run(backend, dls.NewUMR(), app, platform, engine.Config{}); err == nil {
+	if _, err := runEngine(backend, dls.NewUMR(), app, platform, engine.Config{}); err == nil {
 		t.Error("invalid app accepted")
 	}
 }

@@ -26,7 +26,7 @@ func runWithSink(t *testing.T, alg dls.Algorithm, ecfg engine.Config) ([]obs.Eve
 	if ecfg.ProbeLoad == 0 {
 		ecfg.ProbeLoad = 50
 	}
-	if _, err := engine.Run(backend, alg, app, platform, ecfg); err != nil {
+	if _, err := runEngine(backend, alg, app, platform, ecfg); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Events(), met
@@ -132,7 +132,7 @@ func TestNoSinkRunsUnchanged(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr, err := engine.Run(backend, dls.NewUMR(), app, platform, cfg)
+		tr, err := runEngine(backend, dls.NewUMR(), app, platform, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -22,7 +22,7 @@ func runFaulty(t *testing.T, alg dls.Algorithm, plan *grid.FaultPlan, retry *eng
 	}
 	buf := obs.NewBuffer()
 	met := obs.NewRunMetrics(obs.NewRegistry())
-	_, runErr := engine.Run(backend, alg, app, platform, engine.Config{
+	_, runErr := runEngine(backend, alg, app, platform, engine.Config{
 		ProbeLoad: 50, Events: buf, Metrics: met, Retry: retry,
 	})
 	return buf.Events(), met, runErr

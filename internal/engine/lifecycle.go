@@ -83,6 +83,11 @@ type chunk struct {
 	// arena's whole life — never reset between runs — so a callback
 	// surviving from a previous run can never match a current chunk.
 	epoch uint32
+	// dataAt names the worker whose site holds this chunk's input (-1:
+	// master only). Set when an attempt fails after its transfer stage
+	// completed, it is what makes peer redistribution possible — the
+	// input survives on the failed worker's site storage.
+	dataAt int32
 	// Deadline state for the current stage: the backend timer id, the
 	// armed duration (for the timeout event/error), and whether a
 	// deadline is currently armed. The handler itself is shared by the
@@ -193,6 +198,82 @@ func (e *execution) launch(c *chunk) {
 		e.sending = false
 		e.tryDispatch()
 	}
+}
+
+// launchPeer restarts a failed chunk attempt over the peer path: the
+// input already sits at a surviving site (c.dataAt), so it moves
+// worker-to-worker instead of re-staging through the master uplink.
+// Accounting is done by the caller, which also keeps dispatching — the
+// uplink is never held. Caller holds the mutex.
+func (e *execution) launchPeer(c *chunk) {
+	from := int(c.dataAt)
+	c.state = stateTransferring
+	c.epoch++
+	c.stageStart = e.backend.Now()
+	c.sendStart, c.sendEnd, c.compStart, c.compEnd = 0, 0, 0, 0
+	if e.traceOn && c.span == 0 {
+		c.span = e.tracer.NextSpanID()
+		c.traceStart = c.stageStart
+	}
+	e.emit(obs.Event{
+		Type: obs.Dispatch, Worker: c.worker, Chunk: c.id,
+		Size: c.size, Bytes: c.bytes, Remaining: e.remaining,
+		Attempt: c.attempt, Src: from,
+	})
+	if e.redistAware != nil {
+		e.redistAware.ChunkRedistributed(from, c.worker, c.size)
+	}
+	if from == c.worker {
+		// The chosen survivor already holds the data (the failed attempt
+		// ran there without being blacklisted): skip straight to compute.
+		c.sendStart, c.sendEnd = c.stageStart, c.stageStart
+		e.emit(obs.Event{
+			Type: obs.ChunkRedistributed, Worker: c.worker, Src: from,
+			Chunk: c.id, Size: c.size,
+		})
+		c.state = stateComputing
+		e.armDeadline(c, e.compEstimate(c))
+		e.dispatchExecute(c)
+		return
+	}
+	e.emit(obs.Event{
+		Type: obs.PeerTransfer, Worker: c.worker, Src: from,
+		Chunk: c.id, Size: c.size, Bytes: c.bytes,
+	})
+	e.armDeadline(c, e.sendEstimate(c))
+	e.peerBackend.PeerTransferOp(from, c.worker, c.bytes, opToken(c), e.peerDoneFn)
+}
+
+// peerDone advances a chunk whose peer redistribution transfer
+// completed or failed. The master uplink was never held, so there is
+// nothing to release.
+func (e *execution) peerDone(op uint64, start, end float64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.chunkFromOp(op)
+	if c == nil {
+		return
+	}
+	e.cancelDeadline(c)
+	if err != nil {
+		e.chunkFailed(c, err, false)
+		e.tryDispatch()
+		return
+	}
+	c.sendStart, c.sendEnd = start, end
+	if e.traceOn {
+		e.recordStageSpan(c, "chunk.peer", start, end, "")
+	}
+	e.emit(obs.Event{
+		Type: obs.ChunkRedistributed, Worker: c.worker, Src: int(c.dataAt),
+		Chunk: c.id, Size: c.size, Dur: end - start,
+	})
+	c.dataAt = int32(c.worker)
+	c.state = stateComputing
+	c.stageStart = e.backend.Now()
+	e.armDeadline(c, e.compEstimate(c))
+	e.dispatchExecute(c)
+	e.tryDispatch()
 }
 
 // transferDone advances a chunk whose input transfer completed or

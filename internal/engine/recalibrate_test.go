@@ -35,7 +35,7 @@ func TestPeriodicRecalibrationDeliversMeasurements(t *testing.T) {
 		t.Fatal(err)
 	}
 	cap := &recalCapture{Algorithm: dls.NewWeightedFactoring()}
-	tr, err := engine.Run(backend, cap, app, platform, engine.Config{
+	tr, err := runEngine(backend, cap, app, platform, engine.Config{
 		ProbeLoad:           10,
 		RecalibrateInterval: 8,
 	})
@@ -72,7 +72,7 @@ func TestRecalibrationOffByDefault(t *testing.T) {
 	app := simpleApp()
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
 	cap := &recalCapture{Algorithm: dls.NewUMR()}
-	if _, err := engine.Run(backend, cap, app, platform, engine.Config{ProbeLoad: 10}); err != nil {
+	if _, err := runEngine(backend, cap, app, platform, engine.Config{ProbeLoad: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if len(cap.calls) != 0 {
@@ -86,7 +86,7 @@ func TestRecalibrationWithNonRecalibratorAlgorithm(t *testing.T) {
 	platform := simplePlatform(2)
 	app := simpleApp()
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 1})
-	tr, err := engine.Run(backend, dls.NewSimple(5), app, platform, engine.Config{
+	tr, err := runEngine(backend, dls.NewSimple(5), app, platform, engine.Config{
 		RecalibrateInterval: 5,
 	})
 	if err != nil {
@@ -104,7 +104,7 @@ func TestRecalibrationFeedsAdaptiveRUMR(t *testing.T) {
 	app.Gamma = 0.1
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 9})
 	alg := dls.NewAdaptiveRUMR()
-	tr, err := engine.Run(backend, alg, app, platform, engine.Config{
+	tr, err := runEngine(backend, alg, app, platform, engine.Config{
 		ProbeLoad:           10,
 		RecalibrateInterval: 10,
 	})

@@ -1,0 +1,185 @@
+package engine_test
+
+import (
+	"testing"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/grid"
+	"apstdv/internal/obs"
+)
+
+// peerMove records one ChunkRedistributed callback.
+type peerMove struct {
+	from, to int
+	load     float64
+}
+
+// redistSpy wraps an algorithm with a dls.RedistributionAware recorder,
+// delegating WorkerLost to the wrapped algorithm when it cares.
+type redistSpy struct {
+	dls.Algorithm
+	lost  []int
+	moves []peerMove
+}
+
+func (s *redistSpy) WorkerLost(w int, load float64) {
+	if la, ok := s.Algorithm.(dls.WorkerLossAware); ok {
+		la.WorkerLost(w, load)
+	}
+	s.lost = append(s.lost, w)
+}
+
+func (s *redistSpy) ChunkRedistributed(from, to int, load float64) {
+	s.moves = append(s.moves, peerMove{from, to, load})
+}
+
+// runRedistrib is runFaulty with peer redistribution switched on.
+func runRedistrib(t *testing.T, alg dls.Algorithm, plan *grid.FaultPlan) ([]obs.Event, error) {
+	t.Helper()
+	platform := simplePlatform(3)
+	app := simpleApp()
+	backend, err := grid.New(platform, app, grid.Config{Seed: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := obs.NewBuffer()
+	_, runErr := runEngine(backend, alg, app, platform, engine.Config{
+		ProbeLoad: 50, Events: buf,
+		Retry: &engine.RetryPolicy{Redistribute: true},
+	})
+	return buf.Events(), runErr
+}
+
+// TestRedistributeMovesLoadPeerToPeer pins the redistribution path: a
+// mid-run crash makes at least one failed chunk's input travel from the
+// dead worker's site to a survivor over the peer route (never re-staged
+// through the master), and the run still completes every unit.
+func TestRedistributeMovesLoadPeerToPeer(t *testing.T) {
+	plan := &grid.FaultPlan{Faults: []grid.WorkerFault{
+		{Worker: 1, Kind: grid.FaultCrash, At: 40},
+	}}
+	evs, err := runRedistrib(t, dls.NewWeightedFactoring(), plan)
+	if err != nil {
+		t.Fatalf("run with one crash must degrade gracefully, got: %v", err)
+	}
+	var moved, doneLoad float64
+	var moves int
+	for _, ev := range evs {
+		switch ev.Type {
+		case obs.ChunkRedistributed:
+			moves++
+			moved += ev.Size
+			if ev.Src != 1 {
+				t.Errorf("chunk %d redistributed from worker %d, want the crashed worker 1", ev.Chunk, ev.Src)
+			}
+			if ev.Worker == 1 {
+				t.Errorf("chunk %d redistributed onto the crashed worker", ev.Chunk)
+			}
+		case obs.ChunkDone:
+			doneLoad += ev.Size
+		}
+	}
+	if moves == 0 {
+		t.Fatal("no chunk_redistributed events despite a mid-run crash with Redistribute on")
+	}
+	if moved <= 0 {
+		t.Error("redistributed events carry no load")
+	}
+	if doneLoad < 1000-1e-6 {
+		t.Errorf("completed load %g, want the full 1000", doneLoad)
+	}
+}
+
+// TestRedistributeDeterministic pins reproducibility of the peer path:
+// same seed, same fault plan, same Redistribute flag → byte-equal event
+// streams.
+func TestRedistributeDeterministic(t *testing.T) {
+	plan := &grid.FaultPlan{Faults: []grid.WorkerFault{
+		{Worker: 1, Kind: grid.FaultCrash, At: 40},
+	}}
+	run := func() []obs.Event {
+		evs, err := runRedistrib(t, dls.NewWeightedFactoring(), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ between identical runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRedistributionAwareNotified pins the algorithm callback: every
+// peer move is reported as ChunkRedistributed(from, to, load) to an
+// algorithm implementing dls.RedistributionAware, consistent with the
+// event stream.
+func TestRedistributionAwareNotified(t *testing.T) {
+	plan := &grid.FaultPlan{Faults: []grid.WorkerFault{
+		{Worker: 1, Kind: grid.FaultCrash, At: 40},
+	}}
+	spy := &redistSpy{Algorithm: dls.NewWeightedFactoring()}
+	evs, err := runRedistrib(t, spy, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eventMoves int
+	for _, ev := range evs {
+		if ev.Type == obs.ChunkRedistributed {
+			eventMoves++
+		}
+	}
+	if len(spy.moves) == 0 {
+		t.Fatal("RedistributionAware algorithm never notified")
+	}
+	if len(spy.moves) != eventMoves {
+		t.Errorf("%d ChunkRedistributed callbacks, %d events", len(spy.moves), eventMoves)
+	}
+	for _, m := range spy.moves {
+		if m.from != 1 || m.to == 1 || m.load <= 0 {
+			t.Errorf("bad move %+v: want from=1, to a survivor, positive load", m)
+		}
+	}
+	if len(spy.lost) != 1 || spy.lost[0] != 1 {
+		t.Errorf("WorkerLost calls = %v, want exactly [1]", spy.lost)
+	}
+}
+
+// TestRedistributeIdleWithoutFaults pins the differential guarantee on
+// the engine flag itself: with no failures, Redistribute on and off
+// produce identical event streams — the peer machinery prices nothing
+// until a chunk actually fails past its transfer stage.
+func TestRedistributeIdleWithoutFaults(t *testing.T) {
+	run := func(redistribute bool) []obs.Event {
+		platform := simplePlatform(3)
+		app := simpleApp()
+		backend, err := grid.New(platform, app, grid.Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := obs.NewBuffer()
+		_, runErr := runEngine(backend, dls.NewWeightedFactoring(), app, platform, engine.Config{
+			ProbeLoad: 50, Events: buf,
+			Retry: &engine.RetryPolicy{Redistribute: redistribute},
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return buf.Events()
+	}
+	off, on := run(false), run(true)
+	if len(off) != len(on) {
+		t.Fatalf("event counts differ: %d off, %d on", len(off), len(on))
+	}
+	for i := range off {
+		if off[i] != on[i] {
+			t.Fatalf("event %d differs with idle redistribution:\n%+v\n%+v", i, off[i], on[i])
+		}
+	}
+}

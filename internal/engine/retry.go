@@ -25,6 +25,13 @@ type RetryPolicy struct {
 	// a deadline. Defaults 4 and 30.
 	TimeoutFactor float64
 	MinTimeout    float64
+	// Redistribute re-dispatches a failed attempt's load over the peer
+	// path when its input already reached a site (the backend implements
+	// PeerBackend): the data moves worker-to-worker from the failed
+	// site's storage to the least-loaded survivor instead of re-staging
+	// through the master uplink. Off by default — the retry path is then
+	// byte-identical to pre-redistribution engines.
+	Redistribute bool
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -207,6 +214,13 @@ func (e *execution) chunkFailed(c *chunk, cause error, holdsUplink bool) {
 		return
 	}
 	c.state = stateFailed
+	// Record where the input survived: a completed transfer stage means
+	// the bytes reached worker w's site storage, which outlives the
+	// worker process itself — the peer-redistribution source.
+	c.dataAt = -1
+	if c.sendEnd > 0 {
+		c.dataAt = int32(w)
+	}
 	e.remaining += c.size
 	e.retryQ = append(e.retryQ, c.slot)
 	e.emit(obs.Event{

@@ -1,0 +1,18 @@
+package engine_test
+
+import (
+	"context"
+
+	"apstdv/internal/dls"
+	"apstdv/internal/engine"
+	"apstdv/internal/model"
+	"apstdv/internal/trace"
+)
+
+// runEngine is the tests' shorthand for engine.Execute with a background
+// context — the positional shape the deleted engine.Run shim had.
+func runEngine(b engine.Backend, alg dls.Algorithm, app *model.Application, platform *model.Platform, cfg engine.Config) (*trace.Trace, error) {
+	return engine.Execute(context.Background(), engine.Request{
+		Backend: b, Algorithm: alg, App: app, Platform: platform, Config: cfg,
+	})
+}

@@ -42,7 +42,7 @@ func TestScaleSixtyFourWorkers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: 500})
+			tr, err := runEngine(backend, alg, app, platform, engine.Config{ProbeLoad: 500})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -74,7 +74,7 @@ func TestProbeFileDensityRescaling(t *testing.T) {
 	app := simpleApp() // 1000 B/unit
 	backend, _ := grid.New(platform, app, grid.Config{Seed: 4})
 	cap := &probeCapture{Algorithm: dls.NewUMR()}
-	_, err := engine.Run(backend, cap, app, platform, engine.Config{
+	_, err := runEngine(backend, cap, app, platform, engine.Config{
 		ProbeLoad:         50,
 		ProbeBytesPerUnit: 250, // probe file four times less dense
 	})
@@ -101,7 +101,7 @@ func TestSingleWorkerDegenerate(t *testing.T) {
 			t.Fatal(err)
 		}
 		backend, _ := grid.New(platform, app, grid.Config{Seed: 2})
-		tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: 10})
+		tr, err := runEngine(backend, alg, app, platform, engine.Config{ProbeLoad: 10})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -121,7 +121,7 @@ func TestTinyLoad(t *testing.T) {
 	for _, name := range []string{"umr", "wf", "fixed-rumr", "simple-1", "gss"} {
 		alg, _ := dls.New(name)
 		backend, _ := grid.New(platform, app, grid.Config{Seed: 3})
-		tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: 2})
+		tr, err := runEngine(backend, alg, app, platform, engine.Config{ProbeLoad: 2})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -146,7 +146,7 @@ func TestCaseStudyPlatformWithAllAlgorithms(t *testing.T) {
 	for _, name := range dls.Names() {
 		alg, _ := dls.New(name)
 		backend, _ := grid.New(platform, app, grid.Config{Seed: 8})
-		tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: workload.CaseStudyProbeLoad})
+		tr, err := runEngine(backend, alg, app, platform, engine.Config{ProbeLoad: workload.CaseStudyProbeLoad})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -24,7 +24,7 @@ func TestSmokeAllAlgorithmsDAS2(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				tr, err := engine.Run(backend, alg, app, platform, engine.Config{ProbeLoad: 200})
+				tr, err := runEngine(backend, alg, app, platform, engine.Config{ProbeLoad: 200})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smallRedistributionSweep keeps the test grid cheap: one crash level,
+// two runs.
+func smallRedistributionSweep(parallelism int) *RedistributionSweep {
+	rs := DefaultRedistributionSweep()
+	rs.Runs = 2
+	rs.CrashProbs = []float64{0.25}
+	rs.Parallelism = parallelism
+	return rs
+}
+
+// TestRedistributionSweepDeterministicAcrossWidths pins the pool-width
+// invariance: the cells are identical sequentially and fanned out, and
+// the peer mode actually redistributes under the injected crashes.
+func TestRedistributionSweepDeterministicAcrossWidths(t *testing.T) {
+	seq, err := smallRedistributionSweep(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := smallRedistributionSweep(4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("cells differ across pool widths:\nseq: %+v\npar: %+v", seq, par)
+	}
+
+	redistributed := false
+	for _, c := range seq {
+		switch c.Mode {
+		case "peer":
+			if c.MeanRedistributions > 0 {
+				redistributed = true
+			}
+		case "restage":
+			if c.MeanRedistributions != 0 {
+				t.Errorf("restage cell %s/%g reports %g redistributions", c.Topology, c.CrashProb, c.MeanRedistributions)
+			}
+			if c.VsRestagePct != 0 {
+				t.Errorf("restage cell %s/%g carries a vs-restage delta", c.Topology, c.CrashProb)
+			}
+		}
+	}
+	if !redistributed {
+		t.Error("no peer cell redistributed any chunk under a 25% crash grid")
+	}
+	if n := len(seq); n != 4 {
+		t.Errorf("cell count = %d, want 4 (2 topologies × 2 modes × 1 prob)", n)
+	}
+}

@@ -54,8 +54,18 @@ type Config struct {
 	// UplinkShare models concurrent occupancy of the master's serialized
 	// uplink: the fraction of its bandwidth this job gets, in (0, 1].
 	// Transfer (and output-return) bandwidth scales by it; the per-link
-	// access latency does not. 0 means dedicated (1.0).
+	// access latency does not. 0 means dedicated (1.0). Under a topology
+	// it scales every link capacity instead (see linkNet.reset).
 	UplinkShare float64
+	// Events, when non-nil, receives backend-level link busy/idle events
+	// (obs.LinkBusy / obs.LinkIdle) from the link-graph network model,
+	// on its own dense sequence. Only topology-carrying platforms ever
+	// emit; legacy flat platforms never touch this sink, so their
+	// engine-level streams stay byte-identical.
+	Events obs.Sink
+	// LinkMetrics, when non-nil, records per-link bytes carried and busy
+	// fractions. Purely observational, like Metrics.
+	LinkMetrics *obs.LinkMetrics
 }
 
 // opKind distinguishes the three operation flavours tracked in the
@@ -106,6 +116,7 @@ type Backend struct {
 	bg      []*bgProcess
 	batch   []*batchState
 	faults  []faultState // nil when no faults are injected
+	links   *linkNet     // nil unless the platform carries a Topology
 
 	// Op table (see gridOp) and the long-lived callbacks all operations
 	// dispatch through, built once in New.
@@ -136,6 +147,9 @@ func New(p *model.Platform, a *model.Application, cfg Config) (*Backend, error) 
 	b.execDoneFn = b.execDone
 	b.returnDurFn = b.returnDur
 	b.returnDoneFn = b.returnDone
+	if p.Topology != nil {
+		b.links = newLinkNet(b)
+	}
 	for i := range p.Workers {
 		b.compute = append(b.compute, sim.NewFCFSQueue(eng))
 		b.compRNG = append(b.compRNG, rng.New(0))
@@ -212,6 +226,9 @@ func (b *Backend) Reset(a *model.Application, cfg Config) error {
 	b.faults = compileFaults(cfg.Faults, len(b.platform.Workers))
 	b.ops = b.ops[:0]
 	b.opFree = b.opFree[:0]
+	if b.links != nil {
+		b.links.reset()
+	}
 	return nil
 }
 
@@ -264,7 +281,24 @@ func (b *Backend) CancelTimer(id uint64) {
 // transfer, which is how the model realizes the serialized uplink. A
 // transfer to a crashed worker fails — immediately when the worker is
 // already down, at the crash instant when it dies mid-transfer.
+//
+// When the platform carries a Topology the transfer instead becomes a
+// fluid flow over the worker's link route (see links.go): concurrent
+// transfers share link capacity fairly rather than serializing, so the
+// engine should normally lift its one-transfer rule (ParallelUplink) to
+// let the contention model do the serializing.
 func (b *Backend) TransferOp(w int, bytes float64, op uint64, done func(op uint64, start, end float64, err error)) {
+	if b.links != nil {
+		slot := b.allocOp()
+		o := &b.ops[slot]
+		o.kind = opTransfer
+		o.w = int32(w)
+		o.op = op
+		o.done = done
+		o.start = b.eng.Now()
+		b.links.start(b.platform.Topology.Route(w), w, bytes, slot)
+		return
+	}
 	wk := b.platform.Workers[w]
 	bw := float64(wk.Bandwidth)
 	if b.cfg.UplinkShare > 0 {

@@ -1,0 +1,346 @@
+package grid
+
+// This file is the link-graph network model: when the platform carries a
+// model.Topology, transfers stop being fixed-duration star-link events
+// and become fluid flows over the topology's links. Concurrent flows
+// crossing a shared link split its capacity fairly — a flow's rate is
+// min over its route of capacity/activeFlows — and every flow start or
+// finish preemptively re-scales the others, exactly the way MultiWorld
+// re-scales compute shares: bank the progress made at the old rate,
+// recompute rates, reschedule completions. A nil topology never
+// constructs a linkNet, so the legacy single-uplink model stays
+// byte-identical to the pinned goldens.
+//
+// Peer transfers (worker-to-worker redistribution) ride the same fluid
+// model over model.Topology.PeerRoute. Semantics: the source worker's
+// chunk data is staged on its *site* storage, so a crashed source does
+// not kill a peer fetch; the destination crashing truncates it, like
+// any transfer to that worker.
+
+import (
+	"math"
+
+	"apstdv/internal/obs"
+	"apstdv/internal/sim"
+	"apstdv/internal/units"
+)
+
+// linkFlow is one in-progress transfer over a link route. Flows live in
+// a slot arena (flows + free list) so starting one allocates nothing
+// once the arena has grown.
+type linkFlow struct {
+	route  []int // borrowed from the topology (or a peer-route buffer)
+	bytes  float64
+	rem    float64       // bytes still to move
+	rate   float64       // bytes/s granted at the last re-scale
+	last   units.Seconds // time rem was last banked
+	start  units.Seconds // op start (TransferOp call time)
+	opSlot int32         // gridOp slot to complete
+	dest   int32         // destination worker (crash truncation)
+	active bool          // joined the fluid pool (latency phase done)
+	used   bool
+	handle sim.Handle // scheduled completion, re-made at every re-scale
+	err    error      // crash truncation, delivered at completion
+}
+
+// linkNet is the fluid contention state over one topology.
+type linkNet struct {
+	b     *Backend
+	caps  []float64 // per-link capacity, bytes/s (UplinkShare applied)
+	names []string
+
+	active    []int // per-link count of flows crossing it
+	busySince []units.Seconds
+	busyTotal []float64
+
+	flows    []linkFlow
+	flowFree []int32
+
+	enterFn  func(uint64) // latency phase done: join the fluid pool
+	finishFn func(uint64) // flow completion (or crash truncation)
+
+	// Link busy/idle events go to the backend-level sink (Config.Events)
+	// with their own dense sequence, timestamped on the backend clock.
+	eventSeq int64
+	scratch  obs.Event
+}
+
+// newLinkNet builds the contention state for the backend's topology.
+func newLinkNet(b *Backend) *linkNet {
+	top := b.platform.Topology
+	n := &linkNet{
+		b:         b,
+		caps:      make([]float64, len(top.Links)),
+		names:     make([]string, len(top.Links)),
+		active:    make([]int, len(top.Links)),
+		busySince: make([]units.Seconds, len(top.Links)),
+		busyTotal: make([]float64, len(top.Links)),
+	}
+	for i, l := range top.Links {
+		n.names[i] = l.Name
+	}
+	n.enterFn = n.enter
+	n.finishFn = n.finish
+	return n
+}
+
+// reset rewinds the net for a fresh run: capacities re-derived from the
+// (possibly changed) UplinkShare, all occupancy and flow state cleared,
+// the event sequence restarted. Reuses every slice.
+func (n *linkNet) reset() {
+	top := n.b.platform.Topology
+	share := n.b.cfg.UplinkShare
+	if share <= 0 {
+		share = 1
+	}
+	for i, l := range top.Links {
+		// UplinkShare models another job's concurrent claim on the
+		// network; under a topology it scales every link capacity.
+		n.caps[i] = float64(l.Capacity) * share
+	}
+	for i := range n.active {
+		n.active[i] = 0
+		n.busySince[i] = 0
+		n.busyTotal[i] = 0
+	}
+	n.flows = n.flows[:0]
+	n.flowFree = n.flowFree[:0]
+	n.eventSeq = 0
+}
+
+// allocFlow reserves a flow slot.
+func (n *linkNet) allocFlow() int32 {
+	if l := len(n.flowFree); l > 0 {
+		slot := n.flowFree[l-1]
+		n.flowFree = n.flowFree[:l-1]
+		return slot
+	}
+	n.flows = append(n.flows, linkFlow{})
+	return int32(len(n.flows) - 1)
+}
+
+// freeFlow returns a slot, dropping references.
+func (n *linkNet) freeFlow(slot int32) {
+	n.flows[slot] = linkFlow{}
+	n.flowFree = append(n.flowFree, slot)
+}
+
+// start launches one transfer over route: a fixed latency phase (the
+// summed link latencies, jittered like legacy transfer durations), then
+// a fluid flow of bytes through the shared links. opSlot names the
+// gridOp to complete when the flow ends. dest < 0 disables crash
+// truncation (no destination worker).
+func (n *linkNet) start(route []int, dest int, bytes float64, opSlot int32) {
+	b := n.b
+	now := b.eng.Now()
+	lat := 0.0
+	for _, li := range route {
+		lat += float64(b.platform.Topology.Links[li].Latency)
+	}
+	if b.cfg.CommJitter > 0 {
+		// One draw per transfer, as on the legacy path. The fluid phase's
+		// duration emerges from contention, so the jitter rides the
+		// latency term.
+		lat *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
+	}
+	slot := n.allocFlow()
+	f := &n.flows[slot]
+	f.route = route
+	f.bytes = bytes
+	f.rem = bytes
+	f.start = now
+	f.opSlot = opSlot
+	f.dest = int32(dest)
+	f.used = true
+	delay := units.Seconds(lat)
+	if b.faults != nil && dest >= 0 {
+		crashAt := b.faults[dest].crashAt
+		if float64(now) >= crashAt {
+			f.err = crashErr(dest, crashAt)
+			delay = 0
+		} else if float64(now)+lat > crashAt {
+			f.err = crashErr(dest, crashAt)
+			delay = units.Seconds(crashAt - float64(now))
+		}
+	}
+	b.eng.AfterArg(delay, n.enterFn, uint64(slot))
+}
+
+// enter ends a flow's latency phase: crash-truncated or zero-byte flows
+// finish on the spot; the rest join the fluid pool and trigger a
+// re-scale.
+func (n *linkNet) enter(arg uint64) {
+	slot := int32(arg)
+	f := &n.flows[slot]
+	if f.err != nil || f.rem <= 0 {
+		n.complete(slot)
+		return
+	}
+	now := n.b.eng.Now()
+	for _, li := range f.route {
+		if n.active[li] == 0 {
+			n.busySince[li] = now
+			n.emitLink(obs.LinkBusy, li, 0)
+		}
+		n.active[li]++
+	}
+	f.active = true
+	f.last = now
+	n.rescale(now)
+}
+
+// rescale re-derives every active flow's fair-share rate after a
+// membership change: progress made at the old rate is banked, the new
+// rate is min over the route of capacity/activeFlows, and the
+// completion event is re-made. Flows are visited in ascending slot
+// order, so the schedule — and with it the whole event stream — is a
+// pure function of the run's inputs.
+func (n *linkNet) rescale(now units.Seconds) {
+	b := n.b
+	for i := range n.flows {
+		f := &n.flows[i]
+		if !f.active {
+			continue
+		}
+		f.rem -= f.rate * float64(now-f.last)
+		if f.rem < 0 {
+			f.rem = 0
+		}
+		f.last = now
+		rate := math.Inf(1)
+		for _, li := range f.route {
+			if r := n.caps[li] / float64(n.active[li]); r < rate {
+				rate = r
+			}
+		}
+		f.rate = rate
+		end := float64(now) + f.rem/rate
+		f.err = nil
+		if b.faults != nil && f.dest >= 0 {
+			if crashAt := b.faults[f.dest].crashAt; crashAt < end {
+				end = crashAt
+				f.err = crashErr(int(f.dest), crashAt)
+			}
+		}
+		f.handle.Cancel()
+		f.handle = b.eng.AtArg(units.Seconds(end), n.finishFn, uint64(i))
+	}
+}
+
+// finish ends one flow — natural completion (rem drained) or crash
+// truncation — releasing its links and re-scaling the survivors.
+func (n *linkNet) finish(arg uint64) {
+	slot := int32(arg)
+	f := &n.flows[slot]
+	now := n.b.eng.Now()
+	f.rem -= f.rate * float64(now-f.last)
+	if f.rem < 0 {
+		f.rem = 0
+	}
+	f.last = now
+	delivered := f.bytes - f.rem
+	for _, li := range f.route {
+		n.active[li]--
+		if n.active[li] == 0 {
+			busy := float64(now - n.busySince[li])
+			n.busyTotal[li] += busy
+			n.emitLink(obs.LinkIdle, li, busy)
+			n.updateUtilization(li, float64(now))
+		}
+		n.b.cfg.LinkMetrics.Transferred(li, delivered)
+	}
+	f.active = false
+	n.rescale(now)
+	n.complete(slot)
+}
+
+// complete fires the flow's gridOp completion and frees the flow slot.
+func (n *linkNet) complete(slot int32) {
+	f := &n.flows[slot]
+	opSlot, start, err := f.opSlot, f.start, f.err
+	n.freeFlow(slot)
+	b := n.b
+	o := &b.ops[opSlot]
+	done, op := o.done, o.op
+	b.freeOp(opSlot)
+	done(op, float64(start), float64(b.eng.Now()), err)
+}
+
+// updateUtilization refreshes the busy-fraction gauges: per-link on
+// every idle transition, plus the across-links mean. Observational only
+// — metrics never feed back into the schedule.
+func (n *linkNet) updateUtilization(li int, now float64) {
+	if n.b.cfg.LinkMetrics == nil || now <= 0 {
+		return
+	}
+	n.b.cfg.LinkMetrics.SetUtilization(li, n.busyTotal[li]/now)
+	mean := 0.0
+	for _, bt := range n.busyTotal {
+		mean += bt / now
+	}
+	n.b.cfg.LinkMetrics.SetMeanUtilization(mean / float64(len(n.busyTotal)))
+}
+
+// emitLink emits one link busy/idle event on the backend-level sink,
+// with its own dense sequence and the backend clock timestamp.
+func (n *linkNet) emitLink(t obs.EventType, li int, dur float64) {
+	sink := n.b.cfg.Events
+	if sink == nil {
+		return
+	}
+	n.scratch = obs.Event{
+		Seq: n.eventSeq, T: float64(n.b.eng.Now()), Type: t,
+		Worker: -1, Link: n.names[li], Dur: dur,
+	}
+	n.eventSeq++
+	if ps, ok := sink.(obs.PtrSink); ok {
+		ps.EmitPtr(&n.scratch)
+		return
+	}
+	sink.Emit(n.scratch)
+}
+
+// PeerTransferOp moves bytes from worker `from`'s site directly to
+// worker `to` — the redistribution path, never touching the master or
+// its uplink. Under a topology the transfer is a fluid flow over
+// model.Topology.PeerRoute; on a flat platform it uses a direct
+// star-model estimate (destination's latency, the slower endpoint's
+// bandwidth) without occupying the serialized uplink. The data is
+// staged on the source's site storage, so only the *destination*
+// crashing fails the transfer. Completion reports through done exactly
+// like TransferOp (engine.PeerBackend).
+func (b *Backend) PeerTransferOp(from, to int, bytes float64, op uint64, done func(op uint64, start, end float64, err error)) {
+	slot := b.allocOp()
+	o := &b.ops[slot]
+	o.kind = opTransfer
+	o.w = int32(to)
+	o.op = op
+	o.done = done
+	o.start = b.eng.Now()
+	if b.links != nil {
+		b.links.start(b.platform.Topology.PeerRoute(from, to), to, bytes, slot)
+		return
+	}
+	wf, wt := b.platform.Workers[from], b.platform.Workers[to]
+	bw := float64(wf.Bandwidth)
+	if float64(wt.Bandwidth) < bw {
+		bw = float64(wt.Bandwidth)
+	}
+	d := float64(wt.CommLatency) + bytes/bw
+	if b.cfg.CommJitter > 0 {
+		d *= b.commRNG.TruncNormal(1, b.cfg.CommJitter, 0.1)
+	}
+	start := o.start
+	delay := units.Seconds(d)
+	if b.faults != nil {
+		crashAt := b.faults[to].crashAt
+		if float64(start) >= crashAt {
+			o.err = crashErr(to, crashAt)
+			delay = 0
+		} else if float64(start)+d > crashAt {
+			o.err = crashErr(to, crashAt)
+			delay = units.Seconds(crashAt - float64(start))
+		}
+	}
+	b.eng.AfterArg(delay, b.transferFireFn, uint64(slot))
+}

@@ -73,7 +73,9 @@ func TestMultiWorldSingleJobMatchesBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := engine.Run(solo, dls.NewRUMR(), app, platform, engine.Config{})
+	tr, err := engine.Execute(context.Background(), engine.Request{
+		Backend: solo, Algorithm: dls.NewRUMR(), App: app, Platform: platform,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

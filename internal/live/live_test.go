@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -148,7 +149,9 @@ func TestLiveEndToEndWithEngine(t *testing.T) {
 		Name: "live-test", TotalLoad: 120, BytesPerUnit: 2048,
 		UnitCost: 1, MinChunk: 1,
 	}
-	tr, err := engine.Run(b, dls.NewFixedRUMR(), app, nil, engine.Config{ProbeLoad: 5})
+	tr, err := engine.Execute(context.Background(), engine.Request{
+		Backend: b, Algorithm: dls.NewFixedRUMR(), App: app, Config: engine.Config{ProbeLoad: 5},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +191,9 @@ func TestLiveEndToEndAllPaperAlgorithms(t *testing.T) {
 				Name: "live", TotalLoad: 60, BytesPerUnit: 512,
 				UnitCost: 1, MinChunk: 1,
 			}
-			tr, err := engine.Run(b, alg, app, nil, engine.Config{ProbeLoad: 3})
+			tr, err := engine.Execute(context.Background(), engine.Request{
+				Backend: b, Algorithm: alg, App: app, Config: engine.Config{ProbeLoad: 3},
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -241,7 +246,9 @@ func TestHeterogeneousLiveWorkersProbeDifferently(t *testing.T) {
 		Name: "hetero", TotalLoad: 90, BytesPerUnit: 256,
 		UnitCost: 1, MinChunk: 1,
 	}
-	tr, err := engine.Run(b, dls.NewWeightedFactoring(), app, nil, engine.Config{ProbeLoad: 6})
+	tr, err := engine.Execute(context.Background(), engine.Request{
+		Backend: b, Algorithm: dls.NewWeightedFactoring(), App: app, Config: engine.Config{ProbeLoad: 6},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +281,9 @@ func TestLiveWorkerFailureSurfacesError(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := engine.Run(b, dls.NewSimple(1), app, nil, engine.Config{})
+		_, err := engine.Execute(context.Background(), engine.Request{
+			Backend: b, Algorithm: dls.NewSimple(1), App: app,
+		})
 		done <- err
 	}()
 	select {

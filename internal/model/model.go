@@ -17,6 +17,7 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -77,6 +78,12 @@ func (b *BackgroundLoad) Validate() error {
 type Platform struct {
 	Name    string
 	Workers []Worker
+	// Topology, when non-nil, replaces the per-worker star links with a
+	// first-class link graph (see topology.go): transfers contend for
+	// shared links instead of serializing on one master uplink. Nil
+	// keeps the legacy single-uplink model, byte-identical to the
+	// pinned goldens.
+	Topology *Topology
 }
 
 // Validate checks platform consistency: dense worker IDs, positive speeds
@@ -109,7 +116,49 @@ func (p *Platform) Validate() error {
 			}
 		}
 	}
+	if p.Topology != nil {
+		if err := p.Topology.Validate(len(p.Workers)); err != nil {
+			return fmt.Errorf("platform %q: %w", p.Name, err)
+		}
+	}
 	return nil
+}
+
+// PlatformOption configures a platform under construction by
+// NewPlatform.
+type PlatformOption func(*Platform)
+
+// WithTopology attaches a link graph to the platform (see Topology).
+func WithTopology(t *Topology) PlatformOption {
+	return func(p *Platform) { p.Topology = t }
+}
+
+// WithName overrides the platform name.
+func WithName(name string) PlatformOption {
+	return func(p *Platform) { p.Name = name }
+}
+
+// NewPlatform builds a validated platform: worker IDs are assigned
+// densely in slice order (literals no longer repeat the index by hand),
+// options are applied, and the full invariant set — including topology
+// route checks and positive link capacities — runs once here. Errors
+// wrap ErrInvalidPlatform (and ErrInvalidTopology for link-graph
+// faults), so callers can errors.Is-dispatch on them.
+func NewPlatform(name string, workers []Worker, opts ...PlatformOption) (*Platform, error) {
+	p := &Platform{Name: name, Workers: workers}
+	for i := range p.Workers {
+		p.Workers[i].ID = i
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if err := p.Validate(); err != nil {
+		if errors.Is(err, ErrInvalidTopology) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %w", ErrInvalidPlatform, err)
+	}
+	return p, nil
 }
 
 // Clusters returns the distinct cluster names in first-appearance order.

@@ -63,6 +63,22 @@ const (
 	// WorkerLost summarizes one worker's removal: Size is the total load
 	// pulled back from its in-flight chunks, Workers the surviving count.
 	WorkerLost EventType = "worker_lost"
+	// LinkBusy/LinkIdle bracket a named topology link's occupancy under
+	// the link-graph network model: Busy when the link's active transfer
+	// count rises from zero, Idle when it returns to zero (Dur carries
+	// the busy-period length). Emitted by the grid backend on its own
+	// stream; legacy nil-topology runs never emit them.
+	LinkBusy EventType = "link_busy"
+	LinkIdle EventType = "link_idle"
+	// PeerTransfer is a direct worker-to-worker data movement over the
+	// peer route (redistribution): Src is the worker holding the data,
+	// Worker the receiver, Bytes the payload.
+	PeerTransfer EventType = "peer_transfer"
+	// ChunkRedistributed records a failed worker's chunk completing its
+	// move to a survivor without re-staging through the master: Src is
+	// the failed source, Worker the new owner, Size the moved load, Dur
+	// the peer-transfer duration.
+	ChunkRedistributed EventType = "chunk_redistributed"
 	// RunFinished closes the stream (success or failure).
 	RunFinished EventType = "run_finished"
 
@@ -146,6 +162,14 @@ type Event struct {
 	Want      float64 `json:"want,omitempty"`
 	Remaining float64 `json:"remaining,omitempty"`
 	Switched  bool    `json:"switched,omitempty"`
+
+	// Link-graph network model (LinkBusy, LinkIdle, PeerTransfer,
+	// ChunkRedistributed). Src is the source worker of a peer transfer;
+	// Link names the topology link. Both are omitted when zero, so
+	// streams from runs that never redistribute stay byte-identical to
+	// pre-topology streams.
+	Src  int    `json:"src,omitempty"`
+	Link string `json:"link,omitempty"`
 }
 
 // Sink receives the event stream. Emit may be called from any goroutine

@@ -29,6 +29,9 @@ type eventCore struct {
 
 	gamma, want, remaining float64
 	switched               bool
+
+	src  int
+	link int32
 }
 
 // pack stores ev into c, interning its Type and Alg strings.
@@ -65,6 +68,10 @@ func (c *eventCore) pack(ev *Event, types, algs *intern) {
 	c.want = ev.Want
 	c.remaining = ev.Remaining
 	c.switched = ev.Switched
+	c.src = ev.Src
+	// Link names are a small fixed set per topology; they share the alg
+	// intern table like Class does.
+	c.link = algs.index(ev.Link)
 }
 
 // unpack reconstructs the Event, resolving the interned strings.
@@ -101,6 +108,8 @@ func (c *eventCore) unpack(err string, types, algs *intern) Event {
 		Want:        c.want,
 		Remaining:   c.remaining,
 		Switched:    c.switched,
+		Src:         c.src,
+		Link:        algs.vals[c.link],
 	}
 }
 

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+
+	"apstdv/internal/model"
+	"apstdv/internal/units"
+)
+
+// WithTreeTopology attaches a two-level tree topology to a flat
+// platform, in place, and returns it: every worker sits behind a
+// per-worker leaf link (the worker's own bandwidth and access latency),
+// leaves aggregate into one switch per cluster at 2:1 oversubscription,
+// and the switches share the master's uplink, itself 2:1 against their
+// sum. Concurrent transfers then contend the fluid way (fair capacity
+// sharing per link) instead of serializing on the master, and peer
+// routes between workers of one cluster never touch the uplink at all —
+// the property worker-to-worker redistribution exploits.
+//
+// The tree is derived from the Worker.Cluster labels in declaration
+// order, so it works for any of this package's platform constructors.
+func WithTreeTopology(p *model.Platform) *model.Platform {
+	var clusters []string
+	clusterCap := map[string]units.Rate{}
+	for _, w := range p.Workers {
+		name := clusterName(w)
+		if _, ok := clusterCap[name]; !ok {
+			clusters = append(clusters, name)
+		}
+		clusterCap[name] += w.Bandwidth
+	}
+	var switchSum units.Rate
+	for _, c := range clusters {
+		switchSum += clusterCap[c] / 2
+	}
+	b := model.NewTopology()
+	b.Link("uplink", switchSum/2, 0)
+	for _, c := range clusters {
+		b.Link(c+"-switch", clusterCap[c]/2, 0)
+	}
+	for i, w := range p.Workers {
+		leaf := fmt.Sprintf("leaf-%s", leafName(w, i))
+		b.Link(leaf, w.Bandwidth, w.CommLatency)
+		b.Route(i, "uplink", clusterName(w)+"-switch", leaf)
+	}
+	top, err := b.Build(len(p.Workers))
+	if err != nil {
+		// Only reachable through a malformed platform (duplicate worker
+		// names); the constructors in this package never produce one.
+		panic(fmt.Sprintf("workload: tree topology for %s: %v", p.Name, err))
+	}
+	p.Topology = top
+	p.Name += "+tree"
+	return p
+}
+
+func clusterName(w model.Worker) string {
+	if w.Cluster == "" {
+		return "cluster"
+	}
+	return w.Cluster
+}
+
+func leafName(w model.Worker, i int) string {
+	if w.Name == "" {
+		return fmt.Sprintf("w%02d", i)
+	}
+	return w.Name
+}

@@ -237,4 +237,21 @@ sed -i '$ s/$/,/' "$out"    # terminate what is now the last member
     printf '%s\n' "$multijob" | sed '1!s/^/  /'
 } >> "$out"
 printf '}\n' >> "$out"
+
+# Redistribution sweep: the same crash grid replayed with master
+# re-staging vs worker-to-worker peer redistribution on the star and
+# tree topologies (see cmd/experiments -run redistrib). Each peer cell
+# carries its makespan delta vs the restage twin (vs_restage_pct,
+# negative = peer faster); mean_peer_advantage_pct is the headline.
+# Spliced into the snapshot as a "redistribution" object.
+echo "redistribution sweep (peer vs master re-staging under crashes)..."
+redistrib=$(go run ./cmd/experiments -run redistrib -runs 5 -json)
+
+sed -i '$d' "$out"          # drop the closing brace
+sed -i '$ s/$/,/' "$out"    # terminate what is now the last member
+{
+    printf '  "redistribution": '
+    printf '%s\n' "$redistrib" | sed '1!s/^/  /'
+} >> "$out"
+printf '}\n' >> "$out"
 echo "wrote $out"
